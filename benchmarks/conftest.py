@@ -1,0 +1,39 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``test_*`` in this directory regenerates one table or figure of the
+paper: it sweeps the paper's parameter grid on the simulated platform,
+prints the rows/series (visible with ``-s``; always written to
+``benchmarks/results/``), asserts the figure's headline shape, and feeds
+one representative run to pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Print a figure's text table and persist it to results/<test>.txt."""
+
+    def _report(text: str) -> None:
+        print()
+        print(text)
+        out = results_dir / f"{request.node.name}.txt"
+        out.write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,154 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures of the paper, but sweeps over the knobs the paper discusses
+qualitatively:
+
+* stream count n_s (Sec. IV-F: more streams = more overlap but smaller
+  batches and more merging);
+* pinned-buffer size p_s (Sec. IV-E1: tiny buffers amortise allocation
+  but many chunks cost sync; huge buffers cost allocation);
+* pinned vs pageable staging for the blocking baseline;
+* input distribution insensitivity (Sec. IV-A's claim);
+* the PIPEMERGE pair-merge quota heuristic vs merging nothing/everything.
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter
+from repro.hw import PLATFORM1
+from repro.kernels.utils import is_sorted
+from repro.reporting import render_table
+from repro.workloads import generate
+
+N = int(2e9)
+
+
+def test_ablation_stream_count(report, benchmark):
+    """n_s sweep at fixed n: the batch size shrinks as 1/n_s (GPU memory
+    constraint), growing n_b and the merge work."""
+    rows = []
+    times = {}
+    for ns in (1, 2, 4):
+        s = HeterogeneousSorter(PLATFORM1, n_streams=ns)
+        r = s.sort(n=N, approach="pipedata")
+        times[ns] = r.elapsed
+        rows.append([ns, f"{r.plan.batch_size:.2e}", r.plan.n_batches,
+                     f"{r.elapsed:.2f}"])
+    report(render_table(
+        ["n_s", "b_s", "n_b", "time [s]"], rows,
+        title=f"Ablation: stream count (PIPEDATA, n={N:.0e}, PLATFORM1, "
+              "maximal b_s per n_s)"))
+    # 2 streams (the paper's choice) beats 1 (no overlap).
+    assert times[2] < times[1]
+    benchmark.pedantic(
+        lambda: HeterogeneousSorter(PLATFORM1, n_streams=2).sort(
+            n=N, approach="pipedata"), rounds=1, iterations=1)
+
+
+def test_ablation_pinned_buffer_size(report, benchmark):
+    """p_s sweep: the paper's 1e6 sits in the flat optimum between
+    per-chunk overhead (small p_s) and allocation cost (large p_s)."""
+    rows = []
+    times = {}
+    for ps in (10 ** 4, 10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8):
+        s = HeterogeneousSorter(PLATFORM1, batch_size=int(5e8),
+                                n_streams=2, pinned_elements=ps)
+        r = s.sort(n=N, approach="pipedata")
+        times[ps] = r.elapsed
+        rows.append([f"{ps:.0e}", f"{r.elapsed:.3f}",
+                     f"{r.component('Sync'):.3f}",
+                     f"{r.component('PinnedAlloc'):.3f}"])
+    report(render_table(
+        ["p_s", "time [s]", "sync [s]", "alloc [s]"], rows,
+        title=f"Ablation: pinned staging buffer size (PIPEDATA, "
+              f"n={N:.0e})"))
+    # The paper's p_s = 1e6 is within 5% of the best tested value.
+    best = min(times.values())
+    assert times[10 ** 6] <= 1.05 * best
+    # Very small buffers pay visible sync overhead.
+    assert times[10 ** 4] > times[10 ** 6]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_staging_mode(report, benchmark):
+    """Pinned staging vs plain pageable cudaMemcpy for BLINEMULTI."""
+    rows = []
+    times = {}
+    for staging in ("pinned", "pageable"):
+        s = HeterogeneousSorter(PLATFORM1, batch_size=int(5e8),
+                                staging=staging)
+        r = s.sort(n=N, approach="blinemulti")
+        times[staging] = r.elapsed
+        rows.append([staging, f"{r.elapsed:.2f}",
+                     f"{r.component('HtoD') + r.component('DtoH'):.2f}",
+                     f"{r.component('MCpy'):.2f}"])
+    report(render_table(
+        ["staging", "time [s]", "PCIe [s]", "MCpy [s]"], rows,
+        title="Ablation: blocking-path staging mode (BLINEMULTI, "
+              f"n={N:.0e})"))
+    # Serially they are close: the driver stages pageable copies anyway.
+    ratio = times["pinned"] / times["pageable"]
+    assert 0.75 <= ratio <= 1.25
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_distribution_insensitivity(report, benchmark):
+    """Sec. IV-A: hybrid-sort response time is dominated by transfers and
+    merging, so the input distribution barely matters.  Verified in
+    functional mode (real data, real radix sort) at small scale: the
+    simulated time is identical by construction, and the output is
+    correct for every distribution."""
+    rows = []
+    times = {}
+    for dist in ("uniform", "gaussian", "sorted", "reverse",
+                 "duplicates"):
+        data = generate(120_000, dist, seed=11)
+        s = HeterogeneousSorter(PLATFORM1, batch_size=30_000,
+                                pinned_elements=6_000)
+        r = s.sort(data, approach="pipemerge")
+        assert is_sorted(r.output)
+        times[dist] = r.elapsed
+        rows.append([dist, f"{r.elapsed * 1e3:.3f}"])
+    report(render_table(
+        ["distribution", "simulated time [ms]"], rows,
+        title="Ablation: input-distribution insensitivity "
+              "(PIPEMERGE, functional, n=120k)"))
+    vals = list(times.values())
+    assert max(vals) / min(vals) < 1.02
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_pairwise_quota(report, benchmark):
+    """The paper's quota heuristic vs. no pipelined merges (= PIPEDATA)
+    and vs. merging aggressively (quota = n_b / 2): aggressive merging
+    risks delaying the final multiway merge (Sec. III-D3)."""
+    n, bs = N, int(2e8)   # 10 batches
+    rows = []
+    times = {}
+    for label, kw in [
+        ("none (PipeData)", None),
+        ("paper heuristic (4)", {}),
+        ("aggressive (5)", {"pipeline_merge_threads": None}),
+    ]:
+        if label.startswith("none"):
+            s = HeterogeneousSorter(PLATFORM1, batch_size=bs, n_streams=2)
+            r = s.sort(n=n, approach="pipedata")
+        elif label.startswith("paper"):
+            s = HeterogeneousSorter(PLATFORM1, batch_size=bs, n_streams=2)
+            r = s.sort(n=n, approach="pipemerge")
+        else:
+            # Force one extra pair merge by bumping the quota: emulate by
+            # a plan with 11 batches (quota 5) at slightly smaller b_s.
+            s = HeterogeneousSorter(PLATFORM1,
+                                    batch_size=int(n / 11) + 1,
+                                    n_streams=2)
+            r = s.sort(n=n, approach="pipemerge")
+        times[label] = r.elapsed
+        rows.append([label, r.plan.n_batches,
+                     r.meta.get("pairwise_merged", 0),
+                     f"{r.elapsed:.2f}"])
+    report(render_table(
+        ["policy", "n_b", "pair merges", "time [s]"], rows,
+        title=f"Ablation: pipelined pair-merge policy (n={n:.0e})"))
+    assert times["paper heuristic (4)"] <= times["none (PipeData)"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""Extension: GPU-side merging across interconnect generations (Sec. V).
+
+The paper's closing argument: faster links (NVLink) will make the CPU
+merge the bottleneck, so merging must move to the GPU.  We implement the
+GPU merge tree (repro.hetsort.gpumerge) and sweep the interconnect
+bandwidth from PCIe v3 (16 GB/s/dir) to NVLink-class (75 GB/s/dir),
+locating the crossover where GPUMERGE overtakes PIPEMERGE.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter
+from repro.hw import PLATFORM1
+from repro.reporting import FigureSeries, crossover, render_table
+
+N = int(2e9)
+BS = int(2e8)
+LINK_BW = [16e9, 32e9, 48e9, 64e9, 80e9]
+
+
+def platform_with_link(bw: float):
+    """PLATFORM1 with a faster interconnect (and a host bus that is no
+    longer the narrower pipe -- NVLink-era hosts ship more DRAM
+    bandwidth)."""
+    pcie = dataclasses.replace(PLATFORM1.pcie, peak_bw=bw,
+                               pinned_efficiency=0.9 if bw > 16e9
+                               else PLATFORM1.pcie.pinned_efficiency)
+    hostmem = dataclasses.replace(
+        PLATFORM1.hostmem,
+        copy_bus_bw=max(PLATFORM1.hostmem.copy_bus_bw, bw),
+        per_core_copy_bw=12e9)
+    return dataclasses.replace(PLATFORM1, name=f"LINK{bw / 1e9:.0f}",
+                               pcie=pcie, hostmem=hostmem)
+
+
+def sweep():
+    cpu_merge = FigureSeries("PipeMerge (CPU merge)")
+    gpu_merge = FigureSeries("GpuMerge (GPU merge tree)")
+    for bw in LINK_BW:
+        p = platform_with_link(bw)
+        for series, ap in ((cpu_merge, "pipemerge"),
+                           (gpu_merge, "gpumerge")):
+            s = HeterogeneousSorter(p, batch_size=BS, n_streams=2,
+                                    memcpy_threads=8)
+            series.add(bw, s.sort(n=N, approach=ap).elapsed)
+    return cpu_merge, gpu_merge
+
+
+def test_ext_gpumerge_crossover(report, benchmark):
+    cpu_merge, gpu_merge = sweep()
+    rows = []
+    for i, bw in enumerate(LINK_BW):
+        rows.append([f"{bw / 1e9:.0f}", f"{cpu_merge.y[i]:.2f}",
+                     f"{gpu_merge.y[i]:.2f}",
+                     "GPU" if gpu_merge.y[i] < cpu_merge.y[i] else "CPU"])
+    x = crossover(cpu_merge, gpu_merge)
+    title = (f"Extension: CPU vs GPU merging vs link bandwidth "
+             f"(n={N:.0e}, PLATFORM1-derived)\n"
+             f"crossover at ~{x / 1e9:.0f} GB/s per direction"
+             if x else
+             "Extension: CPU vs GPU merging vs link bandwidth")
+    report(render_table(
+        ["link GB/s/dir", "PipeMerge [s]", "GpuMerge [s]", "winner"],
+        rows, title=title))
+
+    # Sec. V's prediction, quantified:
+    assert gpu_merge.y[0] > cpu_merge.y[0]      # PCIe v3: CPU merge wins
+    assert gpu_merge.y[-1] < cpu_merge.y[-1]    # NVLink-class: GPU wins
+    assert x is not None and 16e9 < x < 80e9
+
+    benchmark.pedantic(
+        lambda: HeterogeneousSorter(
+            platform_with_link(80e9), batch_size=BS, n_streams=2).sort(
+            n=N, approach="gpumerge"),
+        rounds=1, iterations=1)
+
+
+def test_ext_gpumerge_functional(report, benchmark):
+    """The GPU merge tree really sorts (functional mode)."""
+    import numpy as np
+
+    from repro.kernels.utils import is_sorted, same_multiset
+    data = np.random.default_rng(3).random(100_000)
+    s = HeterogeneousSorter(PLATFORM1, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert is_sorted(r.output)
+    assert same_multiset(data, r.output)
+    report(f"gpumerge functional: n_b={r.plan.n_batches}, "
+           f"merge-tree levels={r.meta['gpu_merge_levels']}, "
+           f"simulated {r.elapsed * 1e3:.2f} ms")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Fig. 10: response time vs. n on PLATFORM2 with 1 and 2 GPUs.
+
+b_s = 3.5e8, n in multiples of b_s (1.4e9 .. 4.9e9).  Anchors:
+
+* two GPUs outperform every single-GPU configuration;
+* fastest (PIPEMERGE+PARMEMCPY, 2 GPUs) is ~1.89x / ~2.02x over the
+  20-thread CPU reference at the smallest / largest n;
+* the spread between approaches shrinks with 2 GPUs (shared PCIe,
+  Sec. IV-F Experiment 2).
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
+from repro.hw import PLATFORM2
+from repro.reporting import FigureSeries, render_table
+from repro.workloads import dataset_gib
+
+BS = int(3.5e8)
+SIZES = [4 * BS, 8 * BS, 11 * BS, 14 * BS]   # 1.4e9 .. 4.9e9
+CONFIGS = [
+    ("BLineMulti", "blinemulti", {}),
+    ("PipeData", "pipedata", {}),
+    ("PipeMerge", "pipemerge", {}),
+    ("PM+ParMemCpy", "pipemerge", {"memcpy_threads": 8}),
+]
+
+
+def sweep():
+    series = {}
+    for ng in (1, 2):
+        for name, ap, kw in CONFIGS:
+            key = f"{name} (g={ng})"
+            series[key] = FigureSeries(key)
+            for n in SIZES:
+                s = HeterogeneousSorter(PLATFORM2, n_gpus=ng,
+                                        batch_size=BS, n_streams=2, **kw)
+                series[key].add(n, s.sort(n=n, approach=ap).elapsed)
+    series["Ref"] = FigureSeries("Ref")
+    for n in SIZES:
+        series["Ref"].add(n, cpu_reference_sort(PLATFORM2, n=n).elapsed)
+    return series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return sweep()
+
+
+def test_fig10_table(report, series, benchmark):
+    names = [f"{c[0]} (g={g})" for g in (1, 2) for c in CONFIGS] + ["Ref"]
+    rows = []
+    for n in SIZES:
+        rows.append([f"{n:.2e}", f"{dataset_gib(n):.2f}"]
+                    + [f"{series[m].at(n):.2f}" for m in names])
+    report(render_table(["n", "GiB"] + names, rows,
+                        title="Fig. 10: response time [s] vs n, "
+                              "PLATFORM2, 1 vs 2 GPUs (b_s=3.5e8)"))
+    benchmark.pedantic(
+        lambda: HeterogeneousSorter(
+            PLATFORM2, n_gpus=2, batch_size=BS, n_streams=2).sort(
+            n=SIZES[0], approach="pipedata"),
+        rounds=1, iterations=1)
+
+
+def test_fig10_two_gpus_beat_all_single(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in SIZES:
+        best_dual = min(series[f"{c[0]} (g=2)"].at(n) for c in CONFIGS)
+        worst_needed = min(series[f"{c[0]} (g=1)"].at(n) for c in CONFIGS)
+        assert best_dual < worst_needed, n
+
+
+def test_fig10_fastest_speedup_about_2x(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fastest = series["PM+ParMemCpy (g=2)"]
+    sp_small = series["Ref"].at(SIZES[0]) / fastest.at(SIZES[0])
+    sp_large = series["Ref"].at(SIZES[-1]) / fastest.at(SIZES[-1])
+    # Paper: 1.89x and 2.02x.
+    assert sp_small == pytest.approx(1.89, rel=0.20)
+    assert sp_large == pytest.approx(2.02, rel=0.12)
+
+
+def test_fig10_spread_shrinks_with_two_gpus(series, benchmark):
+    """Shared PCIe: BLINEMULTI already saturates more bandwidth with 2
+    GPUs, so pipelining buys relatively less (Sec. IV-F)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    n = SIZES[-1]
+
+    def spread(g):
+        ts = [series[f"{c[0]} (g={g})"].at(n) for c in CONFIGS]
+        return max(ts) / min(ts)
+
+    assert spread(2) < spread(1)
+
+
+def test_fig10_single_gpu_ordering_matches_platform1(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in SIZES:
+        bm = series["BLineMulti (g=1)"].at(n)
+        pd = series["PipeData (g=1)"].at(n)
+        pm = series["PipeMerge (g=1)"].at(n)
+        assert bm > pd > pm * 0.999, n

@@ -1,0 +1,99 @@
+"""Fig. 11: the lower-bound baseline models vs. PIPEDATA on PLATFORM2.
+
+The models are derived exactly as in Sec. IV-G (from simulated BLINE runs
+at near-capacity n); the paper's fitted slopes are y = 6.278e-9 * n
+(1 GPU) and y = 3.706e-9 * n (2 GPUs).  Shape anchors:
+
+* PIPEDATA beats the model at the smallest n (overlap wins);
+* the advantage erodes as n grows (the multiway merge), ending near
+  parity (the paper reports 0.93x / 0.88x slowdowns at n = 4.9e9).
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter
+from repro.hw import PLATFORM2
+from repro.model import measure_bline_throughput, paper_slopes
+from repro.reporting import render_table
+from repro.workloads import dataset_gib
+
+BS = int(3.5e8)
+SIZES = [4 * BS, 8 * BS, 11 * BS, 14 * BS]
+
+
+def sweep():
+    models = {g: measure_bline_throughput(PLATFORM2, n_gpus=g)
+              for g in (1, 2)}
+    pipedata = {}
+    for g in (1, 2):
+        s = HeterogeneousSorter(PLATFORM2, n_gpus=g, batch_size=BS,
+                                n_streams=2)
+        pipedata[g] = {n: s.sort(n=n, approach="pipedata").elapsed
+                       for n in SIZES}
+    return models, pipedata
+
+
+@pytest.fixture(scope="module")
+def data():
+    return sweep()
+
+
+def test_fig11_table(report, data, benchmark):
+    models, pipedata = data
+    rows = []
+    for n in SIZES:
+        rows.append([
+            f"{n:.2e}", f"{dataset_gib(n):.2f}",
+            f"{pipedata[1][n]:.2f}", f"{models[1].seconds(n):.2f}",
+            f"{models[1].slowdown_of(pipedata[1][n], n):.2f}",
+            f"{pipedata[2][n]:.2f}", f"{models[2].seconds(n):.2f}",
+            f"{models[2].slowdown_of(pipedata[2][n], n):.2f}",
+        ])
+    title = (
+        "Fig. 11: lower-bound models vs PIPEDATA (PLATFORM2)\n"
+        f"model slopes: 1 GPU {models[1].slope * 1e9:.3f} ns/el "
+        f"(paper {paper_slopes()[1] * 1e9:.3f}), "
+        f"2 GPU {models[2].slope * 1e9:.3f} ns/el "
+        f"(paper {paper_slopes()[2] * 1e9:.3f})")
+    report(render_table(
+        ["n", "GiB", "PipeData g1", "model g1", "model/PD g1",
+         "PipeData g2", "model g2", "model/PD g2"],
+        rows, title=title))
+    benchmark.pedantic(lambda: measure_bline_throughput(PLATFORM2, 1),
+                       rounds=1, iterations=1)
+
+
+def test_fig11_slopes_match_paper(data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    models, _ = data
+    assert models[1].slope == pytest.approx(paper_slopes()[1], rel=0.08)
+    assert models[2].slope == pytest.approx(paper_slopes()[2], rel=0.15)
+
+
+def test_fig11_pipedata_beats_model_at_smallest_n(data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    models, pipedata = data
+    n = SIZES[0]
+    for g in (1, 2):
+        assert pipedata[g][n] < models[g].seconds(n), g
+
+
+def test_fig11_advantage_erodes_with_n(data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    models, pipedata = data
+    for g in (1, 2):
+        slowdowns = [models[g].slowdown_of(pipedata[g][n], n)
+                     for n in SIZES]
+        assert slowdowns == sorted(slowdowns, reverse=True), g
+        # Ends near parity (paper: 0.93x / 0.88x).
+        assert slowdowns[-1] == pytest.approx(1.0, abs=0.15), g
+
+
+def test_fig11_two_gpu_slowdown_worse_than_one(data, benchmark):
+    """Paper: the slowdown is worse for the 2-GPU system (shared PCIe)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    models, pipedata = data
+    n = SIZES[-1]
+    s1 = models[1].slowdown_of(pipedata[1][n], n)
+    s2 = models[2].slowdown_of(pipedata[2][n], n)
+    assert s2 <= s1 + 0.05

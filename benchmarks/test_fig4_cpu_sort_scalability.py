@@ -1,0 +1,92 @@
+"""Fig. 4: CPU sorting scalability on PLATFORM1.
+
+(a) response time vs. threads (1-16) for the GNU parallel sort at four
+input sizes, with TBB, std::sort and std::qsort for comparison;
+(b) speedup vs. threads.
+
+Paper anchors: speedups range from 3.17x (n = 1e5) to 10.12x (n = 1e9)
+at 16 threads; qsort is ~2x slower than std::sort; TBB loses to GNU at
+large n; GNU at 1 thread ~= std::sort.
+"""
+
+import pytest
+
+from repro.cpu import get_library
+from repro.hw import PLATFORM1
+from repro.reporting import FigureSeries, render_table
+
+THREADS = [1, 2, 4, 8, 16]
+SIZES = [10 ** 5, 10 ** 7, 10 ** 8, 10 ** 9]
+
+
+def sweep():
+    gnu = get_library("gnu")
+    series = {}
+    for n in SIZES:
+        s = FigureSeries(f"GNU n={n:.0e}")
+        for t in THREADS:
+            s.add(t, gnu.seconds(PLATFORM1, n, t))
+        series[n] = s
+    return series
+
+
+def test_fig4a_response_time(report, benchmark):
+    series = sweep()
+    tbb = get_library("tbb")
+    std = get_library("std")
+    qsort = get_library("qsort")
+    rows = []
+    for t in THREADS:
+        rows.append([t] + [f"{series[n].at(t):.4g}" for n in SIZES]
+                    + [f"{tbb.seconds(PLATFORM1, 10 ** 9, t):.4g}"])
+    rows.append(["std::sort"] + [f"{std.seconds(PLATFORM1, n):.4g}"
+                                 for n in SIZES] + ["-"])
+    rows.append(["std::qsort"] + [f"{qsort.seconds(PLATFORM1, n):.4g}"
+                                  for n in SIZES] + ["-"])
+    report(render_table(
+        ["threads"] + [f"GNU n={n:.0e}" for n in SIZES] + ["TBB n=1e9"],
+        rows,
+        title="Fig. 4a: CPU sort response time [s] vs threads "
+              "(PLATFORM1)"))
+
+    # Shape assertions.  Large inputs improve monotonically with threads;
+    # at n = 1e5 the per-thread spawn overhead catches up near 16 threads
+    # (the flattening visible in Fig. 4a's lowest curve).
+    for n in SIZES:
+        ys = series[n].y
+        if n >= 10 ** 7:
+            assert ys == sorted(ys, reverse=True)
+        else:
+            assert min(ys) < ys[0]          # threading still pays off
+            assert ys[-1] < 2 * min(ys)     # ...and never blows up
+    # qsort ~ 2x std::sort.
+    assert qsort.seconds(PLATFORM1, 10 ** 8) / \
+        std.seconds(PLATFORM1, 10 ** 8) == pytest.approx(2.0, rel=0.01)
+    # TBB slower than GNU at n = 1e9 with all threads.
+    assert tbb.seconds(PLATFORM1, 10 ** 9, 16) > series[10 ** 9].at(16)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_fig4b_speedup(report, benchmark):
+    series = sweep()
+    rows = []
+    speedup = {}
+    for n in SIZES:
+        t1 = series[n].at(1)
+        speedup[n] = [t1 / series[n].at(t) for t in THREADS]
+    for i, t in enumerate(THREADS):
+        rows.append([t] + [f"{speedup[n][i]:.2f}" for n in SIZES]
+                    + [t])
+    report(render_table(
+        ["threads"] + [f"n={n:.0e}" for n in SIZES] + ["perfect"],
+        rows, title="Fig. 4b: GNU parallel sort speedup (PLATFORM1)"))
+
+    # Paper: 3.17x at n=1e5, 10.12x at n=1e9 with 16 threads.
+    assert speedup[10 ** 5][-1] == pytest.approx(3.17, rel=0.10)
+    assert speedup[10 ** 9][-1] == pytest.approx(10.12, rel=0.05)
+    # Larger inputs scale better.
+    at16 = [speedup[n][-1] for n in SIZES]
+    assert at16 == sorted(at16)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Fig. 7: the three components of the related work's "end-to-end" time
+for ~6 GB of data on PLATFORM1, ours vs. the values estimated from
+[Stehle & Jacobsen 2017, Fig. 8].
+
+Paper anchors: HtoD 0.536 s / DtoH 0.484 s (ours) vs 0.542 / 0.477
+(theirs); GPUSort takes less time than either transfer.
+"""
+
+import pytest
+
+from repro.hw import PLATFORM1
+from repro.model import PAPER_FIG7_SECONDS, end_to_end_accounting
+from repro.reporting import render_table
+
+N = int(8e8)  # 5.96 GiB of 64-bit keys
+
+
+def test_fig7(report, benchmark):
+    acct = benchmark.pedantic(
+        lambda: end_to_end_accounting(PLATFORM1, N),
+        rounds=1, iterations=1)
+
+    rows = [
+        ["HtoD", f"{acct.htod:.3f}",
+         f"{PAPER_FIG7_SECONDS['HtoD_ours']:.3f}",
+         f"{PAPER_FIG7_SECONDS['HtoD_related']:.3f}"],
+        ["DtoH", f"{acct.dtoh:.3f}",
+         f"{PAPER_FIG7_SECONDS['DtoH_ours']:.3f}",
+         f"{PAPER_FIG7_SECONDS['DtoH_related']:.3f}"],
+        ["GPUSort", f"{acct.gpusort:.3f}", "-", "-"],
+        ["sum (related-work end-to-end)",
+         f"{acct.related_work_total:.3f}", "-", "-"],
+    ]
+    report(render_table(
+        ["component", "simulated [s]", "paper (ours) [s]",
+         "paper (related) [s]"],
+        rows,
+        title=f"Fig. 7: end-to-end components, n = {N:.0e} "
+              f"(5.96 GiB), PLATFORM1"))
+
+    assert acct.htod == pytest.approx(0.536, rel=0.05)
+    assert acct.dtoh == pytest.approx(0.484, rel=0.15)
+    # Transfers dominate the sort (the related work's motivation).
+    assert acct.gpusort < acct.htod
+    assert acct.gpusort < acct.htod + acct.dtoh

@@ -1,0 +1,65 @@
+"""Fig. 8: the missing-overhead problem.
+
+Average response time vs. n for the components of BLINE (n_b = 1) on
+PLATFORM1: the related-work end-to-end (HtoD + DtoH + GPUSort only) vs.
+the full response time including the staging copies, pinned allocation
+and synchronisation it omits.
+
+Paper shape: the full BLINE total sits far above the three-component sum,
+and the gap ("missing overhead") grows linearly with n.  Also reproduced:
+allocating one pinned buffer of p_s = n (2.2 s at n = 8e8) would exceed
+the whole related-work end-to-end time, which is why a small reused
+staging buffer (p_s = 1e6) is the right design despite its copy cost.
+"""
+
+import pytest
+
+from repro.hw import PLATFORM1
+from repro.model import end_to_end_accounting
+from repro.reporting import FigureSeries, render_table
+from repro.workloads import dataset_gib
+
+SIZES = [int(2e8), int(4e8), int(6e8), int(8e8), int(1e9)]
+
+
+def sweep():
+    return {n: end_to_end_accounting(PLATFORM1, n) for n in SIZES}
+
+
+def test_fig8(report, benchmark):
+    accts = sweep()
+    related = FigureSeries("related-work")
+    full = FigureSeries("full BLine")
+    rows = []
+    for n in SIZES:
+        a = accts[n]
+        related.add(n, a.related_work_total)
+        full.add(n, a.full_elapsed)
+        rows.append([f"{n:.0e}", f"{dataset_gib(n):.2f}",
+                     f"{a.htod:.3f}", f"{a.dtoh:.3f}",
+                     f"{a.gpusort:.3f}", f"{a.related_work_total:.3f}",
+                     f"{a.mcpy:.3f}", f"{a.pinned_alloc:.3f}",
+                     f"{a.sync:.3f}", f"{a.full_elapsed:.3f}",
+                     f"{a.missing_overhead:.3f}"])
+    report(render_table(
+        ["n", "GiB", "HtoD", "DtoH", "GPUSort", "related e2e",
+         "MCpy", "alloc", "sync", "full e2e", "missing"],
+        rows,
+        title="Fig. 8: related-work end-to-end vs full BLINE response "
+              "time [s] (PLATFORM1)"))
+
+    # The gap is substantial and grows ~linearly with n.
+    for n in SIZES:
+        a = accts[n]
+        assert a.full_elapsed > 1.4 * a.related_work_total
+    first, last = accts[SIZES[0]], accts[SIZES[-1]]
+    growth = last.missing_overhead / first.missing_overhead
+    assert growth == pytest.approx(SIZES[-1] / SIZES[0], rel=0.25)
+
+    # The p_s = n alternative is worse than the whole related-work time.
+    full_alloc = PLATFORM1.hostmem.pinned_alloc_seconds(8 * 8e8)
+    assert full_alloc == pytest.approx(2.2, rel=0.02)
+    assert full_alloc > accts[int(8e8)].related_work_total
+
+    benchmark.pedantic(lambda: end_to_end_accounting(PLATFORM1, SIZES[0]),
+                       rounds=1, iterations=1)

@@ -1,0 +1,118 @@
+"""Fig. 9: response time vs. n for every approach on PLATFORM1.
+
+The paper's main result: b_s = 5e8, n_s = 2, n = 1e9 .. 5e9.  Anchors:
+
+* all approaches beat the 16-thread CPU reference at every n;
+* BLINEMULTI(5e9) = 31.2 s, PIPEDATA(5e9) = 25.55 s (22% faster);
+* PIPEMERGE marginally improves on PIPEDATA;
+* PARMEMCPY brings ~13%; fastest = PIPEMERGE+PARMEMCPY at
+  3.47x (n = 1e9) and 3.21x (n = 5e9) over the reference.
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
+from repro.hw import PLATFORM1
+from repro.reporting import FigureSeries, render_table
+from repro.workloads import dataset_gib
+
+SIZES = [int(1e9), int(2e9), int(3e9), int(4e9), int(5e9)]
+BS = int(5e8)
+CONFIGS = [
+    ("BLineMulti", "blinemulti", {}),
+    ("PipeData", "pipedata", {}),
+    ("PipeMerge", "pipemerge", {}),
+    ("PipeMerge+ParMemCpy", "pipemerge", {"memcpy_threads": 8}),
+]
+
+
+def sweep():
+    series = {name: FigureSeries(name) for name, _, _ in CONFIGS}
+    series["Ref"] = FigureSeries("Ref")
+    for n in SIZES:
+        for name, ap, kw in CONFIGS:
+            s = HeterogeneousSorter(PLATFORM1, batch_size=BS,
+                                    n_streams=2, **kw)
+            series[name].add(n, s.sort(n=n, approach=ap).elapsed)
+        series["Ref"].add(n, cpu_reference_sort(PLATFORM1, n=n).elapsed)
+    return series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return sweep()
+
+
+def test_fig9_table(report, series, benchmark):
+    names = [c[0] for c in CONFIGS] + ["Ref"]
+    rows = []
+    for n in SIZES:
+        rows.append([f"{n:.0e}", f"{dataset_gib(n):.2f}"]
+                    + [f"{series[m].at(n):.2f}" for m in names])
+    report(render_table(["n", "GiB"] + names, rows,
+                        title="Fig. 9: response time [s] vs n, "
+                              "PLATFORM1 (b_s=5e8, n_s=2)"))
+
+    benchmark.pedantic(
+        lambda: HeterogeneousSorter(
+            PLATFORM1, batch_size=BS, n_streams=2).sort(
+            n=SIZES[0], approach="pipedata"),
+        rounds=1, iterations=1)
+
+
+def test_fig9_all_beat_reference(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, _, _ in CONFIGS:
+        for n in SIZES:
+            assert series[name].at(n) < series["Ref"].at(n), (name, n)
+
+
+def test_fig9_blinemulti_and_pipedata_anchors(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert series["BLineMulti"].at(int(5e9)) == pytest.approx(31.2,
+                                                              rel=0.08)
+    assert series["PipeData"].at(int(5e9)) == pytest.approx(25.55,
+                                                            rel=0.08)
+    gain = 1 - series["PipeData"].at(int(5e9)) / \
+        series["BLineMulti"].at(int(5e9))
+    assert 0.15 <= gain <= 0.32  # paper: 22%
+
+
+def test_fig9_fastest_speedups(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fastest = series["PipeMerge+ParMemCpy"]
+    sp_small = series["Ref"].at(SIZES[0]) / fastest.at(SIZES[0])
+    sp_large = series["Ref"].at(SIZES[-1]) / fastest.at(SIZES[-1])
+    # Paper: 3.47x (n=1e9) and 3.21x (n=5e9).  The large-n anchor is what
+    # the calibration targets and lands within a few percent; at n = 1e9
+    # (only 2 batches, a single cheap pair merge) the simulation
+    # overshoots the paper somewhat -- see EXPERIMENTS.md.
+    assert 3.0 <= sp_small <= 4.7
+    assert sp_large == pytest.approx(3.21, rel=0.08)
+    # Efficiency declines as n (and the merge burden) grows, as in the
+    # paper's 3.47 -> 3.21 trend.
+    assert sp_small > sp_large
+
+
+def test_fig9_ordering_at_every_n(series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in SIZES:
+        bm = series["BLineMulti"].at(n)
+        pd = series["PipeData"].at(n)
+        pm = series["PipeMerge"].at(n)
+        pmc = series["PipeMerge+ParMemCpy"].at(n)
+        # At n = 1e9 (two batches) the pair-merge quota is 0, so
+        # PIPEMERGE degenerates to PIPEDATA exactly -- hence >=.
+        assert bm > pd >= pm >= pmc * 0.999, n
+
+
+def test_fig9_scaling_roughly_linear(series, benchmark):
+    """Response times grow close to linearly in n (fixed b_s, n_b ~ n)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, _, _ in CONFIGS:
+        t1 = series[name].at(SIZES[0])
+        t5 = series[name].at(SIZES[-1])
+        # Super-linear growth is expected: the multiway merge's k grows
+        # with n (O(n log n_b) work, Sec. III-A) -- visible as the upward
+        # bend of the Fig. 9 curves.
+        assert 3.5 <= t5 / t1 <= 8.5, name

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the *functional* kernels (real computation, real
+wall-clock via pytest-benchmark).
+
+These are the real-computation counterpart of the simulated studies: the
+radix sort (Thrust stand-in) vs. numpy's sort, Merge Path vs. naive
+concatenate-and-sort, the multiway merge engines, and sample sort.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (bitonic_sort, introsort, merge_two,
+                           multiway_merge, parallel_merge, sample_sort,
+                           sort_floats)
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(42).random(N)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    rng = np.random.default_rng(7)
+    return [np.sort(rng.random(N // 10)) for _ in range(10)]
+
+
+def test_bench_radix_sort(benchmark, data):
+    out = benchmark(sort_floats, data)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_numpy_sort_baseline(benchmark, data):
+    out = benchmark(np.sort, data)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_sample_sort(benchmark, data):
+    out = benchmark(sample_sort, data, 16)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_bitonic_sort(benchmark, data):
+    small = data[:16384]
+    out = benchmark(bitonic_sort, small)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_introsort(benchmark, data):
+    small = data[:50_000]
+    out = benchmark(introsort, small)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_merge_two(benchmark, data):
+    a = np.sort(data[:N // 2])
+    b = np.sort(data[N // 2:])
+    out = benchmark(merge_two, a, b)
+    assert len(out) == N
+
+
+def test_bench_parallel_merge_16_partitions(benchmark, data):
+    a = np.sort(data[:N // 2])
+    b = np.sort(data[N // 2:])
+    out = benchmark(parallel_merge, a, b, 16)
+    assert len(out) == N
+
+
+def test_bench_multiway_merge_10_runs(benchmark, runs):
+    out = benchmark(multiway_merge, runs)
+    assert np.all(out[:-1] <= out[1:])

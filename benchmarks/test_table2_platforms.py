@@ -1,0 +1,47 @@
+"""Table II: the two hardware platforms, plus the calibrated rates the
+simulation runs them at."""
+
+from repro.hw import PLATFORM1, PLATFORM2
+from repro.reporting import render_table
+
+
+def platform_rows(p):
+    return [
+        [p.name, p.cpu.model, p.cpu.cores, f"{p.cpu.clock_ghz} GHz",
+         f"{p.hostmem.capacity_bytes // 1024 ** 3} GiB",
+         f"{p.n_gpus}x {p.gpus[0].model}",
+         sum(g.cuda_cores for g in p.gpus),
+         f"{p.gpus[0].mem_bytes // 1024 ** 3} GiB"],
+    ]
+
+
+def calibration_rows(p):
+    return [[
+        p.name,
+        f"{p.gpus[0].sort_rate_f64 / 1e9:.2f}e9 el/s",
+        f"{p.pcie.flow_cap(True) / 1e9:.1f} GB/s",
+        f"{p.hostmem.per_core_copy_bw / 1e9:.1f} GB/s",
+        f"{p.hostmem.copy_bus_bw / 1e9:.1f} GB/s",
+        f"{p.merge.per_core_rate / 1e8:.2f}e8 el/s",
+        p.reference_threads,
+    ]]
+
+
+def test_table2(report, benchmark):
+    table = render_table(
+        ["Platform", "CPU", "Cores", "Clock", "Host mem", "GPU",
+         "GPU cores", "GPU mem"],
+        platform_rows(PLATFORM1) + platform_rows(PLATFORM2),
+        title="Table II: hardware platforms")
+    calib = render_table(
+        ["Platform", "GPU sort", "PCIe pinned", "memcpy/core",
+         "copy bus", "merge/core", "ref threads"],
+        calibration_rows(PLATFORM1) + calibration_rows(PLATFORM2),
+        title="Calibrated simulation rates (see repro/hw/platforms.py)")
+    report(table + "\n\n" + calib)
+
+    assert PLATFORM1.cpu.cores == 16 and PLATFORM2.cpu.cores == 20
+    assert PLATFORM1.n_gpus == 1 and PLATFORM2.n_gpus == 2
+
+    benchmark.pedantic(lambda: render_table(["a"], [[1]]),
+                       rounds=1, iterations=1)

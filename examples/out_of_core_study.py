@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Paper-scale out-of-core study: which approach wins, and why.
+
+Reruns the Fig. 9 experiment (PLATFORM1, b_s = 5e8, n_s = 2) in
+timing-only mode -- inputs up to 37 GiB that no real laptop could hold --
+and prints the response times, speedups over the CPU reference, and the
+per-component breakdown that explains each gap.
+
+    python examples/out_of_core_study.py
+"""
+
+from repro import HeterogeneousSorter, PLATFORM1, cpu_reference_sort
+from repro.reporting import render_table
+from repro.sim import CAT
+from repro.workloads import dataset_gib
+
+CONFIGS = [
+    ("BLineMulti", "blinemulti", {}),
+    ("PipeData", "pipedata", {}),
+    ("PipeMerge", "pipemerge", {}),
+    ("PipeMerge+ParMemCpy", "pipemerge", {"memcpy_threads": 8}),
+]
+
+
+def main() -> None:
+    n = int(5e9)
+    print(f"Sorting n = {n:.0e} doubles ({dataset_gib(n):.1f} GiB) "
+          f"on simulated {PLATFORM1.name}\n")
+
+    ref = cpu_reference_sort(PLATFORM1, n=n)
+    rows = [["CPU reference (16T)", f"{ref.elapsed:.2f}", "1.00",
+             "-", "-", "-", "-"]]
+    for name, approach, kw in CONFIGS:
+        sorter = HeterogeneousSorter(PLATFORM1, batch_size=int(5e8),
+                                     n_streams=2, **kw)
+        r = sorter.sort(n=n, approach=approach)
+        rows.append([
+            name, f"{r.elapsed:.2f}",
+            f"{r.speedup_over(ref):.2f}",
+            f"{r.component(CAT.MCPY):.1f}",
+            f"{r.component(CAT.HTOD) + r.component(CAT.DTOH):.1f}",
+            f"{r.component(CAT.GPUSORT):.1f}",
+            f"{r.component(CAT.MERGE) + r.component(CAT.PAIRMERGE):.1f}",
+        ])
+    print(render_table(
+        ["approach", "time [s]", "speedup", "MCpy", "PCIe", "GPUSort",
+         "merge"],
+        rows, title="Fig. 9 configuration (component columns are busy "
+                    "seconds)"))
+
+    print("""
+Reading the table:
+ * BLineMulti serialises staging, transfers and sorting, then merges.
+ * PipeData overlaps them across 2 streams (the 20+% win).
+ * PipeMerge pair-merges batches while the GPU still sorts, shrinking
+   the final multiway merge's k.
+ * ParMemCpy parallelises the staging copies -- the host-side bottleneck
+   the paper shows cannot be ignored.""")
+
+
+if __name__ == "__main__":
+    main()

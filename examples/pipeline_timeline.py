@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Visualise the pipeline: ASCII Gantt timelines of each approach.
+
+Renders the simulated span timeline the way the paper's Figs. 1-3
+illustrate the approaches: BLINEMULTI's serial staircase, PIPEDATA's
+interleaved MCpy/HtoD/DtoH lanes, and PIPEMERGE's pair merges running
+while the GPU still sorts.
+
+    python examples/pipeline_timeline.py
+"""
+
+from repro import HeterogeneousSorter, PLATFORM1
+from repro.reporting import render_gantt
+
+N = int(1.2e9)
+BS = int(2e8)       # 6 batches, like the paper's Fig. 1 example
+
+
+def show(approach: str, **kw) -> None:
+    sorter = HeterogeneousSorter(PLATFORM1, batch_size=BS, n_streams=2,
+                                 # large p_s so each chunk is visible
+                                 pinned_elements=int(5e7), **kw)
+    r = sorter.sort(n=N, approach=approach)
+    title = approach + ("+parmemcpy" if kw.get("memcpy_threads") else "")
+    print(f"=== {title}: {r.elapsed:.2f} s "
+          f"(n_b={r.plan.n_batches}) ===")
+    print(render_gantt(r.trace, width=96))
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    show("blinemulti")
+    show("pipedata")
+    show("pipemerge")
+    show("pipemerge", memcpy_threads=8)
+
+
+if __name__ == "__main__":
+    main()

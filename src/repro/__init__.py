@@ -1,0 +1,42 @@
+"""repro: a reproduction of "Sorting Large Datasets with Heterogeneous
+CPU/GPU Architectures" (Gowanlock & Karsin, IPPS 2018).
+
+The package sorts inputs larger than GPU global memory with a hybrid
+CPU/GPU pipeline -- batches sorted on (simulated) GPUs, staged through
+pinned memory over a (simulated) PCIe interconnect, and merged on the
+CPU -- and reproduces every figure of the paper's evaluation on calibrated
+hardware models.  See DESIGN.md for the architecture and EXPERIMENTS.md
+for paper-vs-measured numbers.
+
+Quick start::
+
+    import numpy as np
+    from repro import HeterogeneousSorter, PLATFORM1
+
+    sorter = HeterogeneousSorter(PLATFORM1, batch_size=250_000)
+    result = sorter.sort(np.random.default_rng(0).uniform(size=10**6),
+                         approach="pipemerge")
+    print(result.summary())
+"""
+
+from repro.errors import (CalibrationError, CudaError, CudaInvalidValue,
+                          CudaOutOfMemory, PlanError, ReproError,
+                          SimulationError, ValidationError)
+from repro.hetsort import (Approach, HeterogeneousSorter, SortConfig,
+                           SortPlan, SortResult, Staging,
+                           cpu_reference_sort, make_plan)
+from repro.hw import (PLATFORM1, PLATFORM2, PLATFORMS, Machine,
+                      PlatformSpec, get_platform)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HeterogeneousSorter", "cpu_reference_sort",
+    "Approach", "SortConfig", "Staging", "SortPlan", "SortResult",
+    "make_plan",
+    "PLATFORM1", "PLATFORM2", "PLATFORMS", "get_platform", "PlatformSpec",
+    "Machine",
+    "ReproError", "SimulationError", "CudaError", "CudaOutOfMemory",
+    "CudaInvalidValue", "PlanError", "ValidationError", "CalibrationError",
+    "__version__",
+]

@@ -1,0 +1,132 @@
+"""Command-line interface: run heterogeneous sorts from the shell.
+
+Examples
+--------
+Paper-scale timing run (Fig. 9's fastest configuration)::
+
+    python -m repro --n 5e9 --approach pipemerge --batch-size 5e8 \
+        --memcpy-threads 8
+
+Functional run with validation and a timeline::
+
+    python -m repro --functional 200000 --batch-size 50000 --gantt
+
+Compare every approach at one size::
+
+    python -m repro --n 2e9 --batch-size 2e8 --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
+from repro.hetsort.config import Approach
+from repro.hw.platforms import get_platform
+from repro.reporting import render_gantt, render_table
+from repro.workloads import generate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort",
+        description="Hybrid CPU/GPU sorting on a simulated platform "
+                    "(IPPS 2018 reproduction).")
+    p.add_argument("--platform", default="PLATFORM1",
+                   help="PLATFORM1 (GP100) or PLATFORM2 (2x K40m)")
+    p.add_argument("--gpus", type=int, default=1, help="GPUs to use")
+    p.add_argument("--approach", default="pipemerge",
+                   choices=Approach.ALL)
+    p.add_argument("--n", type=float, default=None,
+                   help="timing-only input size (e.g. 5e9)")
+    p.add_argument("--functional", type=int, default=None, metavar="N",
+                   help="really sort N random doubles and validate")
+    p.add_argument("--distribution", default="uniform",
+                   help="input distribution for --functional")
+    p.add_argument("--batch-size", type=float, default=None,
+                   help="b_s elements per batch (default: maximal)")
+    p.add_argument("--streams", type=int, default=2,
+                   help="n_s streams per GPU")
+    p.add_argument("--pinned", type=float, default=1e6,
+                   help="p_s pinned staging elements")
+    p.add_argument("--memcpy-threads", type=int, default=1,
+                   help="> 1 enables PARMEMCPY")
+    p.add_argument("--compare", action="store_true",
+                   help="run every approach plus the CPU reference")
+    p.add_argument("--gantt", action="store_true",
+                   help="print an ASCII timeline of the run")
+    p.add_argument("--trace-json", metavar="PATH", default=None,
+                   help="write a chrome://tracing JSON of the run")
+    p.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _make_sorter(args) -> HeterogeneousSorter:
+    platform = get_platform(args.platform)
+    return HeterogeneousSorter(
+        platform, n_gpus=args.gpus,
+        approach=args.approach,
+        n_streams=args.streams,
+        batch_size=int(args.batch_size) if args.batch_size else None,
+        pinned_elements=int(args.pinned),
+        memcpy_threads=args.memcpy_threads)
+
+
+def _run_one(args, out) -> int:
+    sorter = _make_sorter(args)
+    if args.functional is not None:
+        data = generate(args.functional, args.distribution,
+                        seed=args.seed)
+        res = sorter.sort(data, approach=args.approach)
+        out.write("output validated: sorted permutation of the input\n")
+    else:
+        res = sorter.sort(n=int(args.n), approach=args.approach)
+    out.write(res.summary() + "\n")
+    if args.gantt:
+        out.write(render_gantt(res.trace) + "\n")
+    if args.trace_json:
+        from repro.reporting import write_chrome_trace
+        count = write_chrome_trace(res.trace, args.trace_json)
+        out.write(f"wrote {count} trace events to {args.trace_json}\n")
+    return 0
+
+
+def _run_compare(args, out) -> int:
+    platform = get_platform(args.platform)
+    n = int(args.n)
+    ref = cpu_reference_sort(platform, n=n)
+    rows = [["cpu reference", f"{ref.elapsed:.3f}", "1.00"]]
+    for approach in ("blinemulti", "pipedata", "pipemerge"):
+        for threads in ((1, args.memcpy_threads)
+                        if args.memcpy_threads > 1 else (1,)):
+            sorter = _make_sorter(args).config.with_(
+                approach=approach, memcpy_threads=threads)
+            res = HeterogeneousSorter(
+                platform, n_gpus=args.gpus, config=sorter).sort(
+                n=n, approach=approach)
+            tag = approach + ("+parmemcpy" if threads > 1 else "")
+            rows.append([tag, f"{res.elapsed:.3f}",
+                         f"{ref.elapsed / res.elapsed:.2f}"])
+    out.write(render_table(["approach", "time [s]", "speedup"], rows,
+                           title=f"{platform.name}, n={n:.2e}") + "\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        build_parser().error("pass exactly one of --n or --functional")
+    if args.compare:
+        if args.n is None:
+            build_parser().error("--compare needs --n")
+        return _run_compare(args, out)
+    return _run_one(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Staged host-copy facades (``std::memcpy`` vs. PARMEMCPY).
+
+Functional chunked copies plus the cost model for single- and
+multi-threaded staging copies between pageable and pinned buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.spec import PlatformSpec
+
+__all__ = ["staged_copy", "memcpy_seconds"]
+
+
+def staged_copy(dst: np.ndarray, src: np.ndarray,
+                chunk_elements: int) -> int:
+    """Copy ``src`` into ``dst`` through fixed-size chunks (the staging
+    access pattern); returns the number of chunks used."""
+    if dst.shape != src.shape:
+        raise ValueError("shape mismatch")
+    n = len(src)
+    chunks = 0
+    for off in range(0, n, chunk_elements):
+        end = min(off + chunk_elements, n)
+        np.copyto(dst[off:end], src[off:end])
+        chunks += 1
+    return chunks
+
+
+def memcpy_seconds(platform: PlatformSpec, nbytes: float,
+                   threads: int = 1) -> float:
+    """Modelled host-to-host copy time, uncontended.
+
+    Rate = ``min(threads * per-core bandwidth, copy-bus bandwidth)`` --
+    the reason a single core cannot saturate the bus (Sec. IV-F) and
+    PARMEMCPY helps.
+    """
+    hm = platform.hostmem
+    rate = min(threads * hm.per_core_copy_bw, hm.copy_bus_bw)
+    return nbytes / rate

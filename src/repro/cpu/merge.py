@@ -1,0 +1,41 @@
+"""Host merging facades (the Fig. 6 primitives).
+
+Pairs the functional Merge-Path / multiway implementations with the
+platform merge cost model.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.hw.spec import PlatformSpec
+from repro.kernels.mergepath import parallel_merge
+from repro.kernels.multiway import multiway_merge
+
+__all__ = ["pairwise_merge", "pairwise_merge_seconds",
+           "multiway_merge_arrays", "multiway_merge_seconds"]
+
+
+def pairwise_merge(a: np.ndarray, b: np.ndarray,
+                   threads: int = 1) -> np.ndarray:
+    """Really merge two sorted arrays (Merge-Path partitioned)."""
+    return parallel_merge(a, b, threads=threads)
+
+
+def pairwise_merge_seconds(platform: PlatformSpec, n_total: int,
+                           threads: int = 1) -> float:
+    """Modelled pair-wise merge time for ``n_total`` output elements."""
+    return platform.merge.seconds(n_total, threads=threads, k=2)
+
+
+def multiway_merge_arrays(runs: _t.Sequence[np.ndarray]) -> np.ndarray:
+    """Really merge k sorted runs."""
+    return multiway_merge(runs)
+
+
+def multiway_merge_seconds(platform: PlatformSpec, n_total: int, k: int,
+                           threads: int = 1) -> float:
+    """Modelled k-way multiway merge time."""
+    return platform.merge.seconds(n_total, threads=threads, k=k)

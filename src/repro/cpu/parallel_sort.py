@@ -1,0 +1,85 @@
+"""Host sorting-library facades (the Fig. 4 contenders).
+
+Couples each library's *functional* implementation (a real algorithm from
+:mod:`repro.kernels`) with its *cost model* (from the platform spec), so
+the same object answers both "sort this array" and "how long would this
+take with t threads on PLATFORM1".
+
+Libraries (Sec. IV-C):
+
+* ``gnu``   -- GNU libstdc++ parallel mode (the reference implementation);
+* ``tbb``   -- Intel TBB ``parallel_sort``;
+* ``std``   -- sequential ``std::sort`` (introsort);
+* ``qsort`` -- C ``qsort`` with comparator callbacks.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.spec import PlatformSpec, SortCostModel
+from repro.kernels.quicksort import introsort
+from repro.kernels.samplesort import sample_sort
+
+__all__ = ["SortLibrary", "get_library", "LIBRARIES"]
+
+
+def _gnu_impl(a: np.ndarray, threads: int) -> np.ndarray:
+    return sample_sort(a, threads=threads)
+
+
+def _tbb_impl(a: np.ndarray, threads: int) -> np.ndarray:
+    # TBB's parallel_sort is a task-stealing quicksort; sample sort with a
+    # different seed stands in for its (different) partitioning choices.
+    return sample_sort(a, threads=threads, seed=0x7BB)
+
+
+def _std_impl(a: np.ndarray, threads: int) -> np.ndarray:
+    return introsort(a)
+
+
+def _qsort_impl(a: np.ndarray, threads: int) -> np.ndarray:
+    return introsort(a)
+
+
+@dataclass(frozen=True)
+class SortLibrary:
+    """One CPU sorting library: functional implementation + cost model."""
+
+    name: str
+    impl: _t.Callable[[np.ndarray, int], np.ndarray]
+    parallel: bool
+
+    def sort(self, a: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Really sort ``a`` (sorted copy)."""
+        return self.impl(np.asarray(a, dtype=np.float64),
+                         threads if self.parallel else 1)
+
+    def model(self, platform: PlatformSpec) -> SortCostModel:
+        """This library's calibrated cost model on ``platform``."""
+        return platform.sort_model(self.name)
+
+    def seconds(self, platform: PlatformSpec, n: int,
+                threads: int = 1) -> float:
+        """Modelled response time."""
+        return self.model(platform).seconds(n, threads)
+
+
+LIBRARIES: dict[str, SortLibrary] = {
+    "gnu": SortLibrary("gnu", _gnu_impl, parallel=True),
+    "tbb": SortLibrary("tbb", _tbb_impl, parallel=True),
+    "std": SortLibrary("std", _std_impl, parallel=False),
+    "qsort": SortLibrary("qsort", _qsort_impl, parallel=False),
+}
+
+
+def get_library(name: str) -> SortLibrary:
+    """Look a sort library up by name."""
+    try:
+        return LIBRARIES[name]
+    except KeyError:
+        raise KeyError(f"unknown sort library {name!r}; "
+                       f"available: {sorted(LIBRARIES)}") from None

@@ -1,0 +1,18 @@
+"""A simulated CUDA runtime API over the :mod:`repro.hw` hardware models.
+
+Provides the vocabulary the paper's host code is written in -- device and
+pinned buffers, blocking and asynchronous memcpy, streams, and Thrust-style
+device sorts -- with the same ordering and validity semantics as real CUDA.
+"""
+
+from repro.cuda.buffers import (ELEM, Buffer, DeviceBuffer, PageableBuffer,
+                                PinnedBuffer, copy_payload)
+from repro.cuda.enums import MemcpyKind
+from repro.cuda.runtime import Runtime
+from repro.cuda.stream import Stream
+
+__all__ = [
+    "Runtime", "Stream", "MemcpyKind",
+    "Buffer", "PageableBuffer", "PinnedBuffer", "DeviceBuffer",
+    "copy_payload", "ELEM",
+]

@@ -1,0 +1,131 @@
+"""Memory buffers of the simulated CUDA runtime.
+
+Three kinds, mirroring the paper's memory taxonomy (Table I):
+
+* :class:`PageableBuffer` -- ordinary host memory (the unsorted input ``A``,
+  the working memory ``W``, the output ``B``);
+* :class:`PinnedBuffer` -- page-locked staging memory allocated with
+  ``cudaMallocHost`` (the ``Stage`` area);
+* :class:`DeviceBuffer` -- GPU global memory.
+
+Every buffer may carry a real ``numpy`` float64 array (the *functional
+layer*); copies between buffers then move real data, so a simulated
+pipeline produces a genuinely sorted output that the validators check.
+Timing-only runs leave ``data = None`` and only the byte sizes matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CudaInvalidValue
+
+__all__ = ["Buffer", "PageableBuffer", "PinnedBuffer", "DeviceBuffer",
+           "copy_payload", "ELEM"]
+
+#: Element size in bytes; the paper sorts 64-bit floats throughout.
+ELEM = 8
+
+
+class Buffer:
+    """Base class: a sized region optionally backed by a numpy array."""
+
+    kind = "buffer"
+
+    def __init__(self, nbytes: int, data: np.ndarray | None = None,
+                 name: str = "") -> None:
+        if nbytes < 0:
+            raise CudaInvalidValue(f"negative buffer size {nbytes}")
+        if data is not None:
+            if data.dtype != np.float64:
+                raise CudaInvalidValue(
+                    f"functional buffers are float64, got {data.dtype}")
+            if data.nbytes != nbytes:
+                raise CudaInvalidValue(
+                    f"array is {data.nbytes} B but buffer is {nbytes} B")
+        self.nbytes = int(nbytes)
+        self.data = data
+        self.name = name
+        self.freed = False
+
+    @property
+    def elements(self) -> int:
+        """Capacity in 64-bit elements."""
+        return self.nbytes // ELEM
+
+    def check_range(self, offset: int, nbytes: int) -> None:
+        """Validate a byte range within this buffer."""
+        if self.freed:
+            raise CudaInvalidValue(f"use of freed buffer {self.name!r}")
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise CudaInvalidValue(
+                f"range [{offset}, {offset + nbytes}) outside buffer "
+                f"{self.name!r} of {self.nbytes} B")
+        if offset % ELEM or nbytes % ELEM:
+            raise CudaInvalidValue(
+                "offsets/sizes must be element (8-byte) aligned")
+
+    def view(self, offset: int, nbytes: int) -> np.ndarray | None:
+        """Functional-layer view of a byte range (``None`` in timing-only
+        mode)."""
+        self.check_range(offset, nbytes)
+        if self.data is None:
+            return None
+        return self.data[offset // ELEM:(offset + nbytes) // ELEM]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backing = "backed" if self.data is not None else "timing-only"
+        return (f"<{type(self).__name__} {self.name!r} {self.nbytes} B "
+                f"{backing}>")
+
+
+class PageableBuffer(Buffer):
+    """Ordinary (pageable) host memory."""
+
+    kind = "pageable"
+
+    @classmethod
+    def for_elements(cls, n: int, data: np.ndarray | None = None,
+                     name: str = "") -> "PageableBuffer":
+        """A buffer holding ``n`` 64-bit elements."""
+        return cls(n * ELEM, data=data, name=name)
+
+
+class PinnedBuffer(Buffer):
+    """Page-locked host memory (must be allocated through the runtime so
+    the allocation cost is charged)."""
+
+    kind = "pinned"
+
+
+class DeviceBuffer(Buffer):
+    """GPU global memory, bound to one device."""
+
+    kind = "device"
+
+    def __init__(self, gpu_index: int, nbytes: int,
+                 data: np.ndarray | None = None, name: str = "") -> None:
+        super().__init__(nbytes, data=data, name=name)
+        self.gpu_index = gpu_index
+
+
+def copy_payload(dst: Buffer, dst_off: int, src: Buffer, src_off: int,
+                 nbytes: int) -> None:
+    """Functional-layer data movement between two backed buffers.
+
+    A no-op when either side is timing-only; raises if exactly one side is
+    backed (a backed pipeline must stay backed end to end, otherwise data
+    would be silently invented or dropped).
+    """
+    dst.check_range(dst_off, nbytes)
+    src.check_range(src_off, nbytes)
+    if dst.data is None and src.data is None:
+        return
+    if dst.data is None or src.data is None:
+        raise CudaInvalidValue(
+            f"copy between backed ({src.name!r}) and timing-only "
+            f"({dst.name!r}) buffers")
+    d = dst.view(dst_off, nbytes)
+    s = src.view(src_off, nbytes)
+    assert d is not None and s is not None
+    np.copyto(d, s)

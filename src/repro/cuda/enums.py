@@ -1,0 +1,15 @@
+"""Enumerations mirroring the CUDA runtime API surface we simulate."""
+
+from __future__ import annotations
+
+__all__ = ["MemcpyKind"]
+
+
+class MemcpyKind:
+    """Direction of a ``cudaMemcpy`` (mirrors ``cudaMemcpyKind``)."""
+
+    HOST_TO_DEVICE = "HostToDevice"
+    DEVICE_TO_HOST = "DeviceToHost"
+    HOST_TO_HOST = "HostToHost"
+
+    ALL = (HOST_TO_DEVICE, DEVICE_TO_HOST, HOST_TO_HOST)

@@ -1,0 +1,73 @@
+"""CUDA streams: in-order work queues per device.
+
+A :class:`Stream` preserves the two semantics the paper's pipelining
+optimisations rely on (Sec. III-D2):
+
+* operations submitted to *one* stream execute in submission order;
+* operations in *different* streams may overlap (subject to the device's
+  copy/kernel engines and PCIe bandwidth, which the hardware layer models).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim import CAT
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An in-order queue of asynchronous operations on one GPU."""
+
+    def __init__(self, env: Environment, gpu_index: int, index: int,
+                 trace=None, sync_cost_s: float = 0.0) -> None:
+        self.env = env
+        self.gpu_index = gpu_index
+        self.index = index
+        self.name = f"stream{index}@gpu{gpu_index}"
+        self._tail: Event | None = None
+        self._trace = trace
+        self._sync_cost_s = sync_cost_s
+        self.ops_submitted = 0
+
+    def submit(self, factory: _t.Callable[[], _t.Generator],
+               label: str = "op") -> Event:
+        """Enqueue an operation; returns its completion event.
+
+        ``factory`` produces the operation's process generator; it starts
+        only after every previously submitted operation has completed.
+        """
+        done = Event(self.env)
+        prev = self._tail
+
+        def runner():
+            if prev is not None and not prev.processed:
+                yield prev
+            yield from factory()
+            done.succeed()
+
+        self.env.process(runner(), name=f"{self.name}:{label}")
+        self._tail = done
+        self.ops_submitted += 1
+        return done
+
+    def synchronize(self):
+        """Process: block the calling host thread until the stream drains
+        (``cudaStreamSynchronize``), charging the per-call overhead that the
+        related work's end-to-end accounting omits (Sec. IV-E)."""
+        if self._tail is not None and not self._tail.processed:
+            yield self._tail
+        if self._sync_cost_s > 0:
+            start = self.env.now
+            yield self.env.timeout(self._sync_cost_s)
+            if self._trace is not None:
+                self._trace.record(CAT.SYNC, f"sync:{self.name}",
+                                   start, self.env.now, lane=self.name)
+
+    @property
+    def idle(self) -> bool:
+        """True when no submitted operation is still pending."""
+        return self._tail is None or self._tail.processed

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with one handler while still being
+able to discriminate subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal use of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still waiting."""
+
+
+class CudaError(ReproError):
+    """Base class for errors raised by the simulated CUDA runtime."""
+
+
+class CudaOutOfMemory(CudaError):
+    """Device (or pinned host) allocation exceeded the available capacity."""
+
+
+class CudaInvalidValue(CudaError):
+    """An argument to a simulated CUDA call was invalid (bad sizes, freed
+    buffers, mismatched devices, ...)."""
+
+
+class PlanError(ReproError):
+    """The requested heterogeneous-sort configuration is infeasible (batch
+    does not fit on the GPU, input not covered by batches, ...)."""
+
+
+class ValidationError(ReproError):
+    """A functional-layer output failed verification (not sorted, or not a
+    permutation of the input)."""
+
+
+class CalibrationError(ReproError):
+    """A cost-model constant is out of its documented validity range."""

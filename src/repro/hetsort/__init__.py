@@ -1,0 +1,20 @@
+"""The paper's core contribution: heterogeneous CPU/GPU sorting of data
+exceeding GPU global memory, with the BLINE / BLINEMULTI / PIPEDATA /
+PIPEMERGE approaches and the PARMEMCPY optimisation (Sec. III)."""
+
+from repro.hetsort.config import Approach, SortConfig, Staging
+from repro.hetsort.plan import (Batch, SortPlan, make_plan, max_batch_size,
+                                pairwise_quota)
+from repro.hetsort.result import SortResult
+from repro.hetsort.sorter import (APPROACH_RUNNERS, HeterogeneousSorter,
+                                  cpu_reference_sort)
+from repro.hetsort.tuning import TuningResult, autotune
+from repro.hetsort.validate import check_sorted_permutation
+
+__all__ = [
+    "HeterogeneousSorter", "cpu_reference_sort", "APPROACH_RUNNERS",
+    "Approach", "SortConfig", "Staging",
+    "SortPlan", "Batch", "make_plan", "max_batch_size", "pairwise_quota",
+    "SortResult", "check_sorted_permutation",
+    "autotune", "TuningResult",
+]

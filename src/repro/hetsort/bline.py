@@ -1,0 +1,67 @@
+"""BLINE: the baseline for inputs that fit on the GPU(s) (Sec. III-D).
+
+One batch per GPU, blocking transfers, default-stream semantics.  With a
+single GPU no merging is needed and the sorted data lands directly in B;
+with ``n_GPU >= 2`` (the Fig. 11 two-GPU lower-bound configuration) each
+GPU sorts ``n / n_GPU`` and one multiway merge combines the halves.
+
+Two data paths, selected by ``config.staging``:
+
+* ``pinned``  -- chunked through a pinned staging buffer (the Sec. IV-E
+  reproduction of the related work's naive approach, and the
+  configuration the lower-bound model of Sec. IV-G is derived from);
+* ``pageable`` -- plain blocking ``cudaMemcpy`` (Sec. III-D's literal
+  description).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda import ELEM
+from repro.hetsort.config import Staging
+from repro.hetsort.context import RunContext
+from repro.hetsort.workers import (alloc_worker_buffers, final_multiway,
+                                   free_worker_buffers,
+                                   pageable_blocking_batch,
+                                   staged_blocking_batch)
+
+__all__ = ["run_bline"]
+
+
+def _gpu_worker(ctx: RunContext, gpu: int):
+    """Process: sort this GPU's single batch with blocking calls."""
+    batches = [b for b in ctx.plan.batches if b.gpu == gpu]
+    assert len(batches) == 1, "BLINE plans one batch per GPU"
+    batch = batches[0]
+    out = ctx.B if ctx.plan.n_gpus == 1 else ctx.W
+    stream = ctx.rt.create_stream(gpu)
+    lane = f"host.gpu{gpu}"
+    if ctx.config.staging == Staging.PINNED:
+        pin_in, pin_out, dev = yield from alloc_worker_buffers(
+            ctx, gpu, tag=f"g{gpu}")
+        yield from staged_blocking_batch(ctx, batch, pin_in, pin_out, dev,
+                                         stream, out, lane)
+        free_worker_buffers(ctx, pin_in, pin_out, dev)
+    else:
+        data = (np.empty(2 * batch.size, dtype=np.float64)
+                if ctx.functional else None)
+        dev = ctx.rt.malloc(2 * batch.size * ELEM, gpu_index=gpu,
+                            name=f"dev.g{gpu}", data=data)
+        yield from pageable_blocking_batch(ctx, batch, dev, stream, out,
+                                           lane)
+        ctx.rt.free(dev)
+    if ctx.plan.n_gpus > 1:
+        ctx.finish_run(batch)
+
+
+def run_bline(ctx: RunContext):
+    """Process: the BLINE approach."""
+    workers = [ctx.env.process(_gpu_worker(ctx, g), name=f"bline.gpu{g}")
+               for g in range(ctx.plan.n_gpus)]
+    yield ctx.env.all_of(workers)
+    if ctx.plan.n_gpus > 1:
+        yield from final_multiway(ctx)
+    elif ctx.functional:
+        # Single GPU: B was filled directly by the staging path.
+        pass

@@ -1,0 +1,59 @@
+"""BLINEMULTI: the blocking baseline for inputs exceeding GPU memory
+(Sec. III-D1).
+
+Workflow: ``A -> [Stage ->] HtoD -> GPUSort -> DtoH -> [Stage ->] W ->
+Merge -> B``.  Transfers block the host and no CPU/GPU or copy overlap
+happens; merging starts only after *all* batches are sorted -- the load
+imbalance of Fig. 1 that the pipelined approaches attack.
+
+With multiple GPUs, one blocking host thread drives each GPU (its batches
+still processed strictly serially within the thread).
+"""
+
+from __future__ import annotations
+
+from repro.hetsort.config import Staging
+from repro.hetsort.context import RunContext
+from repro.hetsort.workers import (alloc_worker_buffers, final_multiway,
+                                   free_worker_buffers,
+                                   pageable_blocking_batch,
+                                   staged_blocking_batch)
+
+__all__ = ["run_blinemulti"]
+
+
+def _gpu_worker(ctx: RunContext, gpu: int):
+    """Process: serially sort every batch assigned to this GPU."""
+    batches = [b for b in ctx.plan.batches if b.gpu == gpu]
+    stream = ctx.rt.create_stream(gpu)
+    lane = f"host.gpu{gpu}"
+    if ctx.config.staging == Staging.PINNED:
+        pin_in, pin_out, dev = yield from alloc_worker_buffers(
+            ctx, gpu, tag=f"g{gpu}")
+        for batch in batches:
+            yield from staged_blocking_batch(
+                ctx, batch, pin_in, pin_out, dev, stream, ctx.W, lane)
+            ctx.finish_run(batch)
+        free_worker_buffers(ctx, pin_in, pin_out, dev)
+    else:
+        import numpy as np
+
+        from repro.cuda import ELEM
+        data = (np.empty(2 * ctx.plan.batch_size, dtype=np.float64)
+                if ctx.functional else None)
+        dev = ctx.rt.malloc(2 * ctx.plan.batch_size * ELEM, gpu_index=gpu,
+                            name=f"dev.g{gpu}", data=data)
+        for batch in batches:
+            yield from pageable_blocking_batch(ctx, batch, dev, stream,
+                                               ctx.W, lane)
+            ctx.finish_run(batch)
+        ctx.rt.free(dev)
+
+
+def run_blinemulti(ctx: RunContext):
+    """Process: the BLINEMULTI approach."""
+    gpus_with_work = sorted({b.gpu for b in ctx.plan.batches})
+    workers = [ctx.env.process(_gpu_worker(ctx, g), name=f"blinemulti.gpu{g}")
+               for g in gpus_with_work]
+    yield ctx.env.all_of(workers)
+    yield from final_multiway(ctx)

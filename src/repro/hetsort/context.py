@@ -1,0 +1,116 @@
+"""Shared run context for the sorting approaches.
+
+A :class:`RunContext` carries the simulated machine, the CUDA runtime, the
+plan and the three host buffers of Sec. III-C:
+
+* ``A`` -- the unsorted input,
+* ``W`` -- working memory that receives the sorted batches,
+* ``B`` -- the final output.
+
+In functional mode they are backed by real numpy arrays and the identical
+approach code moves real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda import ELEM, PageableBuffer, Runtime
+from repro.hetsort.config import SortConfig
+from repro.hetsort.plan import Batch, SortPlan
+from repro.hw.machine import Machine
+from repro.sim import Store, Trace
+from repro.sim.engine import Environment
+
+__all__ = ["RunContext", "SortedRun"]
+
+
+@dataclass
+class SortedRun:
+    """A sorted unit awaiting the final multiway merge: either a batch in
+    ``W`` or the output of a pipelined pair-wise merge."""
+
+    size: int                      #: elements
+    w_offset: int | None = None    #: element offset in W (batch units)
+    array: np.ndarray | None = None  #: merged-pair storage (functional)
+    from_pair: bool = False        #: True for pair-merge outputs
+
+    def data(self, ctx: "RunContext") -> np.ndarray | None:
+        """Functional view of this run's elements."""
+        if self.array is not None:
+            return self.array
+        if ctx.W.data is None or self.w_offset is None:
+            return None
+        return ctx.W.view(self.w_offset * ELEM, self.size * ELEM)
+
+
+class RunContext:
+    """Everything an approach needs while it executes."""
+
+    def __init__(self, env: Environment, machine: Machine, rt: Runtime,
+                 plan: SortPlan, config: SortConfig,
+                 data: np.ndarray | None = None) -> None:
+        self.env = env
+        self.machine = machine
+        self.rt = rt
+        self.plan = plan
+        self.config = config
+        self.trace: Trace = machine.trace
+        self.functional = data is not None
+
+        n = plan.n
+        # Reserve the ~3n pageable working set (A + W + B, Sec. III-C) so
+        # pinned staging allocations are checked against what remains.
+        machine.reserve_host(plan.host_bytes)
+        if data is not None:
+            if len(data) != n:
+                raise ValueError(f"data has {len(data)} elements, plan {n}")
+            self.A = PageableBuffer.for_elements(
+                n, data=np.ascontiguousarray(data, dtype=np.float64),
+                name="A")
+            self.W = PageableBuffer.for_elements(
+                n, data=np.empty(n, dtype=np.float64), name="W")
+            self.B = PageableBuffer.for_elements(
+                n, data=np.empty(n, dtype=np.float64), name="B")
+        else:
+            self.A = PageableBuffer.for_elements(n, name="A")
+            self.W = PageableBuffer.for_elements(n, name="W")
+            self.B = PageableBuffer.for_elements(n, name="B")
+
+        #: Completed batches, fed to the PIPEMERGE scheduler / final merge.
+        self.sorted_runs: Store = Store(env, name="sorted_runs")
+        self.meta: dict = {}
+
+    # -- derived knobs -------------------------------------------------------
+
+    @property
+    def total_streams(self) -> int:
+        return self.plan.n_streams * self.plan.n_gpus
+
+    @property
+    def merge_threads(self) -> int:
+        """Threads of the final multiway merge."""
+        cfg = self.config.merge_threads
+        return cfg if cfg is not None \
+            else self.machine.platform.reference_threads
+
+    @property
+    def pipeline_merge_threads(self) -> int:
+        """Threads of each pipelined pair-wise merge: by default all cores
+        except one per stream worker (the staging threads).  PARMEMCPY's
+        extra copy threads are short-lived bursts, so they time-share with
+        the merge rather than reducing its thread count."""
+        cfg = self.config.pipeline_merge_threads
+        if cfg is not None:
+            return max(1, cfg)
+        return max(1, self.machine.platform.cpu.cores - self.total_streams)
+
+    # -- functional-layer helpers ---------------------------------------------
+
+    def finish_run(self, batch: Batch) -> SortedRun:
+        """Record a batch as sorted-and-landed-in-W."""
+        run = SortedRun(size=batch.size, w_offset=batch.offset)
+        self.sorted_runs.put(run)
+        return run

@@ -1,0 +1,121 @@
+"""GPUMERGE: an experimental extension implementing the paper's Sec. V
+outlook.
+
+    "Sorting in the NVLink era using multi-GPU systems needs to address
+    the problem of merging using the GPUs, such that the CPU does not
+    need to carry out all merging tasks."
+
+This approach runs the PIPEDATA batch-sorting phase unchanged, then
+performs the merge *on the GPU*: a binary merge tree where each level
+streams two sorted runs back to the device in pinned-staged chunks,
+merges them with a device Merge-Path kernel, and streams the result out.
+Every tree level therefore moves the full dataset across the
+interconnect twice -- which is exactly why this loses on PCIe v3 and is
+interesting on NVLink.  The ``benchmarks/test_ext_gpumerge_nvlink.py``
+bench sweeps the interconnect bandwidth and locates the crossover.
+
+Modelling notes: chunk-level buffer bookkeeping is abstracted (transfers
+are issued per chunk against the device's copy engines and the shared
+links, but device buffers are modelled as a fixed-size working set);
+functionally each pair merge really merges the two runs.  The device
+merge kernel is device-memory-bound: GP100-class HBM makes it far faster
+than the interconnect, so GPU merging is transfer-bound by construction.
+"""
+
+from __future__ import annotations
+
+from repro.cuda import ELEM
+from repro.hetsort.context import RunContext, SortedRun
+from repro.hetsort.pipedata import spawn_stream_workers
+from repro.hw.gpu import Direction
+from repro.kernels.mergepath import merge_two
+from repro.sim import CAT
+
+__all__ = ["run_gpumerge", "GPU_MERGE_RATE_F64"]
+
+#: Device Merge-Path throughput for 64-bit keys (elements/second).
+#: Memory-bound: ~24 B of HBM traffic per output element against
+#: 500+ GB/s of device bandwidth.
+GPU_MERGE_RATE_F64 = 2.0e10
+
+
+def _gpu_pair_merge(ctx: RunContext, gpu_index: int, first: SortedRun,
+                    second: SortedRun, out: SortedRun):
+    """Process: merge two sorted runs on a GPU, chunk-streamed both ways."""
+    machine = ctx.machine
+    gpu = machine.gpus[gpu_index]
+    total = first.size + second.size
+    ps = ctx.plan.pinned_elements
+    lane = f"gpumerge@gpu{gpu_index}"
+
+    # Stream both inputs in, interleaved chunk by chunk (the kernel
+    # consumes windows of each run); kernel time accrues per window; the
+    # merged output streams straight back out.
+    done = 0
+    while done < total:
+        step = min(ps, total - done)
+        nbytes = step * ELEM
+        yield from machine.host_memcpy(
+            nbytes, threads=ctx.config.memcpy_threads,
+            label="W->Stage(gpumerge)", lane=lane)
+        yield from machine.pcie_transfer(
+            gpu, nbytes, Direction.HTOD, pinned=True,
+            label="gpumerge.in", lane=lane)
+        start = machine.env.now
+        yield machine.env.timeout(step / GPU_MERGE_RATE_F64)
+        machine.trace.record(CAT.GPUSORT, "mergepath<<<...>>>", start,
+                             machine.env.now, lane=f"gpu{gpu_index}",
+                             elements=step)
+        yield from machine.pcie_transfer(
+            gpu, nbytes, Direction.DTOH, pinned=True,
+            label="gpumerge.out", lane=lane)
+        yield from machine.host_memcpy(
+            nbytes, threads=ctx.config.memcpy_threads,
+            label="Stage->W(gpumerge)", lane=lane)
+        done += step
+
+    if ctx.functional:
+        out.array = merge_two(first.data(ctx), second.data(ctx))
+
+
+def run_gpumerge(ctx: RunContext):
+    """Process: PIPEDATA batch sorting + a GPU-side binary merge tree."""
+    workers = spawn_stream_workers(ctx)
+    yield ctx.env.all_of(workers)
+
+    runs: list[SortedRun] = []
+    while True:
+        ok, item = ctx.sorted_runs.try_get()
+        if not ok:
+            break
+        runs.append(item)
+
+    level = 0
+    while len(runs) > 1:
+        nxt: list[SortedRun] = []
+        procs = []
+        for i in range(0, len(runs) - 1, 2):
+            first, second = runs[i], runs[i + 1]
+            out = SortedRun(size=first.size + second.size, from_pair=True)
+            gpu_index = (i // 2) % ctx.plan.n_gpus
+            procs.append(ctx.env.process(
+                _gpu_pair_merge(ctx, gpu_index, first, second, out),
+                name=f"gpumerge.L{level}.{i // 2}"))
+            nxt.append(out)
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        yield ctx.env.all_of(procs)
+        runs = nxt
+        level += 1
+    ctx.meta["gpu_merge_levels"] = level
+
+    # The single remaining run becomes B (a parallel host copy).
+    final = runs[0]
+
+    def copy_work():
+        if ctx.functional:
+            ctx.B.data[:] = final.data(ctx)
+
+    yield from ctx.machine.host_memcpy(
+        final.size * ELEM, threads=ctx.merge_threads, label="W->B",
+        lane="cpu.merge", work=copy_work)

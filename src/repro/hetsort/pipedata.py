@@ -1,0 +1,53 @@
+"""PIPEDATA: pipelined data transfers (Sec. III-D2, Fig. 2).
+
+``n_s`` CUDA streams per GPU, each with its own pinned staging buffers and
+device buffers, process their share of the batches concurrently:
+
+* HtoD of one stream overlaps DtoH of another (bidirectional PCIe);
+* host-side ``MCpy`` staging copies of one stream overlap transfers of
+  the others;
+* sorts from different streams serialise on the device but overlap with
+  every host-side activity.
+
+The PARMEMCPY optimisation (Sec. III-D2) is the same control flow with
+``config.memcpy_threads > 1`` parallelising each staging copy.
+"""
+
+from __future__ import annotations
+
+from repro.hetsort.context import RunContext
+from repro.hetsort.workers import (alloc_worker_buffers, async_stream_batch,
+                                   final_multiway, free_worker_buffers)
+
+__all__ = ["run_pipedata", "spawn_stream_workers"]
+
+
+def _stream_worker(ctx: RunContext, gpu: int, slot: int):
+    """Process: one (gpu, stream) pipeline worker."""
+    batches = ctx.plan.batches_for(gpu, slot)
+    if not batches:
+        return
+    stream = ctx.rt.create_stream(gpu)
+    pin_in, pin_out, dev = yield from alloc_worker_buffers(
+        ctx, gpu, tag=f"g{gpu}s{slot}")
+    for batch in batches:
+        yield from async_stream_batch(ctx, batch, pin_in, pin_out, dev,
+                                      stream)
+    yield from stream.synchronize()
+    free_worker_buffers(ctx, pin_in, pin_out, dev)
+
+
+def spawn_stream_workers(ctx: RunContext) -> list:
+    """Start every (gpu, stream) worker; returns their processes."""
+    return [
+        ctx.env.process(_stream_worker(ctx, g, s), name=f"pipe.g{g}s{s}")
+        for g in range(ctx.plan.n_gpus)
+        for s in range(ctx.plan.n_streams)
+    ]
+
+
+def run_pipedata(ctx: RunContext):
+    """Process: the PIPEDATA approach."""
+    workers = spawn_stream_workers(ctx)
+    yield ctx.env.all_of(workers)
+    yield from final_multiway(ctx)

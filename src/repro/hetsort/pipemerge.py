@@ -1,0 +1,30 @@
+"""PIPEMERGE: pipelined pair-wise merging on top of PIPEDATA
+(Sec. III-D3, Fig. 3).
+
+While the GPUs are still sorting batches, the CPU pair-merges completed
+b_s-sized batches, shrinking the k of the final multiway merge.  The
+number of pipelined merges follows the paper's heuristics (computed by
+the plan), chosen so the pair merges finish by the time the last batch is
+sorted and never delay the final multiway merge.  Outputs of pipelined
+merges are never merged again before the multiway phase.
+"""
+
+from __future__ import annotations
+
+from repro.hetsort.context import RunContext
+from repro.hetsort.pipedata import spawn_stream_workers
+from repro.hetsort.workers import final_multiway, pair_merge_scheduler
+
+__all__ = ["run_pipemerge"]
+
+
+def run_pipemerge(ctx: RunContext):
+    """Process: the PIPEMERGE approach (includes PIPEDATA's transfer
+    pipelining)."""
+    workers = spawn_stream_workers(ctx)
+    scheduler = ctx.env.process(pair_merge_scheduler(ctx),
+                                name="pipemerge.scheduler")
+    yield ctx.env.all_of(workers)
+    merged = yield scheduler   # scheduler returns the pair-merged runs
+    ctx.meta["pairwise_merged"] = len(merged)
+    yield from final_multiway(ctx, extra_runs=merged)

@@ -1,0 +1,158 @@
+"""The public facade: :class:`HeterogeneousSorter` and the CPU reference.
+
+>>> from repro import HeterogeneousSorter, PLATFORM1
+>>> import numpy as np
+>>> sorter = HeterogeneousSorter(PLATFORM1, batch_size=25_000)
+>>> data = np.random.default_rng(0).uniform(size=100_000)
+>>> res = sorter.sort(data, approach="pipemerge")
+>>> bool(np.all(res.output[:-1] <= res.output[1:]))
+True
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.cuda import Runtime
+from repro.errors import PlanError
+from repro.hetsort.bline import run_bline
+from repro.hetsort.blinemulti import run_blinemulti
+from repro.hetsort.config import Approach, SortConfig
+from repro.hetsort.context import RunContext
+from repro.hetsort.gpumerge import run_gpumerge
+from repro.hetsort.pipedata import run_pipedata
+from repro.hetsort.pipemerge import run_pipemerge
+from repro.hetsort.plan import make_plan
+from repro.hetsort.result import SortResult
+from repro.hetsort.validate import check_sorted_permutation
+from repro.hw.machine import Machine
+from repro.hw.platforms import PLATFORM1
+from repro.hw.spec import PlatformSpec
+from repro.kernels.samplesort import sample_sort
+from repro.sim.engine import Environment
+
+__all__ = ["HeterogeneousSorter", "APPROACH_RUNNERS", "cpu_reference_sort"]
+
+APPROACH_RUNNERS: dict[str, _t.Callable[[RunContext], _t.Generator]] = {
+    Approach.BLINE: run_bline,
+    Approach.BLINEMULTI: run_blinemulti,
+    Approach.PIPEDATA: run_pipedata,
+    Approach.PIPEMERGE: run_pipemerge,
+    Approach.GPUMERGE: run_gpumerge,
+}
+
+
+class HeterogeneousSorter:
+    """Hybrid CPU/GPU sorter for data larger than GPU global memory.
+
+    Parameters mirror the paper's knobs (Table I); every keyword of
+    :class:`~repro.hetsort.config.SortConfig` is accepted.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`~repro.hw.spec.PlatformSpec` (default PLATFORM1).
+    n_gpus:
+        How many of the platform's GPUs to use.
+    **config_kw:
+        Forwarded to :class:`SortConfig` (``approach``, ``n_streams``,
+        ``batch_size``, ``pinned_elements``, ``memcpy_threads``, ...).
+    """
+
+    def __init__(self, platform: PlatformSpec = PLATFORM1,
+                 n_gpus: int = 1, config: SortConfig | None = None,
+                 **config_kw) -> None:
+        if config is not None and config_kw:
+            raise PlanError("pass either a SortConfig or keywords, not both")
+        self.platform = platform
+        self.n_gpus = n_gpus
+        self.config = config if config is not None else SortConfig(**config_kw)
+
+    def sort(self, data: np.ndarray | None = None, n: int | None = None,
+             approach: str | None = None, validate: bool = True,
+             **overrides) -> SortResult:
+        """Run one heterogeneous sort.
+
+        Exactly one of ``data`` (functional mode: a float64 array that is
+        really sorted) or ``n`` (timing-only mode: paper-scale inputs)
+        must be given.  ``approach`` and any other config field may be
+        overridden per call.
+        """
+        if (data is None) == (n is None):
+            raise PlanError("pass exactly one of `data` or `n`")
+        cfg = self.config
+        if approach is not None:
+            overrides = {**overrides, "approach": approach}
+        if overrides:
+            cfg = cfg.with_(**overrides)
+        n_elems = int(n) if n is not None else len(data)
+
+        env = Environment()
+        machine = Machine(env, self.platform, n_gpus=self.n_gpus)
+        rt = Runtime(machine)
+        plan = make_plan(n_elems, self.platform, cfg, n_gpus=self.n_gpus)
+        ctx = RunContext(env, machine, rt, plan, cfg, data=data)
+
+        runner = APPROACH_RUNNERS[cfg.approach]
+        proc = env.process(runner(ctx), name=cfg.approach)
+        env.run(proc)
+
+        output = ctx.B.data
+        if validate and data is not None:
+            check_sorted_permutation(np.asarray(data, dtype=np.float64),
+                                     output)
+        return SortResult(
+            platform_name=self.platform.name,
+            approach=cfg.approach,
+            config=cfg,
+            plan=plan,
+            elapsed=env.now,
+            trace=machine.trace,
+            output=output,
+            meta=dict(ctx.meta),
+        )
+
+
+def cpu_reference_sort(platform: PlatformSpec = PLATFORM1,
+                       data: np.ndarray | None = None,
+                       n: int | None = None,
+                       library: str = "gnu",
+                       threads: int | None = None) -> SortResult:
+    """The parallel CPU reference implementation (Sec. IV-C): the GNU
+    parallel-mode sort at the platform's reference thread count.
+
+    Functional mode really sorts ``data`` with the sample-sort stand-in.
+    """
+    if (data is None) == (n is None):
+        raise PlanError("pass exactly one of `data` or `n`")
+    n_elems = int(n) if n is not None else len(data)
+    threads = platform.reference_threads if threads is None else threads
+
+    env = Environment()
+    machine = Machine(env, platform, n_gpus=1)
+    out: dict = {}
+
+    def work():
+        if data is not None:
+            out["output"] = sample_sort(
+                np.asarray(data, dtype=np.float64), threads=threads)
+
+    def runner():
+        yield from machine.cpu_sort(n_elems, library=library,
+                                    threads=threads,
+                                    label=f"{library}::sort", work=work)
+
+    proc = env.process(runner(), name="cpu_reference")
+    env.run(proc)
+    return SortResult(
+        platform_name=platform.name,
+        approach=f"cpu:{library}",
+        config=SortConfig(sort_library=library),
+        plan=None,
+        elapsed=env.now,
+        trace=machine.trace,
+        output=out.get("output"),
+        meta={"threads": threads, "n": n_elems},
+    )

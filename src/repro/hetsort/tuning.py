@@ -1,0 +1,108 @@
+"""Configuration auto-tuning: search the paper's knob space for the
+fastest configuration on a given (simulated) platform and input size.
+
+The paper fixes its knobs by reasoning about the hardware (n_s = 2,
+p_s = 1e6, maximal b_s); the simulator makes it cheap to *search* instead,
+which is how a practitioner would deploy the sorter on a new machine.
+
+>>> from repro.hetsort.tuning import autotune
+>>> from repro.hw.platforms import PLATFORM1
+>>> best = autotune(PLATFORM1, n=int(2e9), quick=True)
+>>> best.config.approach
+'pipemerge'
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.hetsort.config import Approach, SortConfig
+from repro.hetsort.plan import max_batch_size
+from repro.hetsort.sorter import HeterogeneousSorter
+from repro.hw.spec import PlatformSpec
+
+__all__ = ["autotune", "TuningResult", "TrialOutcome"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One evaluated configuration."""
+
+    config: SortConfig
+    elapsed: float
+    n_batches: int
+
+
+@dataclass
+class TuningResult:
+    """The best configuration plus the whole explored grid."""
+
+    platform_name: str
+    n: int
+    n_gpus: int
+    trials: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialOutcome:
+        return min(self.trials, key=lambda t: t.elapsed)
+
+    @property
+    def config(self) -> SortConfig:
+        return self.best.config
+
+    @property
+    def elapsed(self) -> float:
+        return self.best.elapsed
+
+    def improvement_over_default(self) -> float:
+        """Best time vs. the paper-default configuration's time."""
+        defaults = [t for t in self.trials
+                    if t.config.approach == Approach.PIPEMERGE
+                    and t.config.n_streams == 2
+                    and t.config.memcpy_threads == 1]
+        if not defaults:
+            return 1.0
+        return defaults[0].elapsed / self.elapsed
+
+    def table_rows(self) -> list[list]:
+        """Rows for :func:`repro.reporting.render_table`, fastest first."""
+        rows = []
+        for t in sorted(self.trials, key=lambda t: t.elapsed):
+            rows.append([t.config.approach, t.config.n_streams,
+                         t.config.memcpy_threads,
+                         f"{t.config.pinned_elements:.0e}",
+                         t.n_batches, f"{t.elapsed:.3f}"])
+        return rows
+
+
+def autotune(platform: PlatformSpec, n: int, n_gpus: int = 1,
+             approaches: _t.Sequence[str] = (Approach.PIPEDATA,
+                                             Approach.PIPEMERGE),
+             stream_counts: _t.Sequence[int] = (1, 2, 4),
+             memcpy_threads: _t.Sequence[int] = (1, 8),
+             pinned_elements: _t.Sequence[int] = (10 ** 5, 10 ** 6,
+                                                  10 ** 7),
+             quick: bool = False) -> TuningResult:
+    """Grid-search the knob space with timing-only simulations.
+
+    ``quick`` prunes the grid to the paper's defaults plus one
+    alternative per knob (for tests and interactive use).
+    """
+    if quick:
+        stream_counts = (1, 2)
+        memcpy_threads = (1, 8)
+        pinned_elements = (10 ** 6,)
+
+    result = TuningResult(platform.name, n, n_gpus)
+    for ap, ns, mt, ps in itertools.product(
+            approaches, stream_counts, memcpy_threads, pinned_elements):
+        bs = max_batch_size(platform, ns, n_gpus)
+        cfg = SortConfig(approach=ap, n_streams=ns, memcpy_threads=mt,
+                         pinned_elements=ps, batch_size=min(bs, n))
+        sorter = HeterogeneousSorter(platform, n_gpus=n_gpus, config=cfg)
+        res = sorter.sort(n=n)
+        result.trials.append(
+            TrialOutcome(cfg, res.elapsed, res.plan.n_batches))
+    return result

@@ -1,0 +1,26 @@
+"""Output validation for functional-mode runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.utils import is_sorted, same_multiset
+
+__all__ = ["check_sorted_permutation"]
+
+
+def check_sorted_permutation(original: np.ndarray,
+                             output: np.ndarray) -> None:
+    """Raise :class:`ValidationError` unless ``output`` is a sorted
+    permutation of ``original``."""
+    if output is None:
+        raise ValidationError("no output produced (timing-only run?)")
+    if not is_sorted(output):
+        bad = int(np.argmax(output[:-1] > output[1:]))
+        raise ValidationError(
+            f"output not sorted at index {bad}: "
+            f"{output[bad]!r} > {output[bad + 1]!r}")
+    if not same_multiset(original, output):
+        raise ValidationError(
+            "output is not a permutation of the input")

@@ -1,0 +1,234 @@
+"""Shared building blocks of the sorting approaches.
+
+Each helper is a simulation process (generator) written against the
+simulated CUDA runtime, mirroring the host code structure the paper
+describes.  The same generators move real data in functional mode.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cuda import ELEM, MemcpyKind, copy_payload
+from repro.cuda.buffers import Buffer, DeviceBuffer, PinnedBuffer
+from repro.hetsort.context import RunContext, SortedRun
+from repro.hetsort.plan import Batch
+from repro.kernels.mergepath import merge_two
+from repro.kernels.multiway import multiway_merge
+from repro.sim import CAT
+
+__all__ = [
+    "alloc_worker_buffers", "free_worker_buffers",
+    "staged_blocking_batch", "pageable_blocking_batch",
+    "async_stream_batch", "final_multiway", "pair_merge_scheduler",
+]
+
+
+def alloc_worker_buffers(ctx: RunContext, gpu: int, tag: str):
+    """Process: allocate one worker's staging and device buffers.
+
+    Returns ``(pinned_in, pinned_out, dev)``.  The device buffer holds
+    ``2 * b_s`` elements: the batch plus Thrust's out-of-place scratch
+    (Sec. III-B).
+    """
+    import numpy as np
+
+    ps = ctx.plan.pinned_elements
+    bs = ctx.plan.batch_size
+    mk = (lambda k: np.empty(k, dtype=np.float64)) if ctx.functional \
+        else (lambda k: None)
+    pinned_in = yield from ctx.rt.malloc_host(
+        ps * ELEM, name=f"stage_in.{tag}", data=mk(ps))
+    pinned_out = yield from ctx.rt.malloc_host(
+        ps * ELEM, name=f"stage_out.{tag}", data=mk(ps))
+    dev = ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu, name=f"dev.{tag}",
+                        data=mk(2 * bs))
+    return pinned_in, pinned_out, dev
+
+
+def free_worker_buffers(ctx: RunContext, pinned_in: PinnedBuffer,
+                        pinned_out: PinnedBuffer, dev: DeviceBuffer) -> None:
+    """Release one worker's buffers."""
+    ctx.rt.free_host(pinned_in)
+    ctx.rt.free_host(pinned_out)
+    ctx.rt.free(dev)
+
+
+# ---------------------------------------------------------------------------
+# Blocking data paths (BLINE / BLINEMULTI)
+# ---------------------------------------------------------------------------
+
+def staged_blocking_batch(ctx: RunContext, batch: Batch,
+                          pinned_in: PinnedBuffer, pinned_out: PinnedBuffer,
+                          dev: DeviceBuffer, stream, out: Buffer,
+                          lane: str):
+    """Process: one batch through the *blocking* pinned-staging path:
+
+    ``A -> Stage -> HtoD -> GPUSort -> DtoH -> Stage -> out``
+    (Sec. III-D2's n_b = 1 workflow; ``out`` is B for BLINE, W otherwise).
+    """
+    rt, machine, cfg = ctx.rt, ctx.machine, ctx.config
+    for a_off, b_off, size in ctx.plan.chunks(batch):
+        nb = size * ELEM
+
+        def stage_in(a_off=a_off, nb=nb):
+            copy_payload(pinned_in, 0, ctx.A, a_off * ELEM, nb)
+
+        yield from machine.host_memcpy(
+            nb, threads=cfg.memcpy_threads, label="A->Stage", lane=lane,
+            work=stage_in)
+        yield from rt.memcpy(dev, pinned_in, nb,
+                             MemcpyKind.HOST_TO_DEVICE,
+                             dst_off=b_off * ELEM, lane=lane)
+    done = yield from rt.sort_async(dev, batch.size, stream)
+    yield done  # blocking semantics: host waits for the sort
+    for a_off, b_off, size in ctx.plan.chunks(batch):
+        nb = size * ELEM
+        yield from rt.memcpy(pinned_out, dev, nb,
+                             MemcpyKind.DEVICE_TO_HOST,
+                             src_off=b_off * ELEM, lane=lane)
+
+        def stage_out(a_off=a_off, nb=nb):
+            copy_payload(out, a_off * ELEM, pinned_out, 0, nb)
+
+        yield from machine.host_memcpy(
+            nb, threads=cfg.memcpy_threads, label="Stage->out", lane=lane,
+            work=stage_out)
+
+
+def pageable_blocking_batch(ctx: RunContext, batch: Batch,
+                            dev: DeviceBuffer, stream, out: Buffer,
+                            lane: str):
+    """Process: one batch via plain blocking ``cudaMemcpy`` from pageable
+    memory (no staging, no pinned buffers): ``A -> HtoD -> GPUSort ->
+    DtoH -> out`` (Sec. III-D's literal BLINE)."""
+    rt = ctx.rt
+    yield from rt.memcpy(dev, ctx.A, batch.nbytes,
+                         MemcpyKind.HOST_TO_DEVICE,
+                         src_off=batch.offset_bytes, lane=lane)
+    done = yield from rt.sort_async(dev, batch.size, stream)
+    yield done
+    yield from rt.memcpy(out, dev, batch.nbytes,
+                         MemcpyKind.DEVICE_TO_HOST,
+                         dst_off=batch.offset_bytes, lane=lane)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined data path (PIPEDATA / PIPEMERGE)
+# ---------------------------------------------------------------------------
+
+def async_stream_batch(ctx: RunContext, batch: Batch,
+                       pinned_in: PinnedBuffer, pinned_out: PinnedBuffer,
+                       dev: DeviceBuffer, stream):
+    """Process: one batch through the asynchronous pipelined path of
+    Fig. 2: chunked ``MCpy``/``HtoD`` interleave into the device, an async
+    sort, then chunked ``DtoH``/``MCpy`` out to W.
+
+    Within the stream the per-chunk ``stream.synchronize()`` is required
+    before reusing the single pinned buffer -- this is the per-copy
+    synchronisation overhead the related work omits (Sec. IV-E).
+    Across streams, everything overlaps.
+    """
+    rt, machine, cfg = ctx.rt, ctx.machine, ctx.config
+    lane = stream.name
+    for a_off, b_off, size in ctx.plan.chunks(batch):
+        nb = size * ELEM
+
+        def stage_in(a_off=a_off, nb=nb):
+            copy_payload(pinned_in, 0, ctx.A, a_off * ELEM, nb)
+
+        yield from machine.host_memcpy(
+            nb, threads=cfg.memcpy_threads, label="A->Stage", lane=lane,
+            work=stage_in)
+        yield from rt.memcpy_async(dev, pinned_in, nb,
+                                   MemcpyKind.HOST_TO_DEVICE, stream,
+                                   dst_off=b_off * ELEM)
+        yield from stream.synchronize()
+    yield from rt.sort_async(dev, batch.size, stream)
+    # No explicit sync: the DtoH below queues behind the sort in-stream.
+    for a_off, b_off, size in ctx.plan.chunks(batch):
+        nb = size * ELEM
+        yield from rt.memcpy_async(pinned_out, dev, nb,
+                                   MemcpyKind.DEVICE_TO_HOST, stream,
+                                   src_off=b_off * ELEM)
+        yield from stream.synchronize()
+
+        def stage_out(a_off=a_off, nb=nb):
+            copy_payload(ctx.W, a_off * ELEM, pinned_out, 0, nb)
+
+        yield from machine.host_memcpy(
+            nb, threads=cfg.memcpy_threads, label="Stage->W", lane=lane,
+            work=stage_out)
+    ctx.finish_run(batch)
+
+
+# ---------------------------------------------------------------------------
+# CPU-side merging
+# ---------------------------------------------------------------------------
+
+def pair_merge_scheduler(ctx: RunContext):
+    """Process: PIPEMERGE's pipelined pair-wise merging (Sec. III-D3).
+
+    Takes sorted, b_s-sized batches off the completion queue two at a
+    time and pair-merges them while the GPUs keep sorting, up to the
+    plan's quota; never merges the output of a previous merge.  Returns
+    the list of merged :class:`SortedRun` s.
+    """
+    merged: list[SortedRun] = []
+    quota = ctx.plan.pairwise_merges
+    while len(merged) < quota:
+        first = yield ctx.sorted_runs.get()
+        second = yield ctx.sorted_runs.get()
+        out = SortedRun(size=first.size + second.size, from_pair=True)
+
+        def work(first=first, second=second, out=out):
+            if ctx.functional:
+                out.array = merge_two(first.data(ctx), second.data(ctx))
+
+        yield from ctx.machine.host_merge(
+            out.size, k=2, threads=ctx.pipeline_merge_threads,
+            label=f"pairmerge[{len(merged)}]", lane="cpu.pipeline",
+            category=CAT.PAIRMERGE, work=work)
+        merged.append(out)
+    return merged
+
+
+def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
+    """Process: the final multiway merge of all remaining sorted runs
+    from W (plus pair-merged runs) into B.
+
+    With a single run this degenerates to a parallel copy W -> B.
+    """
+    runs: list[SortedRun] = list(extra_runs)
+    while True:
+        ok, item = ctx.sorted_runs.try_get()
+        if not ok:
+            break
+        runs.append(item)
+    if not runs:
+        raise RuntimeError("final merge invoked with no sorted runs")
+    total = sum(r.size for r in runs)
+    if total != ctx.plan.n:
+        raise RuntimeError(
+            f"sorted runs cover {total} of {ctx.plan.n} elements")
+
+    if len(runs) == 1:
+        run = runs[0]
+
+        def copy_work(run=run):
+            if ctx.functional:
+                ctx.B.data[:] = run.data(ctx)
+
+        yield from ctx.machine.host_memcpy(
+            total * ELEM, threads=ctx.merge_threads, label="W->B",
+            lane="cpu.merge", work=copy_work)
+        return
+
+    def work():
+        if ctx.functional:
+            ctx.B.data[:] = multiway_merge([r.data(ctx) for r in runs])
+
+    yield from ctx.machine.host_merge(
+        total, k=len(runs), threads=ctx.merge_threads,
+        label=f"multiway(k={len(runs)})", lane="cpu.merge",
+        category=CAT.MERGE, work=work)

@@ -1,0 +1,20 @@
+"""Simulated heterogeneous hardware (the paper's Table II platforms).
+
+Exposes hardware specifications, calibrated platform presets, thread
+scaling laws, and the :class:`~repro.hw.machine.Machine` runtime that the
+simulated CUDA layer and the sorting approaches are built on.
+"""
+
+from repro.hw.gpu import Direction, SimGPU
+from repro.hw.machine import Machine
+from repro.hw.platforms import PLATFORM1, PLATFORM2, PLATFORMS, get_platform
+from repro.hw.spec import (GB, GIB, CPUSpec, GPUSpec, HostMemSpec,
+                           MergeCostModel, PCIeSpec, PlatformSpec,
+                           RuntimeCosts, SortCostModel)
+
+__all__ = [
+    "Machine", "SimGPU", "Direction",
+    "PLATFORM1", "PLATFORM2", "PLATFORMS", "get_platform",
+    "CPUSpec", "GPUSpec", "PCIeSpec", "HostMemSpec", "RuntimeCosts",
+    "SortCostModel", "MergeCostModel", "PlatformSpec", "GIB", "GB",
+]

@@ -1,0 +1,98 @@
+"""The simulated GPU device.
+
+Models the three properties of a GPU that the paper's evaluation depends on:
+
+* **bounded global memory** -- allocations are tracked against
+  :attr:`GPUSpec.mem_bytes`; exceeding it raises
+  :class:`~repro.errors.CudaOutOfMemory` (this is what forces batching
+  when n_b > 1);
+* **one kernel at a time** -- Thrust sort kernels from different streams
+  serialise on the device's compute engine;
+* **dual copy engines** -- one DMA engine per direction, so an HtoD and a
+  DtoH transfer overlap on one device, but two HtoD transfers queue.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import CudaInvalidValue, CudaOutOfMemory
+from repro.hw.spec import GPUSpec
+from repro.sim import CAT, Resource, Trace
+from repro.sim.engine import Environment
+
+__all__ = ["SimGPU", "Direction"]
+
+
+class Direction:
+    """PCIe transfer directions (Table I: HtoD / DtoH)."""
+
+    HTOD = "HtoD"
+    DTOH = "DtoH"
+    ALL = (HTOD, DTOH)
+
+
+class SimGPU:
+    """One GPU device on the simulated platform."""
+
+    def __init__(self, env: Environment, spec: GPUSpec, index: int,
+                 trace: Trace) -> None:
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.trace = trace
+        self.kernel_engine = Resource(env, 1, name=f"gpu{index}.kernel")
+        self.copy_engines = {
+            d: Resource(env, 1, name=f"gpu{index}.copy.{d}")
+            for d in Direction.ALL
+        }
+        self.mem_used = 0
+        self.mem_high_water = 0
+
+    # -- memory -----------------------------------------------------------
+
+    @property
+    def mem_free(self) -> int:
+        """Unallocated global-memory bytes."""
+        return self.spec.mem_bytes - self.mem_used
+
+    def alloc(self, nbytes: int) -> None:
+        """Account a device allocation (raises on OOM)."""
+        if nbytes < 0:
+            raise CudaInvalidValue(f"negative allocation {nbytes}")
+        if nbytes > self.mem_free:
+            raise CudaOutOfMemory(
+                f"gpu{self.index} ({self.spec.model}): requested {nbytes} B "
+                f"with only {self.mem_free} B of {self.spec.mem_bytes} B free")
+        self.mem_used += nbytes
+        self.mem_high_water = max(self.mem_high_water, self.mem_used)
+
+    def free(self, nbytes: int) -> None:
+        """Release a device allocation."""
+        if nbytes < 0 or nbytes > self.mem_used:
+            raise CudaInvalidValue(
+                f"gpu{self.index}: freeing {nbytes} B with "
+                f"{self.mem_used} B allocated")
+        self.mem_used -= nbytes
+
+    # -- compute ------------------------------------------------------------
+
+    def sort(self, n: int, label: str = "thrust::sort",
+             work: _t.Callable[[], None] | None = None):
+        """Process: run a Thrust-style sort of ``n`` 64-bit elements.
+
+        Thrust sorts out of place, temporarily doubling the footprint of
+        the input (Sec. III-B); the caller is responsible for having
+        allocated that scratch space (the batch planner enforces it).
+
+        ``work`` (functional layer) runs when the kernel completes.
+        """
+        yield self.kernel_engine.request()
+        start = self.env.now
+        yield self.env.timeout(self.spec.sort_seconds(n))
+        self.kernel_engine.release()
+        self.trace.record(CAT.GPUSORT, label, start, self.env.now,
+                          lane=f"gpu{self.index}", elements=n,
+                          nbytes=8.0 * n)
+        if work is not None:
+            work()

@@ -1,0 +1,224 @@
+"""The assembled simulated platform: CPU cores + GPUs + interconnects.
+
+:class:`Machine` instantiates, for one :class:`~repro.hw.spec.PlatformSpec`:
+
+* a FIFO core pool (:class:`~repro.sim.resources.Resource`) for host threads;
+* a :class:`~repro.sim.bandwidth.FlowNetwork` with three links:
+  ``host_bus`` (DRAM copy bandwidth), ``pcie_htod`` and ``pcie_dtoh``
+  (per-direction PCIe at the root complex, shared by all GPUs);
+* one :class:`~repro.hw.gpu.SimGPU` per device.
+
+It exposes the primitive timed operations out of which the heterogeneous
+sort approaches are composed.  Every primitive is a *process* (generator)
+that can carry an optional ``work`` callable -- the functional layer -- so
+identical control flow drives both timing-only and real-data runs.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import CudaOutOfMemory, SimulationError
+from repro.hw.gpu import Direction, SimGPU
+from repro.hw.spec import PlatformSpec
+from repro.sim import CAT, FlowNetwork, Resource, Trace
+from repro.sim.engine import Environment
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A running simulated instance of a platform."""
+
+    def __init__(self, env: Environment, platform: PlatformSpec,
+                 n_gpus: int | None = None, trace: Trace | None = None
+                 ) -> None:
+        self.env = env
+        self.platform = platform
+        self.trace = trace if trace is not None else Trace()
+
+        n_gpus = platform.n_gpus if n_gpus is None else n_gpus
+        if not 1 <= n_gpus <= platform.n_gpus:
+            raise SimulationError(
+                f"{platform.name} has {platform.n_gpus} GPU(s); "
+                f"requested {n_gpus}")
+
+        self.cores = Resource(env, platform.cpu.cores, name="cpu.cores")
+        self.net = FlowNetwork(env)
+        self.host_bus = self.net.add_link(
+            "host_bus", platform.hostmem.copy_bus_bw)
+        self.pcie = {
+            Direction.HTOD: self.net.add_link("pcie.htod",
+                                              platform.pcie.peak_bw),
+            Direction.DTOH: self.net.add_link("pcie.dtoh",
+                                              platform.pcie.peak_bw),
+        }
+        self.gpus = [SimGPU(env, spec, i, self.trace)
+                     for i, spec in enumerate(platform.gpus[:n_gpus])]
+        self.pinned_bytes = 0
+        #: Pageable working set (A + W + B) reserved by the run; pinned
+        #: allocations must fit in what remains of host DRAM.
+        self.host_reserved = 0
+
+    def reserve_host(self, nbytes: int) -> None:
+        """Account a pageable working-set reservation (free of charge in
+        time; raises when host DRAM is exhausted)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative reservation {nbytes}")
+        if (self.host_reserved + self.pinned_bytes + nbytes
+                > self.platform.hostmem.capacity_bytes):
+            raise CudaOutOfMemory(
+                f"host reservation of {nbytes} B exceeds capacity "
+                f"({self.host_reserved} B already reserved)")
+        self.host_reserved += nbytes
+
+    # ------------------------------------------------------------------
+    # Host-side primitives
+    # ------------------------------------------------------------------
+
+    def host_memcpy(self, nbytes: float, threads: int = 1,
+                    label: str = "memcpy", lane: str = "host",
+                    work: _t.Callable[[], None] | None = None):
+        """Process: a host-to-host copy (pageable <-> pinned staging).
+
+        With ``threads == 1`` this is ``std::memcpy`` (rate capped at the
+        per-core copy bandwidth); with more threads it is the PARMEMCPY
+        optimisation -- the rate cap scales linearly with threads but the
+        flow then competes with DMA and merges on the shared host bus,
+        which is exactly the effect discussed in Sec. IV-F.
+        """
+        if threads < 1:
+            raise SimulationError(f"memcpy threads must be >= 1: {threads}")
+        threads = min(threads, self.platform.cpu.cores)
+        # Only the orchestrating host thread occupies a core slot: OpenMP
+        # copy helpers are short bursts that time-share with whatever else
+        # runs (they are bounded by the rate cap and the shared bus, which
+        # is where the real contention lives).
+        yield self.cores.request(1)
+        start = self.env.now
+        cap = threads * self.platform.hostmem.per_core_copy_bw
+        yield self.net.transfer(nbytes, [self.host_bus], cap=cap,
+                                label=label)
+        self.cores.release(1)
+        self.trace.record(CAT.MCPY, label, start, self.env.now, lane=lane,
+                          nbytes=nbytes, meta=(("threads", threads),))
+        if work is not None:
+            work()
+
+    def host_merge(self, n_elements: int, k: int, threads: int,
+                   label: str = "merge", lane: str = "cpu",
+                   category: str = CAT.MERGE,
+                   work: _t.Callable[[], None] | None = None):
+        """Process: merge ``n_elements`` from ``k`` sorted runs on the CPU.
+
+        Modelled as a memory-bus flow so that pipelined pair-wise merges
+        (PIPEMERGE) contend with concurrent staging copies and DMA.
+        """
+        model = self.platform.merge
+        threads = min(threads, self.platform.cpu.cores)
+        yield self.cores.request(threads)
+        start = self.env.now
+        if model.spawn_overhead_s > 0:
+            yield self.env.timeout(model.spawn_overhead_s * threads)
+        yield self.net.transfer(
+            model.flow_bytes(n_elements, k), [self.host_bus],
+            cap=model.flow_cap(threads, k), label=label)
+        self.cores.release(threads)
+        self.trace.record(category, label, start, self.env.now, lane=lane,
+                          elements=n_elements, nbytes=8.0 * n_elements,
+                          meta=(("k", k), ("threads", threads)))
+        if work is not None:
+            work()
+
+    def cpu_sort(self, n: int, library: str = "gnu",
+                 threads: int | None = None, label: str = "cpu_sort",
+                 lane: str = "cpu",
+                 work: _t.Callable[[], None] | None = None):
+        """Process: a CPU-only library sort (the reference implementation).
+
+        Time-based (Amdahl + spawn overhead, Fig. 4 model); holds the
+        requested cores for its duration.
+        """
+        model = self.platform.sort_model(library)
+        threads = self.platform.reference_threads if threads is None \
+            else threads
+        threads = min(threads, self.platform.cpu.cores, model.max_threads)
+        yield self.cores.request(threads)
+        start = self.env.now
+        yield self.env.timeout(model.seconds(n, threads))
+        self.cores.release(threads)
+        self.trace.record(CAT.CPUSORT, label, start, self.env.now,
+                          lane=lane, elements=n,
+                          meta=(("library", library), ("threads", threads)))
+        if work is not None:
+            work()
+
+    def pinned_alloc(self, nbytes: float, label: str = "cudaMallocHost"):
+        """Process: allocate pinned host memory (cudaMallocHost).
+
+        Costs the affine time of Sec. IV-E1 and counts against host DRAM.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative pinned allocation {nbytes}")
+        if (self.pinned_bytes + self.host_reserved + nbytes
+                > self.platform.hostmem.capacity_bytes):
+            raise CudaOutOfMemory(
+                f"pinned allocation of {nbytes} B exceeds host capacity "
+                f"({self.host_reserved} B reserved for A/W/B, "
+                f"{self.pinned_bytes} B already pinned)")
+        start = self.env.now
+        yield self.env.timeout(
+            self.platform.hostmem.pinned_alloc_seconds(nbytes))
+        self.pinned_bytes += nbytes
+        self.trace.record(CAT.PINNED_ALLOC, label, start, self.env.now,
+                          lane="host", nbytes=nbytes)
+
+    def pinned_free(self, nbytes: float) -> None:
+        """Release pinned host memory (modelled as free of charge)."""
+        if nbytes < 0 or nbytes > self.pinned_bytes:
+            raise SimulationError(
+                f"freeing {nbytes} pinned bytes with {self.pinned_bytes} "
+                "allocated")
+        self.pinned_bytes -= nbytes
+
+    def sync_overhead(self, label: str = "streamSync", lane: str = "host"):
+        """Process: per-call synchronisation cost of an async copy
+        (one of the overheads the related work omits, Sec. IV-E)."""
+        cost = self.platform.runtime.stream_sync_s
+        start = self.env.now
+        yield self.env.timeout(cost)
+        self.trace.record(CAT.SYNC, label, start, self.env.now, lane=lane)
+
+    # ------------------------------------------------------------------
+    # PCIe transfers
+    # ------------------------------------------------------------------
+
+    def pcie_transfer(self, gpu: SimGPU, nbytes: float, direction: str,
+                      pinned: bool = True, label: str = "",
+                      lane: str = "", work: _t.Callable[[], None] | None = None):
+        """Process: one DMA transfer between host and ``gpu``.
+
+        Waits for the device's per-direction copy engine, then flows
+        through the shared per-direction PCIe link *and* the host memory
+        bus (DMA reads/writes host DRAM).  Pageable transfers are slower
+        (driver staging) and touch host DRAM twice per byte.
+        """
+        if direction not in Direction.ALL:
+            raise SimulationError(f"bad transfer direction {direction!r}")
+        engine = gpu.copy_engines[direction]
+        yield engine.request()
+        start = self.env.now
+        hostmem_weight = (1.0 if pinned
+                          else self.platform.pcie.pageable_hostmem_factor)
+        cap = self.platform.pcie.flow_cap(pinned)
+        yield self.net.transfer(
+            nbytes,
+            [self.pcie[direction], (self.host_bus, hostmem_weight)],
+            cap=cap, label=label or f"{direction}@gpu{gpu.index}")
+        engine.release()
+        category = CAT.HTOD if direction == Direction.HTOD else CAT.DTOH
+        self.trace.record(category, label or direction, start, self.env.now,
+                          lane=lane or f"gpu{gpu.index}.{direction}",
+                          nbytes=nbytes)
+        if work is not None:
+            work()

@@ -1,0 +1,191 @@
+"""Calibrated platform presets: PLATFORM1 and PLATFORM2 (Table II).
+
+Every constant below is either taken directly from Table II or *calibrated*
+against a number the paper reports.  The derivations are given inline; the
+calibration is verified by ``tests/hw/test_platforms.py`` and the
+paper-vs-measured comparison lives in EXPERIMENTS.md.
+
+Anchor numbers used (all from the paper):
+
+====================================================================  =======
+Pinned HtoD of 5.96 GiB (Fig. 7)                                      0.536 s
+Pinned DtoH of 5.96 GiB (Fig. 7)                                      0.484 s
+Pinned transfers reach ~12 GB/s = 75% of PCIe v3 peak (Sec. V)        12 GB/s
+Pinned vs pageable throughput ("up to ~2x", Sec. V)                   2x
+Pinned alloc of p_s = 1e6 elements = 8 MB (Sec. IV-E1)                0.01 s
+Pinned alloc of p_s = n = 8e8 elements = 6.4 GB (Sec. IV-E1)          2.2 s
+GNU parallel sort speedup, 16 threads, n=1e5 (Fig. 4)                 3.17x
+GNU parallel sort speedup, 16 threads, n=1e9 (Fig. 4)                 10.12x
+std::qsort roughly half the speed of std::sort (Fig. 4)               2x
+Pair-wise merge speedup, 16 threads, n=1e9 (Fig. 6)                   8.14x
+BLINEMULTI at n=5e9 on PLATFORM1 (Sec. IV-F)                          31.2 s
+PIPEDATA at n=5e9 on PLATFORM1 (22% faster)                           25.55 s
+PARMEMCPY end-to-end improvement                                      13%
+Fastest approach vs CPU reference, n=1e9 / n=5e9 (PLATFORM1)          3.47x / 3.21x
+CPU/GPU response-time ratio for BLINE, n_b = 1 (Fig. 5, PLATFORM2)    1.22-1.32
+Lower-bound model slopes (Fig. 11, PLATFORM2)                         6.278 / 3.706 ns/element
+====================================================================  =======
+"""
+
+from __future__ import annotations
+
+from repro.hw.spec import (GIB, CPUSpec, GPUSpec, HostMemSpec,
+                           MergeCostModel, PCIeSpec, PlatformSpec,
+                           RuntimeCosts, SortCostModel)
+
+__all__ = ["PLATFORM1", "PLATFORM2", "get_platform", "PLATFORMS"]
+
+
+def _cpu_sort_suite(c_gnu: float, cores: int) -> dict[str, SortCostModel]:
+    """The four CPU sort libraries benchmarked in Fig. 4.
+
+    * ``gnu`` -- GNU libstdc++ parallel mode (the reference implementation).
+      Serial fraction 0.039 reproduces the 10.12x @ 16T large-n speedup;
+      the 100 us/thread spawn overhead reproduces the 3.17x @ n=1e5 limit.
+    * ``std`` -- sequential ``std::sort``; "std::sort and the GNU parallel
+      sort with 1 thread yield nearly identical performance" (Sec. IV-C).
+    * ``qsort`` -- ``std::qsort``; "slower than std::sort by roughly a
+      factor of 2" (indirect comparator calls).
+    * ``tbb`` -- Intel TBB ``parallel_sort``; "slower than the GNU parallel
+      library for large input sizes" (Sec. IV-C): higher per-element
+      constant, slightly cheaper task spawning.
+    """
+    return {
+        "gnu": SortCostModel("gnu", c_nlogn=c_gnu, serial_fraction=0.039,
+                             spawn_overhead_s=100e-6, max_threads=cores),
+        "std": SortCostModel("std", c_nlogn=c_gnu, max_threads=1),
+        "qsort": SortCostModel("qsort", c_nlogn=2.0 * c_gnu, max_threads=1),
+        "tbb": SortCostModel("tbb", c_nlogn=1.22 * c_gnu,
+                             serial_fraction=0.055,
+                             spawn_overhead_s=60e-6, max_threads=cores),
+    }
+
+
+#: Shared pinned-allocation cost: affine fit through the paper's two
+#: measurements -- 8 MB -> 0.01 s and 6.4 GB -> 2.2 s:
+#: per-byte = (2.2 - 0.01) / (6.4e9 - 8e6) = 0.3427 ns/B;
+#: fixed = 0.01 - 8e6 * per-byte = 7.26 ms.
+_PINNED_ALLOC_PER_BYTE = (2.2 - 0.01) / (6.4e9 - 8e6)
+_PINNED_ALLOC_FIXED = 0.01 - 8e6 * _PINNED_ALLOC_PER_BYTE
+
+_RUNTIME = RuntimeCosts(
+    kernel_launch_s=10e-6,
+    memcpy_async_call_s=8e-6,
+    memcpy_blocking_call_s=12e-6,
+    stream_sync_s=20e-6,
+    device_sync_s=30e-6,
+)
+
+# ---------------------------------------------------------------------------
+# PLATFORM1: 2x Xeon E5-2620 v4 (2x8 @ 2.1 GHz), Quadro GP100 16 GiB, CUDA 9
+# ---------------------------------------------------------------------------
+#
+# GNU sort constant: the reference implementation sorts n = 5e9 in ~71 s at
+# 16 threads (Fig. 9: the fastest hybrid approach is 3.21x faster at 22.2 s);
+# with serial fraction 0.039 the Amdahl speedup at 16T is 10.08, so
+# c = 71 * 10.08 / (5e9 * log2(5e9)) = 4.45e-9 s per element-log2.
+#
+# GP100 Thrust f64 radix throughput: Fig. 7 shows GPUSort below the 0.536 s
+# HtoD bar for n = 8e8, i.e. > 1.5e9 elements/s; we use 1.6e9.
+#
+# Host memcpy: a single std::memcpy thread sustains ~10 GB/s payload on this
+# class of Xeon; copy-like flows (staging copies + DMA) share a ~20 GB/s
+# payload bus -- roughly half the raw bandwidth of the GPU-side socket's
+# DDR4 channels, since each payload byte is read and written.  These two
+# constants are fitted jointly against the BLINEMULTI = 31.2 s and
+# PIPEDATA = 25.55 s anchors: the per-core cap makes MCpy the bottleneck
+# PARMEMCPY relieves, while the shared bus bounds how much pipelining and
+# parallel copies can actually win (Sec. IV-F's observation that host-side
+# bandwidth, not just PCIe, limits heterogeneous sorting).
+#
+# Merge: per-core rate 1.43e8 elements/s makes the sequential pair-wise
+# merge of n=1e9 take 7.0 s (Fig. 6a); serial fraction 0.0644 gives exactly
+# the observed 8.14x at 16 threads.  multiway_alpha tunes the k-way factor
+# so that the final 10-way merge at n=5e9 costs what Fig. 9 implies.
+PLATFORM1 = PlatformSpec(
+    name="PLATFORM1",
+    cpu=CPUSpec("2x Xeon E5-2620 v4", sockets=2, cores_per_socket=8,
+                clock_ghz=2.1),
+    gpus=(GPUSpec("Quadro GP100", cuda_cores=3584, mem_bytes=16 * GIB,
+                  sort_rate_f64=1.6e9, sort_overhead_s=0.010),),
+    pcie=PCIeSpec(peak_bw=16e9, pinned_efficiency=0.75,
+                  pageable_efficiency=0.375),
+    hostmem=HostMemSpec(
+        capacity_bytes=128 * GIB,
+        copy_bus_bw=20e9,
+        per_core_copy_bw=10e9,
+        pinned_alloc_fixed_s=_PINNED_ALLOC_FIXED,
+        pinned_alloc_per_byte_s=_PINNED_ALLOC_PER_BYTE,
+    ),
+    runtime=_RUNTIME,
+    cpu_sorts=_cpu_sort_suite(c_gnu=4.45e-9, cores=16),
+    merge=MergeCostModel(per_core_rate=1.43e8, serial_fraction=0.0644,
+                         spawn_overhead_s=50e-6, multiway_alpha=1.0,
+                         bytes_per_element=16.0),
+    reference_threads=16,
+)
+
+# ---------------------------------------------------------------------------
+# PLATFORM2: 2x Xeon E5-2660 v3 (2x10 @ 2.6 GHz), 2x Tesla K40m 12 GiB, CUDA 7.5
+# ---------------------------------------------------------------------------
+#
+# K40m Thrust f64 throughput: from the Fig. 11 lower-bound slope of
+# 6.278 ns/element for BLINE (staged pinned, n_b = 1):
+#   per-element = MCpy_in + HtoD + sort + DtoH + MCpy_out
+#   6.278 = 0.8 + 0.667 + sort + 0.667 + 0.8  =>  sort ~ 3.3 ns/element,
+# i.e. ~3.0e8 elements/s -- consistent with a Kepler-class device.
+#
+# GNU sort constant: Fig. 5 shows the CPU reference (20 threads) is 1.22x to
+# 1.32x *slower* than BLINE, i.e. ~8.0 ns/element at n~7e8; the Amdahl
+# speedup at 20T (serial fraction 0.039) is 11.5, so c ~ 3.2e-9.
+#
+# Merge per-core rate: calibrated so the 2-GPU lower-bound slope lands at
+# ~3.7 ns/element: each GPU sorts n/2 concurrently (~3.14 ns/el aggregate,
+# with PCIe contention) plus one pair-wise merge of n at 20 threads.
+#
+# Copy bus: PLATFORM2 drives its two K40m from the two sockets, so staging
+# copies and DMA spread across more memory-controller bandwidth than
+# PLATFORM1's single GPU socket (24 vs 20 GB/s payload).  The value is
+# fitted jointly against three Fig. 10/11 anchors: the 2-GPU lower-bound
+# slope, the ~2x speedup of the fastest 2-GPU configuration over the CPU
+# reference, and BLINEMULTI still (barely) beating the reference at
+# n = 4.9e9.
+PLATFORM2 = PlatformSpec(
+    name="PLATFORM2",
+    cpu=CPUSpec("2x Xeon E5-2660 v3", sockets=2, cores_per_socket=10,
+                clock_ghz=2.6),
+    gpus=(GPUSpec("Tesla K40m", cuda_cores=2880, mem_bytes=12 * GIB,
+                  sort_rate_f64=3.0e8, sort_overhead_s=0.012),
+          GPUSpec("Tesla K40m", cuda_cores=2880, mem_bytes=12 * GIB,
+                  sort_rate_f64=3.0e8, sort_overhead_s=0.012)),
+    pcie=PCIeSpec(peak_bw=16e9, pinned_efficiency=0.75,
+                  pageable_efficiency=0.375),
+    hostmem=HostMemSpec(
+        capacity_bytes=128 * GIB,
+        copy_bus_bw=24e9,
+        per_core_copy_bw=10e9,
+        pinned_alloc_fixed_s=_PINNED_ALLOC_FIXED,
+        pinned_alloc_per_byte_s=_PINNED_ALLOC_PER_BYTE,
+    ),
+    runtime=_RUNTIME,
+    cpu_sorts=_cpu_sort_suite(c_gnu=3.2e-9, cores=20),
+    merge=MergeCostModel(per_core_rate=2.0e8, serial_fraction=0.0644,
+                         spawn_overhead_s=50e-6, multiway_alpha=1.0,
+                         bytes_per_element=16.0),
+    reference_threads=20,
+)
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    "PLATFORM1": PLATFORM1,
+    "PLATFORM2": PLATFORM2,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look a platform preset up by name (case-insensitive)."""
+    try:
+        return PLATFORMS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Thread-scaling laws used by the CPU-side cost models.
+
+The paper's CPU baselines scale sub-linearly in thread count, and the
+shortfall depends on the input size (Fig. 4: 3.17x speedup at n=1e5 but
+10.12x at n=1e9, both with 16 threads; Fig. 6: 8.14x for the memory-bound
+merge).  Two ingredients reproduce that:
+
+* **Amdahl's law** with a serial fraction ``s``:
+  ``speedup(t) = 1 / (s + (1 - s) / t)``;
+* a **per-thread spawn/orchestration overhead** that is independent of n,
+  which dominates for small inputs and is negligible for large ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CalibrationError
+
+__all__ = [
+    "amdahl_speedup", "parallel_seconds", "speedup",
+    "fit_serial_fraction",
+]
+
+
+def amdahl_speedup(threads: int, serial_fraction: float) -> float:
+    """Amdahl speedup of ``threads`` threads with the given serial fraction.
+
+    >>> amdahl_speedup(16, 0.0)
+    16.0
+    >>> round(amdahl_speedup(16, 0.0644), 2)
+    8.15
+    """
+    if threads < 1:
+        raise CalibrationError(f"threads must be >= 1, got {threads}")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise CalibrationError(
+            f"serial fraction must be in [0, 1], got {serial_fraction}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / threads)
+
+
+def parallel_seconds(seq_seconds: float, threads: int,
+                     serial_fraction: float,
+                     spawn_overhead_s: float = 0.0) -> float:
+    """Parallel run time: Amdahl-scaled work plus per-thread overhead.
+
+    ``T(t) = T1 * (s + (1-s)/t) + t * c_spawn``
+
+    The additive ``t * c_spawn`` term models OpenMP fork/join and
+    work-partitioning cost; it is what bounds small-n scalability in Fig. 4.
+    """
+    if seq_seconds < 0:
+        raise CalibrationError("negative sequential time")
+    t = amdahl_speedup(threads, serial_fraction)
+    return seq_seconds / t + threads * spawn_overhead_s
+
+
+def speedup(seq_seconds: float, threads: int, serial_fraction: float,
+            spawn_overhead_s: float = 0.0) -> float:
+    """Observed speedup ``T1 / T(t)`` under the model above."""
+    if seq_seconds <= 0:
+        return 1.0
+    return seq_seconds / parallel_seconds(
+        seq_seconds, threads, serial_fraction, spawn_overhead_s)
+
+
+def fit_serial_fraction(threads: int, observed_speedup: float) -> float:
+    """Invert Amdahl's law: the serial fraction that yields
+    ``observed_speedup`` at ``threads`` threads (spawn overhead ignored).
+
+    >>> round(fit_serial_fraction(16, 8.14), 4)
+    0.0644
+    """
+    if threads < 2:
+        raise CalibrationError("need at least 2 threads to fit")
+    if not 1.0 <= observed_speedup <= threads:
+        raise CalibrationError(
+            f"speedup {observed_speedup} not achievable with "
+            f"{threads} threads")
+    # 1/S = s + (1-s)/t  =>  s = (1/S - 1/t) / (1 - 1/t)
+    inv_t = 1.0 / threads
+    s = (1.0 / observed_speedup - inv_t) / (1.0 - inv_t)
+    return max(0.0, min(1.0, s))

@@ -1,0 +1,263 @@
+"""Hardware and cost-model specifications (Table II of the paper).
+
+All timing behaviour of the simulated platform is parameterised here.  A
+:class:`PlatformSpec` bundles:
+
+* physical structure: CPU sockets/cores, GPUs with global-memory capacity,
+  the PCIe interconnect, host memory;
+* calibrated *cost models* for the software primitives the paper uses
+  (GNU/TBB/std sorts, pair-wise and multiway merges);
+* runtime-call overheads (kernel launch, async-copy synchronisation, ...).
+
+Calibration values live in :mod:`repro.hw.platforms` together with their
+derivations from the paper's reported anchor numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CalibrationError
+from repro.hw import scaling
+
+__all__ = [
+    "CPUSpec", "GPUSpec", "PCIeSpec", "HostMemSpec", "RuntimeCosts",
+    "SortCostModel", "MergeCostModel", "PlatformSpec", "GIB", "GB",
+]
+
+GIB = 1024 ** 3
+GB = 1000 ** 3
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multi-socket host CPU."""
+
+    model: str
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+
+    @property
+    def cores(self) -> int:
+        """Total physical cores (the paper does not use hyperthreads)."""
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU device.
+
+    ``sort_rate_f64`` is the sustained Thrust radix-sort throughput for
+    64-bit keys (elements/second) once the kernel is running;
+    ``sort_overhead_s`` covers kernel launch plus Thrust's temporary-buffer
+    management per sort call.
+    """
+
+    model: str
+    cuda_cores: int
+    mem_bytes: int
+    sort_rate_f64: float
+    sort_overhead_s: float = 0.01
+
+    def sort_seconds(self, n: int) -> float:
+        """Device time to sort ``n`` 64-bit elements."""
+        if n <= 0:
+            return 0.0
+        return self.sort_overhead_s + n / self.sort_rate_f64
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """The host<->device interconnect.
+
+    ``peak_bw`` is the physical per-direction bandwidth (16 GB/s for PCIe
+    v3 x16).  Individual transfers reach only a fraction of it:
+    ``pinned_efficiency`` (the paper measures ~12 GB/s = 75%, Sec. V) or
+    ``pageable_efficiency`` (pinned gives "up to ~2x" over pageable).
+    The link itself (and hence multi-GPU contention) is modelled at
+    ``peak_bw``.
+    """
+
+    peak_bw: float
+    pinned_efficiency: float = 0.75
+    pageable_efficiency: float = 0.375
+    #: Pageable copies are staged by the driver through internal pinned
+    #: buffers, so they hit host memory twice per payload byte.
+    pageable_hostmem_factor: float = 2.0
+
+    def flow_cap(self, pinned: bool) -> float:
+        """Max rate of a single transfer (bytes/s)."""
+        eff = self.pinned_efficiency if pinned else self.pageable_efficiency
+        return self.peak_bw * eff
+
+
+@dataclass(frozen=True)
+class HostMemSpec:
+    """Host DRAM: capacity, copy bandwidths and pinned-allocation cost.
+
+    ``copy_bus_bw`` is the aggregate *payload* bandwidth available to
+    copy-like flows (each payload byte is read once and written once, so
+    this is roughly half the raw DRAM bandwidth).  ``per_core_copy_bw`` is
+    what a single ``std::memcpy`` thread sustains -- the reason PARMEMCPY
+    helps (Sec. IV-F: "a single core cannot saturate the memory bandwidth").
+
+    Pinned allocation cost is affine: the paper reports 0.01 s for an 8 MB
+    buffer and 2.2 s for a 6.4 GB buffer (Sec. IV-E1).
+    """
+
+    capacity_bytes: int
+    copy_bus_bw: float
+    per_core_copy_bw: float
+    pinned_alloc_fixed_s: float
+    pinned_alloc_per_byte_s: float
+
+    def pinned_alloc_seconds(self, nbytes: float) -> float:
+        """Cost of ``cudaMallocHost(nbytes)``."""
+        return self.pinned_alloc_fixed_s + self.pinned_alloc_per_byte_s * nbytes
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Fixed per-call overheads of the (simulated) CUDA runtime."""
+
+    kernel_launch_s: float = 10e-6
+    memcpy_async_call_s: float = 8e-6
+    memcpy_blocking_call_s: float = 12e-6
+    stream_sync_s: float = 20e-6
+    device_sync_s: float = 30e-6
+
+
+@dataclass(frozen=True)
+class SortCostModel:
+    """Cost model for a comparison/radix CPU sort library.
+
+    ``seq_time(n) = c_nlogn * n * log2(n)``; parallel time follows Amdahl's
+    law with a per-thread spawn overhead (:mod:`repro.hw.scaling`), which is
+    what produces the n-dependent scalability of Fig. 4 (3.17x at n=1e5 up
+    to 10.12x at n=1e9 with 16 threads).
+    """
+
+    name: str
+    c_nlogn: float
+    serial_fraction: float = 0.0
+    spawn_overhead_s: float = 0.0
+    max_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.c_nlogn <= 0:
+            raise CalibrationError(f"{self.name}: c_nlogn must be > 0")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise CalibrationError(
+                f"{self.name}: serial_fraction must be in [0, 1)")
+
+    def seq_seconds(self, n: int) -> float:
+        """Single-thread sort time."""
+        if n <= 1:
+            return 0.0
+        return self.c_nlogn * n * math.log2(n)
+
+    def seconds(self, n: int, threads: int = 1) -> float:
+        """Sort time with ``threads`` OpenMP threads."""
+        threads = min(threads, self.max_threads)
+        return scaling.parallel_seconds(
+            self.seq_seconds(n), threads,
+            self.serial_fraction, self.spawn_overhead_s)
+
+
+@dataclass(frozen=True)
+class MergeCostModel:
+    """Cost model for CPU merging (pair-wise and multiway).
+
+    Merging is memory-bound (Fig. 6 shows only 8.14x at 16 threads), so the
+    model is expressed as a per-core element rate plus an Amdahl-style
+    efficiency cap.  A k-way multiway merge pays a cache-efficiency factor
+    ``1 + multiway_alpha * log2(k)`` relative to the pair-wise merge --
+    this is the O(n log k) work term of Sec. III-A.
+
+    ``bytes_per_element`` is the memory-bus traffic per merged element
+    (read input + write output), used when a merge runs as a flow on the
+    shared host-memory bus so that it contends with staging copies.
+    """
+
+    per_core_rate: float
+    serial_fraction: float
+    spawn_overhead_s: float = 0.0
+    multiway_alpha: float = 0.6
+    bytes_per_element: float = 16.0
+
+    def multiway_factor(self, k: int) -> float:
+        """Per-element cost multiplier of a k-way merge vs. pair-wise."""
+        if k < 2:
+            return 1.0
+        return 1.0 + self.multiway_alpha * (math.log2(k) - 1.0)
+
+    def effective_threads(self, threads: int) -> float:
+        """Amdahl-capped parallelism (the Fig. 6 speedup curve)."""
+        return scaling.amdahl_speedup(threads, self.serial_fraction)
+
+    def rate(self, threads: int, k: int = 2) -> float:
+        """Merged elements/second with ``threads`` threads, k-way."""
+        return (self.per_core_rate * self.effective_threads(threads)
+                / self.multiway_factor(k))
+
+    def seconds(self, n: int, threads: int = 1, k: int = 2) -> float:
+        """Time to merge ``n`` total elements from ``k`` sorted runs."""
+        if n <= 0:
+            return 0.0
+        return self.spawn_overhead_s * threads + n / self.rate(threads, k)
+
+    def flow_bytes(self, n: int, k: int = 2) -> float:
+        """Host-bus traffic of the merge (payload bytes)."""
+        return n * self.bytes_per_element * self.multiway_factor(k)
+
+    def flow_cap(self, threads: int, k: int = 2) -> float:
+        """Max host-bus rate of the merge flow (bytes/s), chosen so that an
+        uncontended flow reproduces :meth:`seconds`."""
+        return self.rate(threads, k) * self.bytes_per_element \
+            * self.multiway_factor(k)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A complete heterogeneous platform (one row of Table II)."""
+
+    name: str
+    cpu: CPUSpec
+    gpus: tuple[GPUSpec, ...]
+    pcie: PCIeSpec
+    hostmem: HostMemSpec
+    runtime: RuntimeCosts
+    cpu_sorts: dict[str, SortCostModel] = field(default_factory=dict)
+    merge: MergeCostModel = None  # type: ignore[assignment]
+    #: Threads used for the parallel reference sort (16 on PLATFORM1,
+    #: 20 on PLATFORM2, Sec. IV-C).
+    reference_threads: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise CalibrationError(f"{self.name}: needs at least one GPU")
+        if self.merge is None:
+            raise CalibrationError(f"{self.name}: missing merge model")
+        if self.reference_threads > self.cpu.cores:
+            raise CalibrationError(
+                f"{self.name}: reference_threads exceeds physical cores")
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    def sort_model(self, library: str = "gnu") -> SortCostModel:
+        """The cost model of a named CPU sort library."""
+        try:
+            return self.cpu_sorts[library]
+        except KeyError:
+            raise CalibrationError(
+                f"{self.name}: unknown CPU sort library {library!r} "
+                f"(have {sorted(self.cpu_sorts)})") from None
+
+    def reference_sort_seconds(self, n: int) -> float:
+        """Response time of the parallel CPU reference implementation
+        (GNU parallel-mode sort at ``reference_threads``, Sec. IV-C)."""
+        return self.sort_model("gnu").seconds(n, self.reference_threads)

@@ -1,0 +1,83 @@
+"""Vectorised bitonic sorting network.
+
+The paper notes (Sec. IV-A) that its pipeline "can use any sorting
+algorithm on the GPU, allowing us to use a data-oblivious sorting algorithm
+if needed".  Bitonic sort is the canonical data-oblivious network (the same
+compare-exchange sequence for every input), so we provide it as an
+alternative device kernel; its comparison pattern is the classic
+Batcher construction with ``O(n log^2 n)`` compare-exchanges.
+
+The implementation vectorises each of the ``log^2`` stages over the whole
+array with numpy index arithmetic, mirroring how a GPU executes one stage
+as one kernel launch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.utils import check_no_nan
+
+__all__ = ["bitonic_sort", "bitonic_sort_inplace", "compare_exchange_pairs"]
+
+
+def compare_exchange_pairs(n: int, k: int, j: int
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs ``(lo, hi)`` of stage ``(k, j)`` of the bitonic network
+    over ``n`` (power-of-two) elements, with direction folded in:
+    after the exchange, ``a[lo] <= a[hi]`` must hold.
+
+    Exposed separately so the tests can verify the network structure
+    (each element appears in at most one pair per stage, etc.).
+    """
+    i = np.arange(n)
+    partner = i ^ j
+    first = partner > i
+    ascending = (i & k) == 0
+    lo = np.where(ascending, i, partner)[first]
+    hi = np.where(ascending, partner, i)[first]
+    return lo, hi
+
+
+def bitonic_sort_inplace(a: np.ndarray) -> None:
+    """Sort ``a`` in place with a bitonic network.
+
+    Non-power-of-two inputs are padded with ``+inf`` internally.
+    """
+    if a.ndim != 1:
+        raise ValidationError("bitonic_sort expects a 1-D array")
+    check_no_nan(a)
+    n = len(a)
+    if n < 2:
+        return
+    m = 1 << (n - 1).bit_length()
+    if m != n:
+        if a.dtype.kind != "f":
+            raise ValidationError(
+                "non-power-of-two bitonic sort needs a float dtype "
+                "(padding uses +inf)")
+        buf = np.full(m, np.inf, dtype=a.dtype)
+        buf[:n] = a
+    else:
+        buf = a  # power of two: run the network directly in place
+    k = 2
+    while k <= m:
+        j = k // 2
+        while j >= 1:
+            lo, hi = compare_exchange_pairs(m, k, j)
+            x, y = buf[lo], buf[hi]
+            swap = x > y
+            buf[lo] = np.where(swap, y, x)
+            buf[hi] = np.where(swap, x, y)
+            j //= 2
+        k *= 2
+    if buf is not a:
+        a[:] = buf[:n]
+
+
+def bitonic_sort(a: np.ndarray) -> np.ndarray:
+    """Sorted copy of ``a`` via the bitonic network."""
+    out = np.array(a, copy=True)
+    bitonic_sort_inplace(out)
+    return out

@@ -1,0 +1,120 @@
+"""Comparator-driven quicksort (the ``std::qsort`` / ``std::sort``
+stand-in).
+
+Fig. 4 of the paper benchmarks the sequential ``std::sort`` (introsort)
+and ``std::qsort`` (comparator callbacks, ~2x slower).  This module
+implements an introsort with the same structure: median-of-three
+quicksort, insertion sort below a cutoff, and a heapsort fallback when
+recursion exceeds ``2 * log2(n)`` (the "intro" depth bound that guarantees
+``O(n log n)`` worst case).
+
+Vectorised partitioning keeps it usable on real arrays; the pure-Python
+insertion sort / heapsort base cases keep the algorithm honest.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kernels.utils import check_no_nan
+
+__all__ = ["introsort", "insertion_sort_inplace", "heapsort_inplace"]
+
+#: Below this size, recursion switches to insertion sort.
+INSERTION_CUTOFF = 16
+
+
+def insertion_sort_inplace(a: np.ndarray, lo: int = 0,
+                           hi: int | None = None) -> None:
+    """Classic insertion sort on ``a[lo:hi]`` (in place, stable)."""
+    hi = len(a) if hi is None else hi
+    for i in range(lo + 1, hi):
+        v = a[i]
+        j = i - 1
+        while j >= lo and a[j] > v:
+            a[j + 1] = a[j]
+            j -= 1
+        a[j + 1] = v
+
+
+def _sift_down(a: np.ndarray, lo: int, root: int, hi: int) -> None:
+    while True:
+        child = lo + 2 * (root - lo) + 1
+        if child >= hi:
+            return
+        if child + 1 < hi and a[child] < a[child + 1]:
+            child += 1
+        if a[root] >= a[child]:
+            return
+        a[root], a[child] = a[child], a[root]
+        root = child
+
+
+def heapsort_inplace(a: np.ndarray, lo: int = 0,
+                     hi: int | None = None) -> None:
+    """In-place heapsort on ``a[lo:hi]`` (the introsort fallback)."""
+    hi = len(a) if hi is None else hi
+    n = hi - lo
+    for root in range(lo + n // 2 - 1, lo - 1, -1):
+        _sift_down(a, lo, root, hi)
+    for end in range(hi - 1, lo, -1):
+        a[lo], a[end] = a[end], a[lo]
+        _sift_down(a, lo, lo, end)
+
+
+def _median_of_three(a: np.ndarray, lo: int, hi: int) -> float:
+    mid = (lo + hi) // 2
+    x, y, z = a[lo], a[mid], a[hi - 1]
+    if x > y:
+        x, y = y, x
+    if y > z:
+        y = z if x <= z else x
+    return y
+
+
+def introsort(a: np.ndarray) -> np.ndarray:
+    """Sorted copy of ``a`` via introsort (quicksort + insertion sort +
+    depth-bounded heapsort fallback)."""
+    a = np.asarray(a)
+    if a.ndim != 1:
+        raise ValidationError("introsort expects a 1-D array")
+    check_no_nan(a)
+    out = a.copy()
+    n = len(out)
+    if n < 2:
+        return out
+    max_depth = 2 * int(math.log2(n)) + 1
+    _intro(out, 0, n, max_depth)
+    return out
+
+
+def _intro(a: np.ndarray, lo: int, hi: int, depth: int) -> None:
+    while hi - lo > INSERTION_CUTOFF:
+        if depth == 0:
+            heapsort_inplace(a, lo, hi)
+            return
+        depth -= 1
+        pivot = _median_of_three(a, lo, hi)
+        seg = a[lo:hi]
+        # Three-way vectorised partition (handles duplicate-heavy inputs,
+        # the classic qsort worst case, in one pass).
+        less = seg[seg < pivot]
+        equal = seg[seg == pivot]
+        greater = seg[seg > pivot]
+        a[lo:lo + len(less)] = less
+        a[lo + len(less):lo + len(less) + len(equal)] = equal
+        a[lo + len(less) + len(equal):hi] = greater
+        # Recurse into the smaller side, iterate on the larger (bounds the
+        # Python recursion depth at O(log n)).
+        left_hi = lo + len(less)
+        right_lo = left_hi + len(equal)
+        if left_hi - lo < hi - right_lo:
+            _intro(a, lo, left_hi, depth)
+            lo = right_lo
+        else:
+            _intro(a, right_lo, hi, depth)
+            hi = left_hi
+    insertion_sort_inplace(a, lo, hi)

@@ -1,0 +1,76 @@
+"""Shared helpers for the functional sorting kernels.
+
+The key transform maps IEEE-754 doubles to unsigned 64-bit integers whose
+unsigned order equals the floats' numeric order -- the standard trick that
+lets a radix sort (Thrust's algorithm for primitive keys) handle floating
+point: flip all bits of negatives, flip only the sign bit of positives.
+
+NaNs are rejected up front (they have no place in a total order; Thrust's
+behaviour on NaN keys is unspecified too).  ``-0.0`` and ``+0.0`` compare
+equal as floats but map to distinct keys (``-0.0`` before ``+0.0``), which
+still yields a correctly sorted float array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "float64_to_ordered_uint64", "ordered_uint64_to_float64",
+    "check_no_nan", "is_sorted", "same_multiset",
+]
+
+_SIGN = np.uint64(0x8000000000000000)
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def check_no_nan(a: np.ndarray) -> None:
+    """Raise :class:`ValidationError` if ``a`` contains NaN."""
+    if a.dtype.kind == "f" and np.isnan(a).any():
+        raise ValidationError("input contains NaN; keys must be totally "
+                              "ordered")
+
+
+def float64_to_ordered_uint64(a: np.ndarray) -> np.ndarray:
+    """Order-preserving bijection from float64 to uint64.
+
+    >>> import numpy as np
+    >>> x = np.array([3.5, -1.0, 0.0, -0.0, np.inf, -np.inf])
+    >>> k = float64_to_ordered_uint64(x)
+    >>> (np.argsort(k, kind="stable") == np.argsort(x, kind="stable")).all()
+    np.True_
+    """
+    if a.dtype != np.float64:
+        raise ValidationError(f"expected float64, got {a.dtype}")
+    check_no_nan(a)
+    bits = a.view(np.uint64)
+    mask = np.where(bits >> np.uint64(63) == 1, _FULL, _SIGN)
+    return bits ^ mask
+
+
+def ordered_uint64_to_float64(k: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`float64_to_ordered_uint64`."""
+    if k.dtype != np.uint64:
+        raise ValidationError(f"expected uint64, got {k.dtype}")
+    mask = np.where(k >> np.uint64(63) == 1, _SIGN, _FULL)
+    return (k ^ mask).view(np.float64)
+
+
+def is_sorted(a: np.ndarray) -> bool:
+    """True if ``a`` is non-decreasing."""
+    if len(a) < 2:
+        return True
+    return bool(np.all(a[:-1] <= a[1:]))
+
+
+def same_multiset(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if ``b`` is a permutation of ``a`` (bit-level comparison, so
+    ``-0.0`` and ``+0.0`` are distinguished)."""
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    if a.dtype == np.float64:
+        a = a.view(np.uint64)
+        b = b.view(np.uint64)
+    return bool(np.array_equal(np.sort(a), np.sort(b)))

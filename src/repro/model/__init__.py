@@ -1,0 +1,12 @@
+"""Analytical models: the Sec. IV-G lower bounds and the Sec. IV-E
+missing-overhead accounting."""
+
+from repro.model.endtoend import (PAPER_FIG7_SECONDS, EndToEndAccounting,
+                                  end_to_end_accounting)
+from repro.model.lowerbound import (LowerBoundModel,
+                                    measure_bline_throughput, paper_slopes)
+
+__all__ = [
+    "LowerBoundModel", "measure_bline_throughput", "paper_slopes",
+    "EndToEndAccounting", "end_to_end_accounting", "PAPER_FIG7_SECONDS",
+]

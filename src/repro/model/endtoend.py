@@ -1,0 +1,89 @@
+"""The "missing overhead" accounting of Sec. IV-E.
+
+Stehle & Jacobsen [5] report an end-to-end heterogeneous-sort time built
+from only three components: HtoD transfer, DtoH transfer, and on-GPU sort
+time.  The paper shows this omits every pinned-memory cost: staging
+copies (``MCpy``), pinned allocation, and per-copy synchronisation.
+
+:func:`end_to_end_accounting` runs a BLINE sort and splits its timeline
+both ways, reproducing Fig. 7 (component bars) and Fig. 8 (related-work
+total vs. full total as n grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hetsort.result import SortResult
+from repro.hetsort.sorter import HeterogeneousSorter
+from repro.hw.spec import PlatformSpec
+from repro.sim import CAT
+
+__all__ = ["EndToEndAccounting", "end_to_end_accounting",
+           "PAPER_FIG7_SECONDS"]
+
+#: The related work's Fig. 8 "CUB" bar values the paper compares against
+#: (6 GB of key/value pairs on a Titan X; times estimated from their plot):
+PAPER_FIG7_SECONDS = {
+    "HtoD_ours": 0.536, "DtoH_ours": 0.484,
+    "HtoD_related": 0.542, "DtoH_related": 0.477,
+}
+
+
+@dataclass(frozen=True)
+class EndToEndAccounting:
+    """Both accountings of one run (all times in seconds)."""
+
+    n: int
+    htod: float
+    dtoh: float
+    gpusort: float
+    mcpy: float
+    pinned_alloc: float
+    sync: float
+    full_elapsed: float
+
+    @property
+    def related_work_total(self) -> float:
+        """End-to-end as computed in [5]: transfers + sort only."""
+        return self.htod + self.dtoh + self.gpusort
+
+    @property
+    def missing_overhead(self) -> float:
+        """What [5]'s accounting leaves out (Fig. 8's shaded gap)."""
+        return self.full_elapsed - self.related_work_total
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(component, seconds) rows in Fig. 7 order."""
+        return [
+            ("HtoD", self.htod),
+            ("DtoH", self.dtoh),
+            ("GPUSort", self.gpusort),
+            ("MCpy (omitted)", self.mcpy),
+            ("PinnedAlloc (omitted)", self.pinned_alloc),
+            ("Sync (omitted)", self.sync),
+            ("Related-work end-to-end", self.related_work_total),
+            ("Full end-to-end (BLine)", self.full_elapsed),
+        ]
+
+
+def end_to_end_accounting(platform: PlatformSpec, n: int,
+                          pinned_elements: int = 10 ** 6
+                          ) -> EndToEndAccounting:
+    """Run BLINE (n_b = 1, pinned staging, blocking) at size ``n`` and
+    decompose its response time both ways (the Fig. 7 / Fig. 8
+    methodology)."""
+    sorter = HeterogeneousSorter(platform, approach="bline",
+                                 pinned_elements=pinned_elements)
+    res: SortResult = sorter.sort(n=n, approach="bline")
+    t = res.trace
+    return EndToEndAccounting(
+        n=n,
+        htod=t.total(CAT.HTOD),
+        dtoh=t.total(CAT.DTOH),
+        gpusort=t.total(CAT.GPUSORT),
+        mcpy=t.total(CAT.MCPY),
+        pinned_alloc=t.total(CAT.PINNED_ALLOC),
+        sync=t.total(CAT.SYNC),
+        full_elapsed=res.elapsed,
+    )

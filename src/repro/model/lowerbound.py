@@ -1,0 +1,81 @@
+"""The lower-bound performance models of Sec. IV-G.
+
+The paper builds a simple analytical baseline from measured BLINE
+throughput and uses it to judge the efficiency of the pipelined
+approaches (Fig. 11):
+
+* **1 GPU**: "unlimited GPU memory" -- sorting at BLINE's peak
+  elements/second, i.e. ``T(n) = n / rate_1gpu``, with the rate measured
+  at the largest n that fits in global memory.  The paper reports the
+  fitted slope ``6.278e-9`` s/element on PLATFORM2.
+* **2 GPUs**: each GPU sorts n/2 concurrently, followed by one
+  unavoidable pair-wise merge on the host (``n_b = 2``); the paper's
+  fitted slope is ``3.706e-9`` s/element.
+
+:func:`measure_bline_throughput` *derives* the model from a simulated
+BLINE run exactly as the paper derives it from a measured one, so the
+model and the simulator stay consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hetsort.sorter import HeterogeneousSorter
+from repro.hw.spec import PlatformSpec
+
+__all__ = ["LowerBoundModel", "measure_bline_throughput", "paper_slopes"]
+
+#: The slopes the paper reports for PLATFORM2 (s per element), Fig. 11.
+PAPER_SLOPE_1GPU = 6.278e-9
+PAPER_SLOPE_2GPU = 3.706e-9
+
+
+def paper_slopes() -> dict[int, float]:
+    """The paper's fitted Fig. 11 slopes, keyed by GPU count."""
+    return {1: PAPER_SLOPE_1GPU, 2: PAPER_SLOPE_2GPU}
+
+
+@dataclass(frozen=True)
+class LowerBoundModel:
+    """A linear lower-bound model ``T(n) = slope * n``."""
+
+    platform_name: str
+    n_gpus: int
+    slope: float           #: seconds per element
+    calibration_n: int     #: the n the slope was measured at
+
+    def seconds(self, n: int) -> float:
+        """Predicted lower-bound response time."""
+        return self.slope * n
+
+    def slowdown_of(self, measured_seconds: float, n: int) -> float:
+        """``model / measured`` -- the paper's "slowdown vs. model"
+        metric (values < 1 mean the approach is slower than the model;
+        Sec. IV-G reports 0.93x / 0.88x for PIPEDATA at n = 4.9e9)."""
+        if measured_seconds <= 0:
+            raise ValueError("measured time must be positive")
+        return self.seconds(n) / measured_seconds
+
+
+def measure_bline_throughput(platform: PlatformSpec, n_gpus: int = 1,
+                             n: int | None = None) -> LowerBoundModel:
+    """Derive the lower-bound model the way the paper does (Sec. IV-G).
+
+    * ``n_gpus == 1``: run BLINE at the largest ``n`` whose ``2n``
+      elements fit in global memory (paper: n = 7e8 on PLATFORM2).
+    * ``n_gpus == 2``: run BLINE with ``b_s = n/2`` per GPU and ``n_s =
+      1`` at near-capacity n (paper: n = 1.4e9), merge included.
+    """
+    if n is None:
+        per_gpu = min(g.mem_bytes for g in platform.gpus[:n_gpus]) \
+            // (2 * 8)
+        # Round down to a tidy multiple of 1e8 like the paper's sizes.
+        per_gpu = max(10 ** 8, (per_gpu // 10 ** 8) * 10 ** 8)
+        n = per_gpu * n_gpus
+    sorter = HeterogeneousSorter(platform, n_gpus=n_gpus,
+                                 approach="bline", n_streams=1)
+    res = sorter.sort(n=n, approach="bline")
+    return LowerBoundModel(
+        platform_name=platform.name, n_gpus=n_gpus,
+        slope=res.elapsed / n, calibration_n=n)

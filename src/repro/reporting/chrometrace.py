@@ -1,0 +1,82 @@
+"""Export a simulation trace to Chrome's trace-event JSON format.
+
+Load the produced file in ``chrome://tracing`` or https://ui.perfetto.dev
+to inspect a pipeline interactively -- every lane (GPU engines, streams,
+CPU merge workers) becomes a track, every span a complete event.
+
+>>> from repro import HeterogeneousSorter, PLATFORM1
+>>> from repro.reporting.chrometrace import to_chrome_trace
+>>> r = HeterogeneousSorter(PLATFORM1, batch_size=int(2e8)).sort(
+...     n=int(4e8), approach="pipedata")
+>>> events = to_chrome_trace(r.trace)
+>>> sorted({e["ph"] for e in events})
+['M', 'X']
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from repro.sim.trace import Trace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Stable colour names per category (Chrome trace colour palette).
+_COLOURS = {
+    "HtoD": "thread_state_running",
+    "DtoH": "thread_state_runnable",
+    "GPUSort": "rail_response",
+    "MCpy": "thread_state_iowait",
+    "Merge": "rail_animation",
+    "PairMerge": "rail_idle",
+    "PinnedAlloc": "startup",
+    "Sync": "grey",
+    "CPUSort": "rail_load",
+}
+
+
+def to_chrome_trace(trace: Trace) -> list[dict]:
+    """Convert a :class:`Trace` into a list of trace-event dicts.
+
+    Spans become complete ("X") events; lanes map to thread ids so each
+    lane renders as its own track.  Times are microseconds, as the format
+    requires.
+    """
+    lanes = {lane: tid for tid, lane in enumerate(trace.lanes())}
+    events: list[dict] = []
+    for lane, tid in lanes.items():
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": lane or "(main)"},
+        })
+    for s in trace.spans:
+        ev = {
+            "ph": "X",
+            "pid": 0,
+            "tid": lanes[s.lane],
+            "name": s.label,
+            "cat": s.category,
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "args": {},
+        }
+        if s.nbytes:
+            ev["args"]["bytes"] = s.nbytes
+        if s.elements:
+            ev["args"]["elements"] = s.elements
+        for key, value in s.meta:
+            ev["args"][str(key)] = value
+        colour = _COLOURS.get(s.category)
+        if colour:
+            ev["cname"] = colour
+        events.append(ev)
+    return events
+
+
+def write_chrome_trace(trace: Trace, path: str) -> int:
+    """Write the trace-event JSON to ``path``; returns the event count."""
+    events = to_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

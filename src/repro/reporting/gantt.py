@@ -1,0 +1,51 @@
+"""ASCII Gantt rendering of a simulation trace.
+
+Turns a :class:`~repro.sim.trace.Trace` into the kind of lane/timeline
+picture the paper uses to explain pipelining (Figs. 1-3), so the examples
+can *show* the overlap structure each approach achieves.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+
+__all__ = ["render_gantt"]
+
+_GLYPHS = {
+    "HtoD": "H", "DtoH": "D", "GPUSort": "S", "MCpy": "m",
+    "Merge": "M", "PairMerge": "P", "PinnedAlloc": "A", "Sync": ".",
+    "CPUSort": "C",
+}
+
+
+def render_gantt(trace: Trace, width: int = 100,
+                 max_lanes: int = 24) -> str:
+    """Render the trace as one text row per lane.
+
+    Each column is ``makespan / width`` seconds; a span paints its
+    category glyph over its columns (later spans overwrite earlier ones
+    within a lane).
+    """
+    if not trace.spans:
+        return "(empty trace)"
+    t0 = min(s.start for s in trace.spans)
+    t1 = max(s.end for s in trace.spans)
+    span = max(t1 - t0, 1e-12)
+    scale = width / span
+
+    lanes = trace.lanes()[:max_lanes]
+    rows = []
+    label_w = max((len(l) for l in lanes), default=4) + 2
+    for lane in lanes:
+        row = [" "] * width
+        for s in trace.filter(lane=lane):
+            a = int((s.start - t0) * scale)
+            b = max(a + 1, int((s.end - t0) * scale))
+            g = _GLYPHS.get(s.category, "?")
+            for i in range(a, min(b, width)):
+                row[i] = g
+        rows.append(f"{lane:<{label_w}}|{''.join(row)}|")
+    legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    header = (f"t=[{t0:.4f}s .. {t1:.4f}s]  "
+              f"({span / width:.4g} s/column)")
+    return "\n".join([header, *rows, legend])

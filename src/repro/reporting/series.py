@@ -1,0 +1,70 @@
+"""Figure series containers: named (x, y) curves plus derived metrics.
+
+Each benchmark builds one :class:`FigureSeries` per plotted line and uses
+the helpers here for the quantities the paper annotates (speedups,
+ratios, crossover points).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = ["FigureSeries", "speedup_series", "crossover"]
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a figure."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append a point (x must be non-decreasing)."""
+        if self.x and x < self.x[-1]:
+            raise ValueError(f"{self.name}: x must be non-decreasing")
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def at(self, x: float) -> float:
+        """y at an exact recorded x."""
+        try:
+            return self.y[self.x.index(float(x))]
+        except ValueError:
+            raise KeyError(f"{self.name}: no point at x={x}") from None
+
+    def ratio_to(self, other: "FigureSeries") -> "FigureSeries":
+        """Pointwise other/self ratio (i.e. speedup of self vs other)."""
+        if self.x != other.x:
+            raise ValueError("series have different x grids")
+        out = FigureSeries(f"{other.name}/{self.name}")
+        for x, a, b in zip(self.x, self.y, other.y):
+            out.add(x, b / a)
+        return out
+
+    def rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.x, self.y))
+
+
+def speedup_series(baseline: FigureSeries,
+                   candidate: FigureSeries) -> FigureSeries:
+    """Speedup of ``candidate`` over ``baseline`` at each x."""
+    return candidate.ratio_to(baseline)
+
+
+def crossover(a: FigureSeries, b: FigureSeries) -> float | None:
+    """First x where the sign of (a - b) changes; ``None`` if it never
+    does.  Linear interpolation between grid points."""
+    if a.x != b.x:
+        raise ValueError("series have different x grids")
+    diffs = [ya - yb for ya, yb in zip(a.y, b.y)]
+    for i in range(1, len(diffs)):
+        if diffs[i - 1] == 0:
+            return a.x[i - 1]
+        if diffs[i - 1] * diffs[i] < 0:
+            x0, x1 = a.x[i - 1], a.x[i]
+            d0, d1 = diffs[i - 1], diffs[i]
+            return x0 + (x1 - x0) * (-d0) / (d1 - d0)
+    return None

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series of its figure with these helpers,
+so ``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+evaluation as readable text.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["render_table", "format_seconds", "format_count"]
+
+
+def format_seconds(t: float) -> str:
+    """Human-scaled time formatting."""
+    if t >= 100:
+        return f"{t:.1f} s"
+    if t >= 1:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t * 1e6:.1f} us"
+
+
+def format_count(n: float) -> str:
+    """Compact counts (1.5e9 style for large values)."""
+    if n >= 1e6:
+        return f"{n:.3g}"
+    return f"{n:,.0f}" if float(n).is_integer() else f"{n:,.3f}"
+
+
+def render_table(headers: _t.Sequence[str],
+                 rows: _t.Sequence[_t.Sequence],
+                 title: str | None = None,
+                 align_right: bool = True) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5], [10, 3.25]]))
+     a     b
+    --  ----
+     1   2.5
+    10  3.25
+    """
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([c if isinstance(c, str) else f"{c:g}" if
+                      isinstance(c, float) else str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    pad = (str.rjust if align_right else str.ljust)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(pad(c, w) for c, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(pad(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""A small, deterministic discrete-event simulation engine.
+
+Written from scratch for this reproduction (SimPy-style process
+interaction), it provides:
+
+* :class:`~repro.sim.engine.Environment` and generator-based processes,
+* :class:`~repro.sim.events.Event` / timeouts / all_of / any_of,
+* :class:`~repro.sim.resources.Resource` (FIFO counting semaphore) and
+  :class:`~repro.sim.resources.Store`,
+* :class:`~repro.sim.bandwidth.FlowNetwork` -- max-min fair fluid bandwidth
+  sharing used for PCIe and the host memory bus,
+* :class:`~repro.sim.trace.Trace` -- span timelines and component accounting.
+"""
+
+from repro.sim.bandwidth import Flow, FlowNetwork, Link
+from repro.sim.engine import Environment, Process
+from repro.sim.events import Condition, Event, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import CAT, Span, Trace
+
+__all__ = [
+    "Environment", "Process", "Event", "Timeout", "Condition",
+    "Resource", "Store", "FlowNetwork", "Link", "Flow",
+    "Trace", "Span", "CAT",
+]

@@ -1,0 +1,259 @@
+"""The discrete-event simulation core: :class:`Environment` and
+:class:`Process`.
+
+Simulation logic is written as generator functions ("processes") that yield
+:class:`~repro.sim.events.Event` objects.  The environment maintains a
+priority queue of triggered events keyed by ``(time, priority, sequence)``
+and processes them in order, resuming any process waiting on each event.
+The ``sequence`` tiebreaker makes the whole simulation *deterministic*:
+two runs of the same program produce identical timelines.
+
+Example
+-------
+>>> from repro.sim.engine import Environment
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import Condition, Event, Timeout
+
+__all__ = ["Environment", "Process", "URGENT", "NORMAL"]
+
+#: Scheduling priorities.  URGENT events at a given time are processed before
+#: NORMAL events at the same time (used for immediately-resumable yields).
+URGENT = 0
+NORMAL = 1
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator; each value the generator yields must be an
+    :class:`Event`.  The process resumes when that event is processed,
+    receiving the event's value as the result of the ``yield`` expression
+    (or having the event's exception raised at the yield point if the event
+    failed).
+
+    A ``Process`` is itself an event: it succeeds with the generator's return
+    value, or fails with any exception that escapes the generator.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: _t.Generator[Event, _t.Any, _t.Any],
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Kick the process off via an immediately-scheduled init event.
+        init = Event(env)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init._ok = True
+        init._value = None
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        while True:
+            try:
+                if event._ok:
+                    target = self.generator.send(event._value)
+                else:
+                    # The exception was delivered into the generator,
+                    # therefore it counts as handled.
+                    event.defuse()
+                    target = self.generator.throw(
+                        _t.cast(BaseException, event._value))
+            except StopIteration as exc:
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - escalate via event
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}")
+                try:
+                    self.generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as exc2:  # noqa: BLE001
+                    self.fail(exc2)
+                return
+            if target.env is not env:
+                self.fail(SimulationError(
+                    "yielded event belongs to a different environment"))
+                return
+
+            if target.processed:
+                # Already done: loop and advance again without a queue trip.
+                event = target
+                continue
+            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self._target = target
+            return
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class Environment:
+    """Coordinates events, time, and processes of one simulation run."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self.active_processes = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator[Event, _t.Any, _t.Any],
+                name: str | None = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Iterable[Event]) -> Condition:
+        """An event firing when *all* of ``events`` have fired."""
+        return Condition(self, Condition.all_events, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> Condition:
+        """An event firing when *any* of ``events`` has fired."""
+        return Condition(self, Condition.any_event, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay!r})")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def unschedule(self, event: Event) -> None:
+        """Lazily cancel a scheduled event (it is skipped when popped).
+
+        Used by the bandwidth links when a completion estimate is
+        invalidated by a new flow.  The event object must not be reused.
+        """
+        event._defused = True
+        event.callbacks = None
+
+    # -- execution ----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        while self._queue:
+            when, _, _, ev = self._queue[0]
+            if ev.callbacks is None and not isinstance(ev, Process):
+                heapq.heappop(self._queue)  # cancelled; discard
+                continue
+            return when
+        return float("inf")
+
+    def step(self) -> None:
+        """Process the next event on the queue."""
+        while True:
+            try:
+                when, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise SimulationError("step() on an empty queue") from None
+            if event.callbacks is None and not isinstance(event, Process):
+                continue  # cancelled by unschedule()
+            break
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks or []
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # An un-handled failure: abort the simulation loudly.
+            raise _t.cast(BaseException, event._value)
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until the event queue is exhausted.
+            * a number -- run until simulated time reaches it.
+            * an :class:`Event` -- run until that event is processed and
+              return its value (raising its exception if it failed).
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("run(until) lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            nxt = self.peek()
+            if nxt > stop_time:
+                self._now = stop_time
+                return None
+            if nxt == float("inf"):
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    f"run() ran out of events before {stop_event!r} fired")
+            if not stop_event._ok:
+                stop_event.defuse()
+                raise _t.cast(BaseException, stop_event._value)
+            return stop_event._value
+        if until is not None and stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,153 @@
+"""Shared-resource primitives for simulation processes.
+
+* :class:`Resource` -- a counting semaphore with strict FIFO granting.  Used
+  for CPU core pools (a k-thread task acquires k units) and GPU engines
+  (kernel engine, per-direction copy engines have capacity 1).
+* :class:`Store` -- an unbounded FIFO item queue with blocking ``get``.
+  Used to hand sorted batches from the GPU pipeline to the CPU merge
+  scheduler.
+
+Granting is strictly FIFO (no bypass): a large request at the head of the
+queue blocks later, smaller requests.  That mirrors a non-work-stealing
+OpenMP-style scheduler and keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counting semaphore with FIFO queueing.
+
+    >>> env = Environment()
+    >>> cores = Resource(env, capacity=4)
+    >>> def task(env, cores):
+    ...     yield cores.request(2)
+    ...     yield env.timeout(1.0)
+    ...     cores.release(2)
+    """
+
+    def __init__(self, env: Environment, capacity: int,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self._available = int(capacity)
+        self._waiting: deque[tuple[Event, int]] = deque()
+        # Utilisation accounting (for reports / tests).
+        self._busy_units_time = 0.0
+        self._last_change = env.now
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self.capacity - self._available
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting."""
+        return len(self._waiting)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_units_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_unit_seconds(self) -> float:
+        """Integral of units-in-use over time (updated to "now")."""
+        self._account()
+        return self._busy_units_time
+
+    # -- acquire / release ---------------------------------------------------
+
+    def request(self, units: int = 1) -> Event:
+        """Return an event that fires once ``units`` units are granted."""
+        if units < 1 or units > self.capacity:
+            raise SimulationError(
+                f"cannot request {units} units of {self.name!r} "
+                f"(capacity {self.capacity})")
+        ev = Event(self.env)
+        self._waiting.append((ev, units))
+        self._grant()
+        return ev
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` units to the pool and wake waiters."""
+        if units < 1:
+            raise SimulationError(f"cannot release {units} units")
+        self._account()
+        self._available += units
+        if self._available > self.capacity:
+            raise SimulationError(
+                f"{self.name!r}: released more units than acquired")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiting:
+            ev, units = self._waiting[0]
+            if units > self._available:
+                return  # strict FIFO: head of line blocks
+            self._waiting.popleft()
+            self._account()
+            self._available -= units
+            ev.succeed(units)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} "
+                f"in use, {self.queue_length} waiting>")
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the next
+    item (items are matched to getters in FIFO order).
+    """
+
+    def __init__(self, env: Environment, name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: deque[_t.Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: _t.Any) -> None:
+        """Add ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, _t.Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

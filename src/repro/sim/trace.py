@@ -1,0 +1,143 @@
+"""Timeline tracing and per-component time accounting.
+
+Every simulated operation records a :class:`Span` (category, label, start,
+end, bytes/elements, lane).  The paper's figures are all derived from such
+spans:
+
+* Fig. 7 / Fig. 8 -- per-component totals (``HtoD``, ``DtoH``, ``GPUSort``,
+  ``MCpy``, ``PinnedAlloc``, ``Sync``) and the related-work "end-to-end"
+  that omits the host-side categories;
+* Fig. 9 / Fig. 10 -- makespans;
+* the Gantt-style ASCII timelines in the examples.
+
+Categories follow Table I of the paper.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Trace", "CAT"]
+
+
+class CAT:
+    """Canonical span category names (Table I of the paper)."""
+
+    HTOD = "HtoD"            #: host-to-device PCIe transfer
+    DTOH = "DtoH"            #: device-to-host PCIe transfer
+    GPUSORT = "GPUSort"      #: on-GPU sort kernel
+    MCPY = "MCpy"            #: host-to-host copy to/from pinned staging
+    MERGE = "Merge"          #: final multiway merge on the CPU
+    PAIRMERGE = "PairMerge"  #: pipelined pair-wise merge (PIPEMERGE)
+    PINNED_ALLOC = "PinnedAlloc"  #: cudaMallocHost cost
+    SYNC = "Sync"            #: per-chunk asynchronous-copy synchronisation
+    CPUSORT = "CPUSort"      #: CPU-only sort (reference implementation)
+    OTHER = "Other"
+
+    #: Components counted by the related-work end-to-end time (Sec. IV-E).
+    RELATED_WORK = (HTOD, DTOH, GPUSORT)
+    #: Host-side overheads the related work omits.
+    OMITTED = (MCPY, PINNED_ALLOC, SYNC)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed operation on the simulated timeline."""
+
+    category: str
+    label: str
+    start: float
+    end: float
+    lane: str = ""          #: e.g. "gpu0", "stream1", "cpu"
+    nbytes: float = 0.0
+    elements: int = 0
+    meta: tuple = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Collects spans and computes aggregates."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(self, category: str, label: str, start: float, end: float,
+               lane: str = "", nbytes: float = 0.0, elements: int = 0,
+               meta: tuple = ()) -> Span:
+        """Append a span (``end`` must be >= ``start``)."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: {label!r}")
+        span = Span(category, label, start, end, lane, nbytes, elements, meta)
+        self.spans.append(span)
+        return span
+
+    # -- aggregation ---------------------------------------------------------
+
+    def total(self, category: str) -> float:
+        """Sum of span durations in ``category`` (wall-clock overlap NOT
+        collapsed -- matches how the paper reports per-component times)."""
+        return sum(s.duration for s in self.spans if s.category == category)
+
+    def busy_time(self, categories: _t.Iterable[str] | None = None,
+                  lane: str | None = None) -> float:
+        """Union length of span intervals (overlaps collapsed), optionally
+        restricted to ``categories`` and/or a ``lane``."""
+        cats = set(categories) if categories is not None else None
+        ivs = sorted(
+            (s.start, s.end) for s in self.spans
+            if (cats is None or s.category in cats)
+            and (lane is None or s.lane == lane))
+        total = 0.0
+        cur_s: float | None = None
+        cur_e = 0.0
+        for s, e in ivs:
+            if cur_s is None:
+                cur_s, cur_e = s, e
+            elif s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                total += cur_e - cur_s
+                cur_s, cur_e = s, e
+        if cur_s is not None:
+            total += cur_e - cur_s
+        return total
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-category total durations, sorted descending."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0.0) + s.duration
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    def count(self, category: str) -> int:
+        """Number of spans in ``category``."""
+        return sum(1 for s in self.spans if s.category == category)
+
+    def bytes_moved(self, category: str) -> float:
+        """Total payload bytes across spans of ``category``."""
+        return sum(s.nbytes for s in self.spans if s.category == category)
+
+    def makespan(self) -> float:
+        """End of the last span minus start of the first."""
+        if not self.spans:
+            return 0.0
+        return (max(s.end for s in self.spans)
+                - min(s.start for s in self.spans))
+
+    def lanes(self) -> list[str]:
+        """Distinct lanes in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.lane, None)
+        return list(seen)
+
+    def filter(self, category: str | None = None,
+               lane: str | None = None) -> list[Span]:
+        """Spans matching the given category and/or lane."""
+        return [s for s in self.spans
+                if (category is None or s.category == category)
+                and (lane is None or s.lane == lane)]

@@ -1,0 +1,5 @@
+"""Dataset generators and size helpers for the evaluation workloads."""
+
+from repro.workloads.generators import DISTRIBUTIONS, dataset_gib, generate
+
+__all__ = ["generate", "DISTRIBUTIONS", "dataset_gib"]

@@ -1,0 +1,100 @@
+"""Input dataset generators.
+
+The paper evaluates exclusively on **uniformly distributed 64-bit floats**
+(Sec. IV-A), arguing that its hybrid sort is transfer-bound and therefore
+distribution-insensitive.  We provide that workload plus the distributions
+other sorting papers use (e.g. PARADIS [11], Polychroniou & Ross [10]) so
+the distribution-insensitivity claim itself can be tested (an extension
+experiment in ``benchmarks/test_ablations.py``).
+
+All generators take an explicit seed and return float64 arrays.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["generate", "DISTRIBUTIONS", "dataset_gib"]
+
+
+def _uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniform in [0, 1) -- the paper's workload."""
+    return rng.random(n)
+
+
+def _gaussian(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Standard normal."""
+    return rng.normal(size=n)
+
+
+def _sorted_asc(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Already sorted (best case for adaptive sorts)."""
+    return np.sort(rng.random(n))
+
+
+def _sorted_desc(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Reverse sorted (classic adversarial case)."""
+    return np.sort(rng.random(n))[::-1].copy()
+
+
+def _nearly_sorted(rng: np.random.Generator, n: int,
+                   swap_fraction: float = 0.01) -> np.ndarray:
+    """Sorted with a small fraction of random transpositions."""
+    a = np.sort(rng.random(n))
+    k = max(1, int(n * swap_fraction))
+    i = rng.integers(0, n, size=k)
+    j = rng.integers(0, n, size=k)
+    a[i], a[j] = a[j], a[i].copy()
+    return a
+
+
+def _duplicates(rng: np.random.Generator, n: int,
+                distinct: int = 16) -> np.ndarray:
+    """Few distinct values (radix-friendly, comparator-hostile)."""
+    vals = rng.random(distinct)
+    return vals[rng.integers(0, distinct, size=n)]
+
+
+def _zipf(rng: np.random.Generator, n: int, s: float = 1.3) -> np.ndarray:
+    """Heavy-tailed duplicate skew."""
+    return rng.zipf(s, size=n).astype(np.float64)
+
+
+DISTRIBUTIONS: dict[str, _t.Callable[..., np.ndarray]] = {
+    "uniform": _uniform,
+    "gaussian": _gaussian,
+    "sorted": _sorted_asc,
+    "reverse": _sorted_desc,
+    "nearly_sorted": _nearly_sorted,
+    "duplicates": _duplicates,
+    "zipf": _zipf,
+}
+
+
+def generate(n: int, distribution: str = "uniform", seed: int = 0,
+             **kw) -> np.ndarray:
+    """Generate ``n`` float64 keys from a named distribution.
+
+    >>> a = generate(1000, "uniform", seed=1)
+    >>> len(a), str(a.dtype)
+    (1000, 'float64')
+    """
+    if n < 0:
+        raise ValidationError(f"negative dataset size {n}")
+    try:
+        fn = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValidationError(
+            f"unknown distribution {distribution!r}; "
+            f"available: {sorted(DISTRIBUTIONS)}") from None
+    rng = np.random.default_rng(seed)
+    return np.asarray(fn(rng, n, **kw), dtype=np.float64)
+
+
+def dataset_gib(n: int) -> float:
+    """Size of ``n`` 64-bit keys in GiB (the unit of the paper's x-axes)."""
+    return n * 8 / 1024 ** 3

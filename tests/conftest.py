@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=["PLATFORM1", "PLATFORM2"])
+def platform(request):
+    """Parametrised over both evaluation platforms."""
+    return {"PLATFORM1": PLATFORM1, "PLATFORM2": PLATFORM2}[request.param]

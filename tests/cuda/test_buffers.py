@@ -1,0 +1,88 @@
+"""Tests for buffer semantics and functional data movement."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.buffers import (ELEM, DeviceBuffer, PageableBuffer,
+                                PinnedBuffer, copy_payload)
+from repro.errors import CudaInvalidValue
+
+
+def test_for_elements():
+    b = PageableBuffer.for_elements(100, name="A")
+    assert b.nbytes == 800 and b.elements == 100
+    assert b.data is None
+
+
+def test_backed_buffer_requires_matching_array():
+    data = np.zeros(10)
+    b = PageableBuffer(80, data=data)
+    assert b.data is data
+    with pytest.raises(CudaInvalidValue):
+        PageableBuffer(81, data=data)
+    with pytest.raises(CudaInvalidValue):
+        PageableBuffer(40, data=np.zeros(10, dtype=np.float32))
+
+
+def test_check_range():
+    b = PageableBuffer(80)
+    b.check_range(0, 80)
+    b.check_range(8, 72)
+    with pytest.raises(CudaInvalidValue):
+        b.check_range(0, 88)
+    with pytest.raises(CudaInvalidValue):
+        b.check_range(-8, 8)
+    with pytest.raises(CudaInvalidValue):
+        b.check_range(4, 8)  # misaligned offset
+    with pytest.raises(CudaInvalidValue):
+        b.check_range(0, 4)  # misaligned size
+
+
+def test_freed_buffer_rejected():
+    b = PageableBuffer(80)
+    b.freed = True
+    with pytest.raises(CudaInvalidValue):
+        b.check_range(0, 8)
+
+
+def test_view_returns_slice():
+    data = np.arange(10, dtype=np.float64)
+    b = PageableBuffer(80, data=data)
+    v = b.view(16, 24)
+    assert np.array_equal(v, [2.0, 3.0, 4.0])
+    v[:] = 0  # views alias the backing array
+    assert data[2] == 0.0
+
+
+def test_view_timing_only_is_none():
+    assert PageableBuffer(80).view(0, 80) is None
+
+
+def test_copy_payload_moves_data():
+    src = PageableBuffer(80, data=np.arange(10, dtype=np.float64))
+    dst = PinnedBuffer(40, data=np.zeros(5))
+    copy_payload(dst, 8, src, 24, 16)
+    assert np.array_equal(dst.data, [0.0, 3.0, 4.0, 0.0, 0.0])
+
+
+def test_copy_payload_timing_only_noop():
+    src = PageableBuffer(80)
+    dst = PinnedBuffer(80)
+    copy_payload(dst, 0, src, 0, 80)  # no raise
+
+
+def test_copy_payload_mixed_backing_rejected():
+    src = PageableBuffer(80, data=np.zeros(10))
+    dst = PinnedBuffer(80)
+    with pytest.raises(CudaInvalidValue):
+        copy_payload(dst, 0, src, 0, 80)
+
+
+def test_device_buffer_gpu_index():
+    d = DeviceBuffer(1, 160, name="dev")
+    assert d.gpu_index == 1
+    assert d.kind == "device"
+
+
+def test_elem_constant():
+    assert ELEM == 8  # the paper's 64-bit element size

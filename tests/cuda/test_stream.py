@@ -1,0 +1,106 @@
+"""Tests for CUDA stream ordering semantics in isolation."""
+
+import pytest
+
+from repro.cuda.stream import Stream
+from repro.sim import CAT, Trace
+
+
+def test_ops_run_in_submission_order(env):
+    s = Stream(env, 0, 0)
+    log = []
+
+    def op(name, dur):
+        def gen():
+            yield env.timeout(dur)
+            log.append((name, env.now))
+        return gen
+
+    s.submit(op("a", 2.0))
+    s.submit(op("b", 1.0))
+    s.submit(op("c", 1.0))
+    env.run()
+    assert log == [("a", 2.0), ("b", 3.0), ("c", 4.0)]
+
+
+def test_submit_returns_completion_event(env):
+    s = Stream(env, 0, 0)
+
+    def op():
+        yield env.timeout(1.5)
+
+    ev = s.submit(op)
+    env.run()
+    assert ev.processed
+
+
+def test_idle_tracking(env):
+    s = Stream(env, 0, 0)
+    assert s.idle
+
+    def op():
+        yield env.timeout(1.0)
+
+    s.submit(op)
+    assert not s.idle
+    env.run()
+    assert s.idle
+
+
+def test_synchronize_waits_and_charges_overhead(env):
+    trace = Trace()
+    s = Stream(env, 0, 0, trace=trace, sync_cost_s=0.001)
+
+    def op():
+        yield env.timeout(1.0)
+
+    def host():
+        s.submit(op)
+        yield from s.synchronize()
+        return env.now
+
+    proc = env.process(host())
+    env.run(proc)
+    assert proc.value == pytest.approx(1.001)
+    assert trace.total(CAT.SYNC) == pytest.approx(0.001)
+
+
+def test_synchronize_on_idle_stream_only_costs_overhead(env):
+    s = Stream(env, 0, 0, sync_cost_s=0.002)
+
+    def host():
+        yield from s.synchronize()
+        return env.now
+
+    proc = env.process(host())
+    env.run(proc)
+    assert proc.value == pytest.approx(0.002)
+
+
+def test_two_streams_independent(env):
+    s1 = Stream(env, 0, 0)
+    s2 = Stream(env, 0, 1)
+    log = []
+
+    def op(name, dur):
+        def gen():
+            yield env.timeout(dur)
+            log.append((name, env.now))
+        return gen
+
+    s1.submit(op("s1a", 2.0))
+    s2.submit(op("s2a", 1.0))
+    env.run()
+    # Different streams: no mutual ordering.
+    assert ("s2a", 1.0) in log and ("s1a", 2.0) in log
+
+
+def test_ops_submitted_counter(env):
+    s = Stream(env, 0, 0)
+
+    def op():
+        yield env.timeout(0.1)
+
+    s.submit(op)
+    s.submit(op)
+    assert s.ops_submitted == 2

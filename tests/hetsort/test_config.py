@@ -1,0 +1,48 @@
+"""Tests for SortConfig validation and helpers."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.hetsort.config import Approach, SortConfig, Staging
+
+
+def test_defaults():
+    c = SortConfig()
+    assert c.approach == Approach.PIPEMERGE
+    assert c.n_streams == 2                 # the paper's choice
+    assert c.pinned_elements == 10 ** 6     # the paper's p_s
+    assert c.staging == Staging.PINNED
+    assert not c.parallel_memcpy
+
+
+def test_parallel_memcpy_flag():
+    assert SortConfig(memcpy_threads=8).parallel_memcpy
+    assert not SortConfig(memcpy_threads=1).parallel_memcpy
+
+
+def test_with_replaces_fields():
+    c = SortConfig()
+    c2 = c.with_(approach=Approach.BLINE, memcpy_threads=4)
+    assert c2.approach == Approach.BLINE
+    assert c2.memcpy_threads == 4
+    assert c.approach == Approach.PIPEMERGE  # original untouched
+
+
+@pytest.mark.parametrize("kw", [
+    {"approach": "warp9"},
+    {"staging": "floating"},
+    {"n_streams": 0},
+    {"pinned_elements": 0},
+    {"memcpy_threads": 0},
+    {"batch_size": 0},
+])
+def test_invalid_configs_rejected(kw):
+    with pytest.raises(PlanError):
+        SortConfig(**kw)
+
+
+def test_approach_constants():
+    assert set(Approach.ALL) == {"bline", "blinemulti", "pipedata",
+                                 "pipemerge", "gpumerge"}
+    assert set(Approach.PIPELINED) == {"pipedata", "pipemerge",
+                                       "gpumerge"}

@@ -1,0 +1,70 @@
+"""Determinism and layer-consistency invariants.
+
+The simulation must be perfectly reproducible, and -- because the paper's
+workload is data-oblivious (Sec. IV-A) -- the simulated time must be
+*identical* whether or not real data flows through the pipeline.
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.workloads import generate
+
+APPROACHES = ["blinemulti", "pipedata", "pipemerge", "gpumerge"]
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_identical_runs_identical_timelines(approach):
+    def run():
+        s = HeterogeneousSorter(PLATFORM1, batch_size=int(1e8),
+                                n_streams=2, memcpy_threads=4)
+        return s.sort(n=int(4e8), approach=approach)
+
+    a, b = run(), run()
+    assert a.elapsed == b.elapsed
+    assert len(a.trace.spans) == len(b.trace.spans)
+    for sa, sb in zip(a.trace.spans, b.trace.spans):
+        assert (sa.category, sa.label, sa.start, sa.end) == \
+            (sb.category, sb.label, sb.start, sb.end)
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_functional_and_timing_only_agree(approach, rng):
+    """Attaching real data must not change the simulated timeline at all:
+    time depends only on sizes, never on values."""
+    n = 60_000
+    kw = dict(batch_size=15_000, pinned_elements=3_000, n_streams=2)
+    timing = HeterogeneousSorter(PLATFORM1, **kw).sort(
+        n=n, approach=approach)
+    functional = HeterogeneousSorter(PLATFORM1, **kw).sort(
+        generate(n, "uniform", seed=5), approach=approach)
+    assert functional.elapsed == pytest.approx(timing.elapsed, rel=1e-12)
+    assert functional.breakdown.keys() == timing.breakdown.keys()
+    for cat, t in timing.breakdown.items():
+        assert functional.breakdown[cat] == pytest.approx(t, rel=1e-12)
+
+
+def test_distribution_does_not_change_timing(rng):
+    """Sec. IV-A's data-obliviousness, as a hard invariant."""
+    n = 40_000
+    kw = dict(batch_size=10_000, pinned_elements=2_000)
+    times = set()
+    for dist in ("uniform", "gaussian", "reverse", "duplicates"):
+        r = HeterogeneousSorter(PLATFORM1, **kw).sort(
+            generate(n, dist, seed=2), approach="pipemerge")
+        times.add(round(r.elapsed, 15))
+    assert len(times) == 1
+
+
+def test_platforms_differ():
+    """Sanity: the two platforms are genuinely different machines."""
+    n = int(1.4e9)
+    t1 = HeterogeneousSorter(PLATFORM1, batch_size=int(3.5e8),
+                             n_streams=2).sort(
+        n=n, approach="pipedata").elapsed
+    t2 = HeterogeneousSorter(PLATFORM2, batch_size=int(3.5e8),
+                             n_streams=2).sort(
+        n=n, approach="pipedata").elapsed
+    assert t1 != t2
+    assert t1 < t2      # GP100 sorts ~5x faster than a K40m

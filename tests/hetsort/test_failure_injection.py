@@ -1,0 +1,119 @@
+"""Failure-injection tests: the pipeline must fail loudly and precisely
+when resources are exhausted or invariants are violated -- never produce
+a wrong answer silently."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cuda import Runtime
+from repro.errors import (CudaInvalidValue, CudaOutOfMemory, PlanError,
+                          ValidationError)
+from repro.hetsort import HeterogeneousSorter
+from repro.hetsort.config import SortConfig
+from repro.hw.machine import Machine
+from repro.hw.platforms import PLATFORM1
+from repro.hw.spec import GIB
+from repro.sim.engine import Environment
+
+
+def shrunk_platform(gpu_mem_bytes=None, host_bytes=None):
+    """PLATFORM1 with artificially small memories."""
+    p = PLATFORM1
+    gpus = p.gpus
+    if gpu_mem_bytes is not None:
+        gpus = tuple(dataclasses.replace(g, mem_bytes=gpu_mem_bytes)
+                     for g in gpus)
+    hostmem = p.hostmem
+    if host_bytes is not None:
+        hostmem = dataclasses.replace(hostmem, capacity_bytes=host_bytes)
+    return dataclasses.replace(p, gpus=gpus, hostmem=hostmem)
+
+
+def test_batch_too_big_for_gpu_rejected_at_plan_time():
+    tiny = shrunk_platform(gpu_mem_bytes=1024 * 1024)  # 1 MiB GPU
+    s = HeterogeneousSorter(tiny, batch_size=10 ** 6)
+    with pytest.raises(PlanError, match="global memory"):
+        s.sort(n=10 ** 7)
+
+
+def test_host_memory_exhausted_rejected_at_plan_time():
+    tiny = shrunk_platform(host_bytes=1024 ** 2)
+    s = HeterogeneousSorter(tiny, batch_size=1000)
+    with pytest.raises(PlanError, match="3n"):
+        s.sort(n=10 ** 6)
+
+
+def test_pinned_exhaustion_raises_at_runtime():
+    """Pinned staging buffers count against host capacity at allocation
+    time (not plan time): exhausts mid-run with CudaOutOfMemory."""
+    # Host that fits 3n but not also the pinned staging buffers.
+    n = 10 ** 6
+    host = 3 * n * 8 + 1000   # 3n plus almost nothing
+    tiny = shrunk_platform(host_bytes=host)
+    s = HeterogeneousSorter(tiny, batch_size=n // 4,
+                            pinned_elements=n // 8)
+    with pytest.raises(CudaOutOfMemory, match="pinned"):
+        s.sort(n=n, approach="pipedata")
+
+
+def test_double_device_free_detected(env):
+    rt = Runtime(Machine(env, PLATFORM1))
+    buf = rt.malloc(1024)
+    rt.free(buf)
+    with pytest.raises(CudaInvalidValue):
+        rt.free(buf)
+
+
+def test_use_after_free_detected(env):
+    from repro.cuda import MemcpyKind, PageableBuffer
+    rt = Runtime(Machine(env, PLATFORM1))
+    host = PageableBuffer.for_elements(10)
+    dev = rt.malloc(80)
+    rt.free(dev)
+
+    def go():
+        yield from rt.memcpy(dev, host, 80, MemcpyKind.HOST_TO_DEVICE)
+
+    proc = env.process(go())
+    with pytest.raises(CudaInvalidValue, match="freed"):
+        env.run(proc)
+
+
+def test_corrupted_output_caught_by_validation(rng, monkeypatch):
+    """If a kernel were broken, sort() must raise, not return garbage."""
+    import repro.hetsort.sorter as sorter_mod
+
+    def broken_kernel(view):
+        view[:] = view[::-1]   # "sorts" by reversing
+
+    s = HeterogeneousSorter(PLATFORM1, batch_size=5_000,
+                            pinned_elements=1_000)
+    data = rng.random(20_000)
+
+    real_runtime = sorter_mod.Runtime
+
+    def patched_runtime(machine, sort_kernel=None):
+        return real_runtime(machine, sort_kernel=broken_kernel)
+
+    monkeypatch.setattr(sorter_mod, "Runtime", patched_runtime)
+    with pytest.raises(ValidationError):
+        s.sort(data, approach="pipemerge")
+
+
+def test_nan_input_rejected(rng):
+    data = rng.random(10_000)
+    data[1234] = np.nan
+    s = HeterogeneousSorter(PLATFORM1, batch_size=5_000,
+                            pinned_elements=1_000)
+    with pytest.raises(ValidationError, match="NaN"):
+        s.sort(data, approach="pipemerge")
+
+
+def test_config_validation_happens_before_simulation():
+    with pytest.raises(PlanError):
+        SortConfig(approach="quantum")
+    s = HeterogeneousSorter(PLATFORM1)
+    with pytest.raises(PlanError):
+        s.sort(n=100, approach="pipedata", n_streams=0)

@@ -1,0 +1,90 @@
+"""Tests for the GPUMERGE extension (Sec. V outlook)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hetsort import HeterogeneousSorter
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.kernels.utils import is_sorted, same_multiset
+
+
+def test_functional_correctness(rng):
+    data = rng.random(80_000)
+    s = HeterogeneousSorter(PLATFORM1, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert is_sorted(r.output)
+    assert same_multiset(data, r.output)
+
+
+def test_merge_tree_depth(rng):
+    data = rng.random(160_000)
+    s = HeterogeneousSorter(PLATFORM1, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert r.plan.n_batches == 8
+    assert r.meta["gpu_merge_levels"] == 3   # ceil(log2(8))
+
+
+def test_odd_run_count(rng):
+    data = rng.random(100_000)   # 5 batches
+    s = HeterogeneousSorter(PLATFORM1, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert is_sorted(r.output)
+    assert r.meta["gpu_merge_levels"] == 3   # 5 -> 3 -> 2 -> 1
+
+
+def test_single_batch_skips_tree(rng):
+    data = rng.random(10_000)
+    s = HeterogeneousSorter(PLATFORM1, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert is_sorted(r.output)
+    assert r.meta["gpu_merge_levels"] == 0
+
+
+def test_multi_gpu_gpumerge(rng):
+    data = rng.random(120_000)
+    s = HeterogeneousSorter(PLATFORM2, n_gpus=2, batch_size=20_000,
+                            pinned_elements=4_000)
+    r = s.sort(data, approach="gpumerge")
+    assert is_sorted(r.output)
+    assert same_multiset(data, r.output)
+
+
+def test_loses_on_pcie3_wins_on_fat_link():
+    """The Sec. V prediction: GPU merging is transfer-bound, so it loses
+    on PCIe v3 and wins once the link is several times wider."""
+    n, bs = int(1e9), int(2e8)
+
+    def run(platform, ap):
+        return HeterogeneousSorter(platform, batch_size=bs, n_streams=2,
+                                   memcpy_threads=8).sort(
+            n=n, approach=ap).elapsed
+
+    assert run(PLATFORM1, "gpumerge") > run(PLATFORM1, "pipemerge")
+
+    fat_pcie = dataclasses.replace(PLATFORM1.pcie, peak_bw=80e9,
+                                   pinned_efficiency=0.9)
+    fat_hm = dataclasses.replace(PLATFORM1.hostmem, copy_bus_bw=80e9,
+                                 per_core_copy_bw=12e9)
+    nvlinkish = dataclasses.replace(PLATFORM1, name="NV", pcie=fat_pcie,
+                                    hostmem=fat_hm)
+    assert run(nvlinkish, "gpumerge") < run(nvlinkish, "pipemerge")
+
+
+def test_transfer_volume_grows_with_tree_depth():
+    """Each merge level re-crosses the link with the whole dataset: HtoD
+    bytes = n * (1 + levels)."""
+    from repro.sim import CAT
+    n, bs = int(8e8), int(1e8)   # 8 batches -> 3 levels
+    s = HeterogeneousSorter(PLATFORM1, batch_size=bs, n_streams=2)
+    r = s.sort(n=n, approach="gpumerge")
+    levels = r.meta["gpu_merge_levels"]
+    assert levels == 3
+    expected = n * 8 * (1 + levels)
+    assert r.trace.bytes_moved(CAT.HTOD) == pytest.approx(expected,
+                                                          rel=0.01)

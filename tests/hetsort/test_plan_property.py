@@ -1,0 +1,83 @@
+"""Hypothesis property tests for the batch planner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hetsort.config import SortConfig
+from repro.hetsort.plan import make_plan, pairwise_quota
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+
+
+@given(n=st.integers(1, 10 ** 7),
+       bs=st.integers(1, 10 ** 6),
+       ns=st.integers(1, 4),
+       ps=st.integers(1, 10 ** 6))
+@settings(max_examples=150, deadline=None)
+def test_plan_tiles_input_exactly(n, bs, ns, ps):
+    cfg = SortConfig(approach="pipedata", batch_size=bs, n_streams=ns,
+                     pinned_elements=ps)
+    plan = make_plan(n, PLATFORM1, cfg)
+    # Batches tile [0, n) contiguously, in order, without overlap.
+    offset = 0
+    for b in plan.batches:
+        assert b.offset == offset
+        assert 1 <= b.size <= bs
+        offset += b.size
+    assert offset == n
+    # Only the last batch may be short.
+    sizes = [b.size for b in plan.batches]
+    assert all(s == bs for s in sizes[:-1])
+    # Pinned buffer never exceeds the batch.
+    assert plan.pinned_elements <= plan.batch_size
+
+
+@given(n=st.integers(1, 10 ** 7),
+       bs=st.integers(1, 10 ** 6),
+       ns=st.integers(1, 3),
+       gpus=st.integers(1, 2))
+@settings(max_examples=100, deadline=None)
+def test_plan_worker_partition_is_exact(n, bs, ns, gpus):
+    cfg = SortConfig(approach="pipedata", batch_size=bs, n_streams=ns)
+    plan = make_plan(n, PLATFORM2, cfg, n_gpus=gpus)
+    # Every batch belongs to exactly one (gpu, slot) worker...
+    seen = []
+    for g in range(gpus):
+        for s in range(ns):
+            seen.extend(plan.batches_for(g, s))
+    assert sorted(b.index for b in seen) == \
+        [b.index for b in plan.batches]
+    # ...and workers are balanced to within one batch.
+    counts = [len(plan.batches_for(g, s))
+              for g in range(gpus) for s in range(ns)]
+    assert max(counts) - min(counts) <= 1
+
+
+@given(n=st.integers(1, 10 ** 7),
+       bs=st.integers(1, 10 ** 6),
+       ps=st.integers(1, 10 ** 5))
+@settings(max_examples=100, deadline=None)
+def test_chunks_tile_every_batch(n, bs, ps):
+    cfg = SortConfig(approach="pipedata", batch_size=bs,
+                     pinned_elements=ps)
+    plan = make_plan(n, PLATFORM1, cfg)
+    for batch in plan.batches:
+        chunks = plan.chunks(batch)
+        assert sum(c[2] for c in chunks) == batch.size
+        a_off = batch.offset
+        d_off = 0
+        for ca, cd, size in chunks:
+            assert ca == a_off and cd == d_off
+            assert 1 <= size <= plan.pinned_elements
+            a_off += size
+            d_off += size
+
+
+@given(nb=st.integers(0, 1000), gpus=st.integers(1, 8))
+@settings(max_examples=200, deadline=None)
+def test_quota_invariants(nb, gpus):
+    q = pairwise_quota(nb, gpus)
+    assert q >= 0
+    # Never consumes all batches: at least one un-merged original stays.
+    assert 2 * q <= max(0, nb - 1)
+    # More GPUs never increase the quota (less host-side slack).
+    assert q <= pairwise_quota(nb, 1)

@@ -1,0 +1,83 @@
+"""Tests for SortResult accounting."""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
+from repro.hw.platforms import PLATFORM1
+from repro.sim import CAT
+
+
+@pytest.fixture(scope="module")
+def result():
+    s = HeterogeneousSorter(PLATFORM1, batch_size=int(2e8),
+                            n_streams=2)
+    return s.sort(n=int(8e8), approach="pipedata")
+
+
+def test_elapsed_positive_and_matches_trace(result):
+    assert result.elapsed > 0
+    assert result.trace.makespan() <= result.elapsed + 1e-9
+
+
+def test_breakdown_contains_expected_components(result):
+    bd = result.breakdown
+    for cat in (CAT.HTOD, CAT.DTOH, CAT.GPUSORT, CAT.MCPY,
+                CAT.PINNED_ALLOC, CAT.SYNC, CAT.MERGE):
+        assert cat in bd, f"missing {cat}"
+        assert bd[cat] > 0
+
+
+def test_related_work_total_less_than_elapsed(result):
+    """The related-work accounting must omit real overheads (Sec. IV-E)."""
+    assert result.related_work_end_to_end < result.elapsed
+    assert result.missing_overhead > 0
+    assert result.missing_overhead == pytest.approx(
+        result.elapsed - result.related_work_end_to_end)
+
+
+def test_component_bytes_conserved(result):
+    """Every element crosses PCIe exactly once per direction."""
+    n_bytes = result.plan.n * 8
+    assert result.trace.bytes_moved(CAT.HTOD) == pytest.approx(n_bytes)
+    assert result.trace.bytes_moved(CAT.DTOH) == pytest.approx(n_bytes)
+    # Staging copies both directions: 2 n bytes of MCpy.
+    assert result.trace.bytes_moved(CAT.MCPY) == pytest.approx(2 * n_bytes)
+
+
+def test_speedup_over(result):
+    ref = cpu_reference_sort(PLATFORM1, n=result.plan.n)
+    sp = result.speedup_over(ref)
+    assert sp == pytest.approx(ref.elapsed / result.elapsed)
+    assert result.speedup_over(ref.elapsed) == pytest.approx(sp)
+
+
+def test_throughput(result):
+    assert result.throughput == pytest.approx(
+        result.plan.n / result.elapsed)
+
+
+def test_summary_mentions_key_facts(result):
+    s = result.summary()
+    assert "pipedata" in s
+    assert "PLATFORM1" in s
+    assert "n_b=4" in s
+
+
+def test_cpu_reference_result_shape():
+    ref = cpu_reference_sort(PLATFORM1, n=10 ** 9)
+    assert ref.plan is None
+    assert ref.approach == "cpu:gnu"
+    assert ref.meta["threads"] == 16
+    assert ref.trace.count(CAT.CPUSORT) == 1
+    assert ref.elapsed == pytest.approx(
+        PLATFORM1.reference_sort_seconds(10 ** 9), rel=0.01)
+
+
+def test_to_dict_serialisable(result):
+    import json
+    doc = result.to_dict()
+    assert json.dumps(doc)
+    assert doc["approach"] == "pipedata"
+    assert doc["plan"]["n_batches"] == 4
+    assert doc["elapsed_s"] == result.elapsed
+    assert doc["breakdown_s"] == result.breakdown

@@ -1,0 +1,146 @@
+"""Timing-shape tests: the qualitative results of the paper's evaluation
+must hold in simulation (who wins, in which order, by what rough factor).
+
+These are the paper's headline claims, checked at a reduced but still
+batched scale so the suite stays fast; the full-scale numbers live in the
+benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.sim import CAT
+
+N = int(2e9)
+BS = int(2e8)          # 10 batches, like the paper's n=5e9 / b_s=5e8
+
+
+@pytest.fixture(scope="module")
+def times():
+    out = {}
+    for key, ap, kw in [("blinemulti", "blinemulti", {}),
+                        ("pipedata", "pipedata", {}),
+                        ("pipemerge", "pipemerge", {}),
+                        ("pipemerge+pmc", "pipemerge",
+                         {"memcpy_threads": 8})]:
+        s = HeterogeneousSorter(PLATFORM1, batch_size=BS, n_streams=2,
+                                **kw)
+        out[key] = s.sort(n=N, approach=ap)
+    out["ref"] = cpu_reference_sort(PLATFORM1, n=N)
+    return out
+
+
+def test_every_approach_beats_cpu_reference(times):
+    """Sec. IV-F: 'Across all input sizes, our approaches outperform the
+    parallel CPU reference implementation, including BLINEMULTI.'"""
+    ref = times["ref"].elapsed
+    for key in ("blinemulti", "pipedata", "pipemerge", "pipemerge+pmc"):
+        assert times[key].elapsed < ref, key
+
+
+def test_approach_ordering(times):
+    """BLINEMULTI > PIPEDATA > PIPEMERGE > PIPEMERGE+PARMEMCPY."""
+    assert times["blinemulti"].elapsed > times["pipedata"].elapsed
+    assert times["pipedata"].elapsed > times["pipemerge"].elapsed
+    assert times["pipemerge"].elapsed >= times["pipemerge+pmc"].elapsed
+
+
+def test_pipedata_gain_over_blinemulti_about_20_percent(times):
+    """Paper: 22% faster at n = 5e9 (31.2 s -> 25.55 s)."""
+    gain = 1 - times["pipedata"].elapsed / times["blinemulti"].elapsed
+    assert 0.10 <= gain <= 0.40
+
+
+def test_pipemerge_gain_is_marginal(times):
+    """Paper: PIPEMERGE 'marginally improves' on PIPEDATA."""
+    gain = 1 - times["pipemerge"].elapsed / times["pipedata"].elapsed
+    assert 0.0 <= gain <= 0.15
+
+
+def test_fastest_speedup_in_paper_range(times):
+    """Paper: 3.47x (n=1e9) to 3.21x (n=5e9) on PLATFORM1."""
+    sp = times["pipemerge+pmc"].speedup_over(times["ref"])
+    assert 2.5 <= sp <= 4.0
+
+
+def test_pipemerge_reduces_final_merge_k(times):
+    """Pair-merging shrinks the multiway merge (Fig. 3: 10 batches and 4
+    pair merges leave k = 6)."""
+    pd = times["pipedata"]
+    pm = times["pipemerge"]
+    assert pm.meta["pairwise_merged"] == 4
+    assert pm.component(CAT.MERGE) < pd.component(CAT.MERGE)
+    assert pm.component(CAT.PAIRMERGE) > 0
+
+
+def test_parmemcpy_cuts_mcpy_time(times):
+    pm = times["pipemerge"]
+    pmc = times["pipemerge+pmc"]
+    assert pmc.component(CAT.MCPY) < pm.component(CAT.MCPY)
+
+
+def test_transfer_bytes_independent_of_approach(times):
+    """Every element crosses PCIe exactly once per direction whatever the
+    approach; span *durations* may stretch under contention but the bytes
+    are conserved."""
+    for k in ("blinemulti", "pipedata", "pipemerge"):
+        t = times[k].trace
+        assert t.bytes_moved(CAT.HTOD) == pytest.approx(N * 8)
+        assert t.bytes_moved(CAT.DTOH) == pytest.approx(N * 8)
+    htod = [times[k].component(CAT.HTOD)
+            for k in ("blinemulti", "pipedata", "pipemerge")]
+    assert max(htod) / min(htod) < 1.8  # contention stretch is bounded
+
+
+def test_two_gpus_beat_one_on_platform2():
+    """Sec. IV-F Experiment 2: 'using two GPUs outperforms all of the
+    single-GPU configurations.'"""
+    n, bs = int(1.4e9), int(3.5e8)
+    single = {}
+    for ap, kw in [("blinemulti", {}), ("pipedata", {}),
+                   ("pipemerge", {"memcpy_threads": 8})]:
+        s = HeterogeneousSorter(PLATFORM2, n_gpus=1, batch_size=bs,
+                                n_streams=2, **kw)
+        single[ap] = s.sort(n=n, approach=ap).elapsed
+    dual = HeterogeneousSorter(PLATFORM2, n_gpus=2, batch_size=bs,
+                               n_streams=2, memcpy_threads=8
+                               ).sort(n=n, approach="pipemerge").elapsed
+    assert dual < min(single.values())
+
+
+def test_multi_gpu_gap_between_approaches_shrinks():
+    """Sec. IV-F: with 2 GPUs sharing PCIe, the relative difference
+    between the approaches is smaller than with 1 GPU."""
+    n, bs = int(1.4e9), int(3.5e8)
+
+    def spread(ng):
+        ts = []
+        for ap in ("blinemulti", "pipedata"):
+            s = HeterogeneousSorter(PLATFORM2, n_gpus=ng, batch_size=bs,
+                                    n_streams=2)
+            ts.append(s.sort(n=n, approach=ap).elapsed)
+        return max(ts) / min(ts)
+
+    assert spread(2) < spread(1)
+
+
+def test_pinned_staging_pays_off_only_with_overlap():
+    """Serially, user-managed pinned staging is no faster than pageable
+    cudaMemcpy (the driver stages through its own pinned buffers -- that
+    is exactly why pageable runs at ~half rate).  The pinned path's win
+    comes from *overlapping* the staging copies, i.e. PIPEDATA: the
+    reason the paper cannot skip pinned-memory overheads (Sec. IV-E)."""
+    n, bs = int(1e9), int(2.5e8)
+    pinned_serial = HeterogeneousSorter(
+        PLATFORM1, batch_size=bs).sort(n=n, approach="blinemulti")
+    pageable_serial = HeterogeneousSorter(
+        PLATFORM1, batch_size=bs, staging="pageable").sort(
+        n=n, approach="blinemulti")
+    overlapped = HeterogeneousSorter(
+        PLATFORM1, batch_size=bs, n_streams=2).sort(
+        n=n, approach="pipedata")
+    ratio = pinned_serial.elapsed / pageable_serial.elapsed
+    assert 0.8 <= ratio <= 1.25         # serial: roughly a wash
+    assert overlapped.elapsed < pageable_serial.elapsed
+    assert overlapped.elapsed < pinned_serial.elapsed

@@ -1,0 +1,57 @@
+"""Tests for the configuration autotuner."""
+
+import pytest
+
+from repro.hetsort.config import Approach
+from repro.hetsort.tuning import autotune
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return autotune(PLATFORM1, n=int(1e9), quick=True)
+
+
+def test_grid_size(tuned):
+    # quick: 2 approaches x 2 stream counts x 2 memcpy settings x 1 p_s.
+    assert len(tuned.trials) == 8
+
+
+def test_best_is_minimum(tuned):
+    assert tuned.elapsed == min(t.elapsed for t in tuned.trials)
+
+
+def test_best_uses_overlap(tuned):
+    """Any sane tuning picks a pipelined, multi-stream configuration."""
+    assert tuned.config.approach in Approach.PIPELINED
+    assert tuned.config.n_streams >= 2
+
+
+def test_parmemcpy_chosen(tuned):
+    """With free threads, parallel staging copies always help."""
+    assert tuned.config.memcpy_threads > 1
+
+
+def test_improvement_over_default(tuned):
+    assert tuned.improvement_over_default() >= 1.0
+
+
+def test_table_rows_sorted(tuned):
+    rows = tuned.table_rows()
+    times = [float(r[-1]) for r in rows]
+    assert times == sorted(times)
+
+
+def test_batch_size_respects_stream_count(tuned):
+    """More streams => smaller batches => more of them."""
+    by_ns = {}
+    for t in tuned.trials:
+        by_ns.setdefault(t.config.n_streams, t.n_batches)
+    assert by_ns[2] >= by_ns[1]
+
+
+def test_multi_gpu_tuning():
+    r = autotune(PLATFORM2, n=int(1.4e9), n_gpus=2, quick=True)
+    assert r.n_gpus == 2
+    assert r.elapsed < autotune(PLATFORM2, n=int(1.4e9), n_gpus=1,
+                                quick=True).elapsed

@@ -1,0 +1,66 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.errors import CudaInvalidValue, CudaOutOfMemory
+from repro.hw.gpu import SimGPU
+from repro.hw.platforms import PLATFORM1
+from repro.sim import CAT, Trace
+
+
+@pytest.fixture
+def gpu(env):
+    return SimGPU(env, PLATFORM1.gpus[0], 0, Trace())
+
+
+def test_memory_accounting(gpu):
+    total = gpu.spec.mem_bytes
+    gpu.alloc(total // 2)
+    assert gpu.mem_free == total - total // 2
+    gpu.alloc(total // 2)
+    assert gpu.mem_free == total - 2 * (total // 2)
+    gpu.free(total // 2)
+    gpu.free(total // 2)
+    assert gpu.mem_used == 0
+    assert gpu.mem_high_water == 2 * (total // 2)
+
+
+def test_oom_raises(gpu):
+    with pytest.raises(CudaOutOfMemory):
+        gpu.alloc(gpu.spec.mem_bytes + 1)
+    gpu.alloc(gpu.spec.mem_bytes)
+    with pytest.raises(CudaOutOfMemory):
+        gpu.alloc(1)
+
+
+def test_invalid_alloc_free(gpu):
+    with pytest.raises(CudaInvalidValue):
+        gpu.alloc(-1)
+    with pytest.raises(CudaInvalidValue):
+        gpu.free(1)
+
+
+def test_sort_duration_and_span(env, gpu):
+    n = int(5e8)
+    proc = env.process(gpu.sort(n))
+    env.run(proc)
+    assert env.now == pytest.approx(gpu.spec.sort_seconds(n))
+    spans = gpu.trace.filter(category=CAT.GPUSORT)
+    assert len(spans) == 1
+    assert spans[0].elements == n
+    assert spans[0].lane == "gpu0"
+
+
+def test_sorts_serialize_on_kernel_engine(env, gpu):
+    n = int(1e8)
+    env.process(gpu.sort(n))
+    env.process(gpu.sort(n))
+    env.run()
+    assert env.now == pytest.approx(2 * gpu.spec.sort_seconds(n))
+
+
+def test_sort_work_callback(env, gpu):
+    ran = []
+    proc = env.process(gpu.sort(100, work=lambda: ran.append(env.now)))
+    env.run(proc)
+    assert ran == [env.now]

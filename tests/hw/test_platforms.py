@@ -1,0 +1,149 @@
+"""Calibration-anchor tests: the platform presets must reproduce the
+numbers the paper reports (Table II + the measured anchors)."""
+
+import pytest
+
+from repro.hw.platforms import PLATFORM1, PLATFORM2, get_platform
+from repro.hw.spec import GIB
+
+# ---------------------------------------------------------------------------
+# Table II structure
+# ---------------------------------------------------------------------------
+
+
+def test_platform1_table2():
+    p = PLATFORM1
+    assert p.cpu.cores == 16
+    assert p.cpu.clock_ghz == 2.1
+    assert p.n_gpus == 1
+    assert p.gpus[0].model == "Quadro GP100"
+    assert p.gpus[0].cuda_cores == 3584
+    assert p.gpus[0].mem_bytes == 16 * GIB
+    assert p.hostmem.capacity_bytes == 128 * GIB
+    assert p.reference_threads == 16
+
+
+def test_platform2_table2():
+    p = PLATFORM2
+    assert p.cpu.cores == 20
+    assert p.cpu.clock_ghz == 2.6
+    assert p.n_gpus == 2
+    assert all(g.model == "Tesla K40m" for g in p.gpus)
+    assert all(g.cuda_cores == 2880 for g in p.gpus)
+    assert all(g.mem_bytes == 12 * GIB for g in p.gpus)
+    assert p.reference_threads == 20
+
+
+def test_get_platform_lookup():
+    assert get_platform("platform1") is PLATFORM1
+    assert get_platform("PLATFORM2") is PLATFORM2
+    with pytest.raises(KeyError):
+        get_platform("PLATFORM3")
+
+
+# ---------------------------------------------------------------------------
+# Measured anchors (Sec. IV / V)
+# ---------------------------------------------------------------------------
+
+
+def test_pinned_transfer_rate_anchor():
+    """Pinned transfers run at ~12 GB/s = 75% of PCIe v3 peak (Sec. V);
+    5.96 GiB in ~0.54 s (Fig. 7)."""
+    for p in (PLATFORM1, PLATFORM2):
+        rate = p.pcie.flow_cap(pinned=True)
+        assert rate == pytest.approx(12e9, rel=0.01)
+        t = 8 * 8e8 / rate
+        assert t == pytest.approx(0.536, rel=0.02)
+
+
+def test_pinned_vs_pageable_about_2x():
+    ratio = (PLATFORM1.pcie.flow_cap(True)
+             / PLATFORM1.pcie.flow_cap(False))
+    assert 1.8 <= ratio <= 2.3
+
+
+def test_pinned_alloc_anchors():
+    hm = PLATFORM1.hostmem
+    assert hm.pinned_alloc_seconds(8e6) == pytest.approx(0.01, rel=0.01)
+    assert hm.pinned_alloc_seconds(6.4e9) == pytest.approx(2.2, rel=0.01)
+
+
+def test_gnu_sort_speedup_anchors_platform1():
+    gnu = PLATFORM1.sort_model("gnu")
+    s_small = gnu.seconds(10 ** 5, 1) / gnu.seconds(10 ** 5, 16)
+    s_large = gnu.seconds(10 ** 9, 1) / gnu.seconds(10 ** 9, 16)
+    assert s_small == pytest.approx(3.17, rel=0.10)
+    assert s_large == pytest.approx(10.12, rel=0.03)
+
+
+def test_gnu_speedup_grows_with_n():
+    """Fig. 4b: larger inputs scale better."""
+    gnu = PLATFORM1.sort_model("gnu")
+    speedups = [gnu.seconds(n, 1) / gnu.seconds(n, 16)
+                for n in (10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8, 10 ** 9)]
+    assert speedups == sorted(speedups)
+
+
+def test_qsort_half_of_std():
+    std = PLATFORM1.sort_model("std")
+    qsort = PLATFORM1.sort_model("qsort")
+    n = 10 ** 7
+    assert qsort.seconds(n) / std.seconds(n) == pytest.approx(2.0, rel=0.01)
+
+
+def test_tbb_slower_than_gnu_for_large_inputs():
+    gnu = PLATFORM1.sort_model("gnu")
+    tbb = PLATFORM1.sort_model("tbb")
+    assert tbb.seconds(10 ** 9, 16) > gnu.seconds(10 ** 9, 16)
+
+
+def test_std_sort_equals_gnu_single_thread():
+    gnu = PLATFORM1.sort_model("gnu")
+    std = PLATFORM1.sort_model("std")
+    n = 10 ** 8
+    assert std.seconds(n) == pytest.approx(gnu.seconds(n, 1), rel=0.01)
+
+
+def test_merge_anchors_platform1():
+    m = PLATFORM1.merge
+    n = 10 ** 9
+    assert m.seconds(n, 1) == pytest.approx(7.0, rel=0.02)
+    speedup = m.seconds(n, 1) / m.seconds(n, 16)
+    assert speedup == pytest.approx(8.14, rel=0.01)
+
+
+def test_multiway_factor_monotone_in_k():
+    m = PLATFORM1.merge
+    factors = [m.multiway_factor(k) for k in (2, 4, 8, 16, 32)]
+    assert factors[0] == 1.0
+    assert factors == sorted(factors)
+
+
+def test_merge_flow_cap_below_bus_platform1():
+    """On PLATFORM1 uncontended merges must not be throttled by the bus,
+    otherwise the Fig. 6 standalone scalability anchor (8.14x at 16
+    threads) would be violated.  (PLATFORM2's 20-thread merge slightly
+    exceeds its bus -- physically plausible and un-anchored by the
+    paper.)"""
+    cap = PLATFORM1.merge.flow_cap(PLATFORM1.reference_threads, k=2)
+    assert cap <= PLATFORM1.hostmem.copy_bus_bw
+    cap2 = PLATFORM2.merge.flow_cap(PLATFORM2.reference_threads, k=2)
+    assert cap2 <= 1.3 * PLATFORM2.hostmem.copy_bus_bw
+
+
+def test_reference_sort_seconds_platform1():
+    """Ref implementation at n = 5e9 lands near 71 s (so the paper's
+    3.21x fastest-approach speedup is achievable)."""
+    t = PLATFORM1.reference_sort_seconds(int(5e9))
+    assert t == pytest.approx(71.0, rel=0.03)
+
+
+def test_gpu_sort_seconds():
+    g = PLATFORM1.gpus[0]
+    assert g.sort_seconds(0) == 0.0
+    # Fig. 7: GPUSort of 8e8 doubles takes less time than the 0.536 s HtoD.
+    assert g.sort_seconds(int(8e8)) < 0.536
+
+
+def test_k40_slower_than_gp100():
+    assert PLATFORM2.gpus[0].sort_rate_f64 < PLATFORM1.gpus[0].sort_rate_f64

@@ -1,0 +1,93 @@
+"""Tests for the thread-scaling laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError
+from repro.hw import scaling
+
+
+def test_amdahl_perfect_when_fully_parallel():
+    assert scaling.amdahl_speedup(16, 0.0) == pytest.approx(16.0)
+
+
+def test_amdahl_one_when_fully_serial():
+    assert scaling.amdahl_speedup(16, 1.0) == pytest.approx(1.0)
+
+
+def test_amdahl_single_thread_is_one():
+    assert scaling.amdahl_speedup(1, 0.3) == pytest.approx(1.0)
+
+
+def test_amdahl_fig6_anchor():
+    """Serial fraction 0.0644 gives the paper's 8.14x merge speedup."""
+    assert scaling.amdahl_speedup(16, 0.0644) == pytest.approx(8.14, rel=1e-2)
+
+
+def test_amdahl_validation():
+    with pytest.raises(CalibrationError):
+        scaling.amdahl_speedup(0, 0.1)
+    with pytest.raises(CalibrationError):
+        scaling.amdahl_speedup(4, 1.5)
+
+
+def test_parallel_seconds_spawn_overhead_dominates_small_work():
+    t = scaling.parallel_seconds(1e-4, 16, 0.0, spawn_overhead_s=1e-3)
+    assert t > 16e-3  # overhead term alone
+
+
+def test_parallel_seconds_matches_amdahl_without_overhead():
+    t1 = 10.0
+    t = scaling.parallel_seconds(t1, 8, 0.05)
+    assert t == pytest.approx(t1 / scaling.amdahl_speedup(8, 0.05))
+
+
+def test_speedup_monotone_in_threads():
+    prev = 0.0
+    for t in (1, 2, 4, 8, 16):
+        s = scaling.speedup(100.0, t, 0.04)
+        assert s > prev
+        prev = s
+
+
+def test_speedup_of_zero_work_is_one():
+    assert scaling.speedup(0.0, 16, 0.0) == 1.0
+
+
+def test_fit_serial_fraction_roundtrip():
+    for s in (0.0, 0.02, 0.1, 0.5):
+        observed = scaling.amdahl_speedup(16, s)
+        assert scaling.fit_serial_fraction(16, observed) == \
+            pytest.approx(s, abs=1e-9)
+
+
+def test_fit_serial_fraction_paper_anchor():
+    assert scaling.fit_serial_fraction(16, 8.14) == pytest.approx(0.0644,
+                                                                  abs=1e-3)
+
+
+def test_fit_validation():
+    with pytest.raises(CalibrationError):
+        scaling.fit_serial_fraction(1, 1.0)
+    with pytest.raises(CalibrationError):
+        scaling.fit_serial_fraction(8, 9.0)  # superlinear impossible
+    with pytest.raises(CalibrationError):
+        scaling.fit_serial_fraction(8, 0.5)
+
+
+@given(threads=st.integers(1, 64),
+       frac=st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_property_speedup_bounded(threads, frac):
+    s = scaling.amdahl_speedup(threads, frac)
+    assert 1.0 - 1e-12 <= s <= threads + 1e-9
+
+
+@given(threads=st.integers(2, 64),
+       frac=st.floats(0.001, 0.999))
+@settings(max_examples=60, deadline=None)
+def test_property_fit_inverts_amdahl(threads, frac):
+    observed = scaling.amdahl_speedup(threads, frac)
+    recovered = scaling.fit_serial_fraction(threads, observed)
+    assert recovered == pytest.approx(frac, rel=1e-6, abs=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for the bitonic sorting network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ValidationError
+from repro.kernels.bitonic import (bitonic_sort, bitonic_sort_inplace,
+                                   compare_exchange_pairs)
+from repro.kernels.utils import is_sorted, same_multiset
+
+finite_f64 = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 7, 8, 15, 16, 100, 256, 1000])
+def test_various_sizes(rng, n):
+    a = rng.normal(size=n)
+    s = bitonic_sort(a)
+    assert is_sorted(s)
+    assert same_multiset(a, s)
+
+
+def test_power_of_two_runs_in_place(rng):
+    a = rng.normal(size=64)
+    expect = np.sort(a)
+    bitonic_sort_inplace(a)
+    assert np.array_equal(a, expect)
+
+
+def test_non_power_of_two_padding_handles_inf(rng):
+    """Padding uses +inf; real +inf elements must still sort correctly."""
+    a = np.concatenate([rng.normal(size=50), [np.inf, np.inf, -np.inf]])
+    rng.shuffle(a)
+    s = bitonic_sort(a)
+    assert is_sorted(s)
+    assert same_multiset(a, s)
+
+
+def test_nan_rejected():
+    with pytest.raises(ValidationError):
+        bitonic_sort(np.array([1.0, np.nan]))
+
+
+def test_2d_rejected():
+    with pytest.raises(ValidationError):
+        bitonic_sort(np.zeros((2, 2)))
+
+
+def test_non_power_of_two_int_dtype_rejected():
+    with pytest.raises(ValidationError):
+        bitonic_sort_inplace(np.arange(5))
+
+
+def test_power_of_two_int_dtype_supported():
+    a = np.array([3, 1, 2, 0])
+    assert np.array_equal(bitonic_sort(a), np.array([0, 1, 2, 3]))
+
+
+def test_data_obliviousness():
+    """The network structure depends only on n, never on values."""
+    n = 16
+    stages_a = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            lo, hi = compare_exchange_pairs(n, k, j)
+            stages_a.append((lo.tolist(), hi.tolist()))
+            j //= 2
+        k *= 2
+    # Expected stage count: log2(n) * (log2(n)+1) / 2 = 4*5/2 = 10.
+    assert len(stages_a) == 10
+    # Each element appears in exactly one pair per stage.
+    for lo, hi in stages_a:
+        touched = lo + hi
+        assert len(touched) == n
+        assert len(set(touched)) == n
+
+
+@given(hnp.arrays(np.float64, st.integers(0, 128), elements=finite_f64))
+@settings(max_examples=60, deadline=None)
+def test_property_matches_numpy(a):
+    assert np.array_equal(bitonic_sort(a), np.sort(a))

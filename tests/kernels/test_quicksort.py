@@ -1,0 +1,84 @@
+"""Tests for introsort (the std::sort / qsort stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ValidationError
+from repro.kernels.quicksort import (heapsort_inplace, insertion_sort_inplace,
+                                     introsort)
+from repro.kernels.utils import is_sorted, same_multiset
+
+finite_f64 = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 15, 16, 17, 100, 1000])
+def test_various_sizes(rng, n):
+    a = rng.normal(size=n)
+    s = introsort(a)
+    assert is_sorted(s)
+    assert same_multiset(a, s)
+
+
+def test_input_not_mutated(rng):
+    a = rng.normal(size=100)
+    orig = a.copy()
+    introsort(a)
+    assert np.array_equal(a, orig)
+
+
+def test_adversarial_inputs(rng):
+    n = 2000
+    cases = [
+        np.sort(rng.normal(size=n)),           # sorted
+        np.sort(rng.normal(size=n))[::-1].copy(),  # reversed
+        np.full(n, 1.0),                       # all equal
+        rng.integers(0, 3, n).astype(float),   # few distinct (3-way part.)
+        np.tile([1.0, 2.0], n // 2),           # organ pipe
+    ]
+    for a in cases:
+        s = introsort(a)
+        assert is_sorted(s) and same_multiset(a, s)
+
+
+def test_nan_rejected():
+    with pytest.raises(ValidationError):
+        introsort(np.array([np.nan]))
+
+
+def test_2d_rejected():
+    with pytest.raises(ValidationError):
+        introsort(np.zeros((2, 3)))
+
+
+def test_insertion_sort_subrange(rng):
+    a = rng.normal(size=20)
+    orig = a.copy()
+    insertion_sort_inplace(a, 5, 15)
+    assert is_sorted(a[5:15])
+    assert np.array_equal(a[:5], orig[:5])
+    assert np.array_equal(a[15:], orig[15:])
+
+
+def test_heapsort_subrange(rng):
+    a = rng.normal(size=50)
+    orig = a.copy()
+    heapsort_inplace(a, 10, 40)
+    assert is_sorted(a[10:40])
+    assert same_multiset(a[10:40], orig[10:40])
+    assert np.array_equal(a[:10], orig[:10])
+
+
+def test_heapsort_full(rng):
+    a = rng.normal(size=333)
+    expect = np.sort(a)
+    heapsort_inplace(a)
+    assert np.array_equal(a, expect)
+
+
+@given(hnp.arrays(np.float64, st.integers(0, 300), elements=finite_f64))
+@settings(max_examples=50, deadline=None)
+def test_property_matches_numpy(a):
+    assert np.array_equal(introsort(a), np.sort(a))

@@ -1,0 +1,134 @@
+"""Tests for the LSD radix sort (the Thrust stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ValidationError
+from repro.kernels.radix import (counting_sort_pass,
+                                 counting_sort_pass_reference,
+                                 lsd_radix_sort_u64, sort_floats,
+                                 sort_floats_inplace)
+from repro.kernels.utils import is_sorted, same_multiset
+
+finite_f64 = st.floats(allow_nan=False, allow_infinity=True, width=64)
+
+
+def test_sorts_random_uniform(rng):
+    a = rng.random(10_000)
+    s = sort_floats(a)
+    assert is_sorted(s)
+    assert same_multiset(a, s)
+
+
+def test_sorts_negatives_and_positives(rng):
+    a = rng.normal(scale=1e6, size=5000)
+    s = sort_floats(a)
+    assert is_sorted(s)
+    assert same_multiset(a, s)
+
+
+def test_special_values_ordering():
+    a = np.array([np.inf, -np.inf, 0.0, -0.0, 1e-300, -1e-300,
+                  1e300, -1e300])
+    s = sort_floats(a)
+    assert is_sorted(s)
+    assert s[0] == -np.inf and s[-1] == np.inf
+    # -0.0 sorts immediately before +0.0 (bit-level order).
+    zero_idx = np.where(s == 0.0)[0]
+    assert np.signbit(s[zero_idx[0]]) and not np.signbit(s[zero_idx[1]])
+
+
+def test_nan_rejected():
+    with pytest.raises(ValidationError):
+        sort_floats(np.array([1.0, np.nan]))
+
+
+def test_empty_and_singleton():
+    assert len(sort_floats(np.empty(0))) == 0
+    assert sort_floats(np.array([3.14]))[0] == 3.14
+
+
+def test_all_equal(rng):
+    a = np.full(1000, 7.5)
+    assert np.array_equal(sort_floats(a), a)
+
+
+def test_already_sorted_and_reversed(rng):
+    a = np.sort(rng.random(2000))
+    assert np.array_equal(sort_floats(a), a)
+    assert np.array_equal(sort_floats(a[::-1].copy()), a)
+
+
+def test_inplace_variant(rng):
+    a = rng.random(1000)
+    expect = np.sort(a)
+    sort_floats_inplace(a)
+    assert np.array_equal(a, expect)
+
+
+@pytest.mark.parametrize("radix_bits", [1, 4, 8, 11, 16])
+def test_radix_width_invariance(rng, radix_bits):
+    a = rng.random(3000)
+    assert np.array_equal(sort_floats(a, radix_bits=radix_bits), np.sort(a))
+
+
+def test_u64_keys_sorted(rng):
+    keys = rng.integers(0, 2 ** 63, size=4000).astype(np.uint64)
+    out = lsd_radix_sort_u64(keys)
+    assert np.array_equal(out, np.sort(keys))
+
+
+def test_u64_rejects_wrong_dtype():
+    with pytest.raises(ValidationError):
+        lsd_radix_sort_u64(np.arange(10, dtype=np.int64))
+
+
+def test_stability_via_payload(rng):
+    """Equal keys must keep their original relative order."""
+    keys = rng.integers(0, 8, size=2000).astype(np.uint64)
+    payload = np.arange(2000)
+    out_keys, out_payload = lsd_radix_sort_u64(keys, payload=payload)
+    assert np.array_equal(out_keys, np.sort(keys))
+    for k in np.unique(keys):
+        grp = out_payload[out_keys == k]
+        assert np.array_equal(grp, np.sort(grp)), "stability violated"
+
+
+def test_payload_length_mismatch_rejected(rng):
+    with pytest.raises(ValidationError):
+        lsd_radix_sort_u64(np.zeros(4, dtype=np.uint64),
+                           payload=np.zeros(3))
+
+
+def test_counting_pass_matches_pure_python_oracle(rng):
+    keys = rng.integers(0, 2 ** 64, size=500, dtype=np.uint64)
+    for shift in (0, 8, 56):
+        got, _ = counting_sort_pass(keys, None, shift, 8)
+        want = counting_sort_pass_reference(keys, shift, 8)
+        assert np.array_equal(got, want)
+
+
+def test_counting_pass_width_validation(rng):
+    keys = np.zeros(4, dtype=np.uint64)
+    with pytest.raises(ValidationError):
+        counting_sort_pass(keys, None, 0, 0)
+    with pytest.raises(ValidationError):
+        counting_sort_pass(keys, None, 0, 32)
+
+
+@given(hnp.arrays(np.float64, st.integers(0, 300), elements=finite_f64))
+@settings(max_examples=80, deadline=None)
+def test_property_matches_numpy_sort(a):
+    got = sort_floats(a)
+    assert is_sorted(got)
+    assert same_multiset(a, got)
+
+
+@given(hnp.arrays(np.uint64, st.integers(0, 300),
+                  elements=st.integers(0, 2 ** 64 - 1)))
+@settings(max_examples=80, deadline=None)
+def test_property_u64_matches_numpy(keys):
+    assert np.array_equal(lsd_radix_sort_u64(keys), np.sort(keys))

@@ -1,0 +1,70 @@
+"""Tests for the missing-overhead accounting (Sec. IV-E, Figs. 7-8)."""
+
+import pytest
+
+from repro.hw.platforms import PLATFORM1
+from repro.model.endtoend import (PAPER_FIG7_SECONDS, end_to_end_accounting)
+
+
+@pytest.fixture(scope="module")
+def acct():
+    # The Fig. 7 configuration: n = 8e8 (5.96 GiB), p_s = 1e6 elements.
+    return end_to_end_accounting(PLATFORM1, n=int(8e8))
+
+
+def test_transfer_times_match_paper(acct):
+    """Ours: HtoD 0.536 s / DtoH 0.484 s; related work: 0.542 / 0.477.
+    (We model both directions symmetrically, so both should land between
+    those pairs.)"""
+    assert acct.htod == pytest.approx(PAPER_FIG7_SECONDS["HtoD_ours"],
+                                      rel=0.05)
+    assert acct.dtoh == pytest.approx(PAPER_FIG7_SECONDS["DtoH_ours"],
+                                      rel=0.12)
+
+
+def test_sort_faster_than_transfers(acct):
+    """Stehle & Jacobsen's observation, confirmed by the paper: the data
+    transfers each take longer than the on-GPU sort."""
+    assert acct.gpusort < acct.htod + acct.dtoh
+
+
+def test_related_work_total_is_three_components(acct):
+    assert acct.related_work_total == pytest.approx(
+        acct.htod + acct.dtoh + acct.gpusort)
+
+
+def test_missing_overhead_is_substantial(acct):
+    """Fig. 8: the full BLINE time is far above the related-work total --
+    the staging copies alone roughly double it."""
+    assert acct.missing_overhead > 0.5 * acct.related_work_total
+    assert acct.full_elapsed > 1.4 * acct.related_work_total
+
+
+def test_mcpy_dominates_missing_overhead(acct):
+    """Sec. IV-E1: with p_s = 1e6 the host-to-host copies, not the
+    allocation, are the significant omitted overhead."""
+    assert acct.mcpy > acct.pinned_alloc
+    assert acct.mcpy > acct.sync
+
+
+def test_pinned_alloc_small_with_small_ps(acct):
+    """p_s = 1e6 elements: two staging buffers cost ~0.02 s -- tiny
+    compared with allocating p_s = n (2.2 s, Sec. IV-E1)."""
+    assert acct.pinned_alloc < 0.05
+    full_alloc = PLATFORM1.hostmem.pinned_alloc_seconds(8 * 8e8)
+    assert full_alloc == pytest.approx(2.2, rel=0.02)
+    assert full_alloc > acct.related_work_total
+
+
+def test_missing_overhead_scales_linearly():
+    """Fig. 8: the gap grows with n (it is dominated by MCpy ~ n)."""
+    a1 = end_to_end_accounting(PLATFORM1, n=int(2e8))
+    a2 = end_to_end_accounting(PLATFORM1, n=int(8e8))
+    assert a2.missing_overhead == pytest.approx(
+        4 * a1.missing_overhead, rel=0.25)
+
+
+def test_rows_structure(acct):
+    rows = dict(acct.rows())
+    assert rows["Related-work end-to-end"] < rows["Full end-to-end (BLine)"]
+    assert set(rows) >= {"HtoD", "DtoH", "GPUSort", "MCpy (omitted)"}

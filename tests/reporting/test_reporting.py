@@ -1,0 +1,161 @@
+"""Tests for tables, figure series, and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.reporting import (FigureSeries, crossover, format_count,
+                             format_seconds, render_gantt, render_table,
+                             speedup_series)
+from repro.sim.trace import CAT, Trace
+
+# ---------------------------------------------------------------------------
+# table
+# ---------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    out = render_table(["n", "time"], [[100, "1.5 s"], [5000, "12 s"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+    assert "5000" in lines[3]
+
+
+def test_render_table_title():
+    out = render_table(["a"], [[1]], title="Figure 9")
+    assert out.splitlines()[0] == "Figure 9"
+
+
+def test_format_seconds_scales():
+    assert format_seconds(123.4) == "123.4 s"
+    assert format_seconds(1.5) == "1.500 s"
+    assert format_seconds(0.0123) == "12.300 ms"
+    assert format_seconds(5e-6) == "5.0 us"
+
+
+def test_format_count():
+    assert format_count(5e9) == "5e+09"
+    assert format_count(1234) == "1,234"
+
+
+# ---------------------------------------------------------------------------
+# series
+# ---------------------------------------------------------------------------
+
+
+def test_series_add_and_at():
+    s = FigureSeries("bline")
+    s.add(1e9, 5.0)
+    s.add(2e9, 10.0)
+    assert s.at(2e9) == 10.0
+    with pytest.raises(KeyError):
+        s.at(3e9)
+
+
+def test_series_x_monotonic():
+    s = FigureSeries("x")
+    s.add(2.0, 1.0)
+    with pytest.raises(ValueError):
+        s.add(1.0, 1.0)
+
+
+def test_speedup_series():
+    ref = FigureSeries("ref")
+    fast = FigureSeries("fast")
+    for x, r, f in [(1, 10.0, 5.0), (2, 20.0, 5.0)]:
+        ref.add(x, r)
+        fast.add(x, f)
+    sp = speedup_series(ref, fast)
+    assert sp.y == [2.0, 4.0]
+
+
+def test_speedup_requires_same_grid():
+    a = FigureSeries("a")
+    b = FigureSeries("b")
+    a.add(1, 1.0)
+    b.add(2, 1.0)
+    with pytest.raises(ValueError):
+        speedup_series(a, b)
+
+
+def test_crossover_found():
+    a = FigureSeries("a")
+    b = FigureSeries("b")
+    for x, ya, yb in [(0, 0.0, 1.0), (1, 2.0, 1.0)]:
+        a.add(x, ya)
+        b.add(x, yb)
+    assert crossover(a, b) == pytest.approx(0.5)
+
+
+def test_crossover_none():
+    a = FigureSeries("a")
+    b = FigureSeries("b")
+    for x in (0, 1):
+        a.add(x, 1.0)
+        b.add(x, 2.0)
+    assert crossover(a, b) is None
+
+
+# ---------------------------------------------------------------------------
+# gantt
+# ---------------------------------------------------------------------------
+
+
+def test_gantt_renders_lanes_and_glyphs():
+    t = Trace()
+    t.record(CAT.HTOD, "h", 0.0, 1.0, lane="gpu0")
+    t.record(CAT.MCPY, "m", 1.0, 2.0, lane="host")
+    out = render_gantt(t, width=20)
+    assert "gpu0" in out and "host" in out
+    assert "H" in out and "m" in out
+
+
+def test_gantt_empty_trace():
+    assert render_gantt(Trace()) == "(empty trace)"
+
+
+def test_gantt_width_respected():
+    t = Trace()
+    t.record(CAT.GPUSORT, "s", 0.0, 10.0, lane="gpu0")
+    out = render_gantt(t, width=30)
+    lane_line = [l for l in out.splitlines() if l.startswith("gpu0")][0]
+    assert lane_line.count("S") == 30
+
+
+# ---------------------------------------------------------------------------
+# chrome trace export
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_events():
+    import json
+
+    from repro.reporting.chrometrace import to_chrome_trace, \
+        write_chrome_trace
+    t = Trace()
+    t.record(CAT.HTOD, "h", 0.0, 1.0, lane="gpu0", nbytes=8.0,
+             meta=(("chunk", 3),))
+    t.record(CAT.MERGE, "m", 1.0, 3.0, lane="cpu", elements=100)
+    events = to_chrome_trace(t)
+    xs = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(xs) == 2
+    assert len(metas) == 2                 # one thread_name per lane
+    htod = next(e for e in xs if e["cat"] == CAT.HTOD)
+    assert htod["ts"] == 0.0 and htod["dur"] == 1e6
+    assert htod["args"] == {"bytes": 8.0, "chunk": 3}
+    # lanes map to distinct tids
+    assert len({e["tid"] for e in xs}) == 2
+    assert json.dumps(events)              # serialisable
+
+
+def test_chrome_trace_roundtrip_to_file(tmp_path):
+    import json
+
+    from repro.reporting.chrometrace import write_chrome_trace
+    t = Trace()
+    t.record(CAT.GPUSORT, "sort", 0.5, 1.0, lane="gpu0")
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(t, str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == count
+    assert doc["displayTimeUnit"] == "ms"

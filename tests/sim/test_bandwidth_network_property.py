@@ -1,0 +1,96 @@
+"""Hypothesis property tests for multi-link, weighted flow networks --
+the configuration the Machine actually uses (PCIe link + host bus with
+pageable amplification)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.bandwidth import FlowNetwork
+from repro.sim.engine import Environment
+
+flow_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=1e4),          # nbytes
+        st.sampled_from([(0,), (1,), (0, 1)]),            # link subset
+        st.floats(min_value=1.0, max_value=2.0),          # weight on link
+        st.floats(min_value=0.0, max_value=3.0),          # start delay
+    ),
+    min_size=1, max_size=10)
+
+
+@given(flows=flow_specs,
+       cap0=st.floats(min_value=5.0, max_value=500.0),
+       cap1=st.floats(min_value=5.0, max_value=500.0))
+@settings(max_examples=60, deadline=None)
+def test_weighted_multilink_conservation(flows, cap0, cap1):
+    """All flows complete; per-link weighted volume respects capacity."""
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [net.add_link("l0", cap0), net.add_link("l1", cap1)]
+    finished = []
+
+    def p(nbytes, subset, weight, delay):
+        yield env.timeout(delay)
+        t0 = env.now
+        entries = [(links[i], weight) for i in subset]
+        yield net.transfer(nbytes, entries)
+        finished.append((nbytes, subset, weight, t0, env.now))
+
+    for spec in flows:
+        env.process(p(*spec))
+    env.run()
+
+    assert len(finished) == len(flows)
+    assert net.active_flows == 0
+    # Per-link: the weighted bytes carried cannot exceed capacity x the
+    # busy window.
+    for li, cap in ((0, cap0), (1, cap1)):
+        volume = sum(nb * w for nb, subset, w, _, _ in finished
+                     if li in subset)
+        if volume == 0:
+            continue
+        window = (max(t1 for nb, s, w, t0, t1 in finished if li in s)
+                  - min(t0 for nb, s, w, t0, t1 in finished if li in s))
+        assert window * cap >= volume * (1 - 1e-6)
+    # Per-flow: no flow finished faster than its bottleneck allows.
+    for nbytes, subset, weight, t0, t1 in finished:
+        best_rate = min((links[i].capacity / weight) for i in subset)
+        assert t1 - t0 >= nbytes / best_rate - 1e-6
+
+
+@given(n_flows=st.integers(1, 8),
+       weight=st.floats(min_value=1.0, max_value=3.0))
+@settings(max_examples=40, deadline=None)
+def test_weight_scales_effective_capacity(n_flows, weight):
+    """n identical weight-w flows on one link of capacity C finish in
+    exactly n * bytes * w / C."""
+    env = Environment()
+    net = FlowNetwork(env)
+    link = net.add_link("l", 100.0)
+    ends = []
+
+    def p():
+        yield net.transfer(50.0, [(link, weight)])
+        ends.append(env.now)
+
+    for _ in range(n_flows):
+        env.process(p())
+    env.run()
+    assert ends[-1] == pytest.approx(n_flows * 50.0 * weight / 100.0)
+
+
+def test_completed_flow_counter():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = net.add_link("l", 10.0)
+
+    def p():
+        yield net.transfer(5.0, [link])
+        yield net.transfer(0.0, [link])   # zero-byte: immediate
+
+    proc = env.process(p())
+    env.run(proc)
+    assert net.completed_flows == 2

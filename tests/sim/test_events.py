@@ -1,0 +1,146 @@
+"""Tests for event primitives: triggering, conditions, failure handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Condition, Event
+
+
+def test_event_lifecycle(env):
+    ev = env.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(5)
+    assert ev.triggered and not ev.processed
+    env.run()
+    assert ev.processed
+    assert ev.ok and ev.value == 5
+
+
+def test_double_succeed_rejected(env):
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_succeed_after_fail_rejected(env):
+    ev = env.event()
+    ev.fail(RuntimeError("x"))
+    ev.defuse()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_before_trigger_rejected(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_unhandled_failure_aborts_simulation(env):
+    ev = env.event()
+    ev.fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_defused_failure_is_silent(env):
+    ev = env.event()
+    ev.fail(RuntimeError("handled"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_all_of_waits_for_every_event(env):
+    evs = [env.timeout(d) for d in (3.0, 1.0, 2.0)]
+    cond = env.all_of(evs)
+    fired = []
+
+    def p(env, cond):
+        v = yield cond
+        fired.append((env.now, len(v)))
+
+    env.process(p(env, cond))
+    env.run()
+    assert fired == [(3.0, 3)]
+
+
+def test_any_of_fires_on_first(env):
+    evs = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+    cond = env.any_of(evs)
+    fired = []
+
+    def p(env, cond):
+        v = yield cond
+        fired.append((env.now, sorted(v.values())))
+
+    env.process(p(env, cond))
+    env.run()
+    assert fired == [(1.0, [1.0])]
+
+
+def test_all_of_empty_fires_immediately(env):
+    cond = env.all_of([])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_all_of_values_map_events_to_results(env):
+    a = env.timeout(1.0, value="a")
+    b = env.timeout(2.0, value="b")
+    cond = env.all_of([a, b])
+    env.run()
+    assert cond.value == {a: "a", b: "b"}
+
+
+def test_condition_propagates_child_failure(env):
+    good = env.timeout(5.0)
+    bad = env.event()
+
+    def failer(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("child failed"))
+
+    cond = env.all_of([good, bad])
+    caught = []
+
+    def waiter(env, cond):
+        try:
+            yield cond
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(failer(env, bad))
+    env.process(waiter(env, cond))
+    env.run()
+    assert caught == ["child failed"]
+
+
+def test_condition_rejects_mixed_environments(env):
+    from repro.sim.engine import Environment
+    other = Environment()
+    with pytest.raises(SimulationError):
+        env.all_of([env.timeout(1.0), other.timeout(1.0)])
+
+
+def test_condition_with_already_processed_children(env):
+    a = env.timeout(1.0)
+    env.run()          # a is processed
+    cond = env.all_of([a])
+    assert cond.triggered
+
+
+def test_trigger_copies_state(env):
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    assert dst.triggered and dst.value == "payload"

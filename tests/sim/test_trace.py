@@ -1,0 +1,88 @@
+"""Tests for span tracing and component aggregation."""
+
+import pytest
+
+from repro.sim.trace import CAT, Trace
+
+
+def make_trace():
+    t = Trace()
+    t.record(CAT.HTOD, "h1", 0.0, 1.0, lane="gpu0", nbytes=100)
+    t.record(CAT.HTOD, "h2", 2.0, 3.0, lane="gpu0", nbytes=100)
+    t.record(CAT.DTOH, "d1", 0.5, 2.5, lane="gpu0", nbytes=200)
+    t.record(CAT.GPUSORT, "s1", 1.0, 2.0, lane="gpu0", elements=10)
+    t.record(CAT.MCPY, "m1", 0.0, 0.5, lane="host", nbytes=50)
+    return t
+
+
+def test_total_sums_durations():
+    t = make_trace()
+    assert t.total(CAT.HTOD) == pytest.approx(2.0)
+    assert t.total(CAT.DTOH) == pytest.approx(2.0)
+    assert t.total("nope") == 0.0
+
+
+def test_busy_time_collapses_overlap():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 2.0)
+    t.record(CAT.HTOD, "b", 1.0, 3.0)   # overlaps a
+    t.record(CAT.HTOD, "c", 5.0, 6.0)   # disjoint
+    assert t.busy_time([CAT.HTOD]) == pytest.approx(4.0)
+    assert t.total(CAT.HTOD) == pytest.approx(5.0)
+
+
+def test_busy_time_all_categories():
+    t = make_trace()
+    # Spans cover [0, 3] continuously.
+    assert t.busy_time() == pytest.approx(3.0)
+
+
+def test_busy_time_by_lane():
+    t = make_trace()
+    assert t.busy_time(lane="host") == pytest.approx(0.5)
+
+
+def test_breakdown_sorted_descending():
+    t = make_trace()
+    bd = t.breakdown()
+    values = list(bd.values())
+    assert values == sorted(values, reverse=True)
+    assert set(bd) == {CAT.HTOD, CAT.DTOH, CAT.GPUSORT, CAT.MCPY}
+
+
+def test_count_and_bytes():
+    t = make_trace()
+    assert t.count(CAT.HTOD) == 2
+    assert t.bytes_moved(CAT.HTOD) == pytest.approx(200)
+    assert t.bytes_moved(CAT.DTOH) == pytest.approx(200)
+
+
+def test_makespan():
+    t = make_trace()
+    assert t.makespan() == pytest.approx(3.0)
+    assert Trace().makespan() == 0.0
+
+
+def test_lanes_first_seen_order():
+    t = make_trace()
+    assert t.lanes() == ["gpu0", "host"]
+
+
+def test_filter():
+    t = make_trace()
+    assert len(t.filter(category=CAT.HTOD)) == 2
+    assert len(t.filter(lane="gpu0")) == 4
+    assert len(t.filter(category=CAT.HTOD, lane="host")) == 0
+
+
+def test_span_duration_and_validation():
+    t = Trace()
+    s = t.record(CAT.SYNC, "x", 1.0, 1.5)
+    assert s.duration == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        t.record(CAT.SYNC, "bad", 2.0, 1.0)
+
+
+def test_related_work_categories():
+    assert set(CAT.RELATED_WORK) == {CAT.HTOD, CAT.DTOH, CAT.GPUSORT}
+    assert set(CAT.OMITTED) == {CAT.MCPY, CAT.PINNED_ALLOC, CAT.SYNC}

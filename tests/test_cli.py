@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_timing_run():
+    code, text = run_cli("--n", "1e9", "--approach", "pipedata",
+                         "--batch-size", "2.5e8")
+    assert code == 0
+    assert "pipedata on PLATFORM1" in text
+    assert "n_b=4" in text
+
+
+def test_functional_run_validates():
+    code, text = run_cli("--functional", "50000", "--batch-size",
+                         "20000", "--approach", "pipemerge",
+                         "--pinned", "5000")
+    assert code == 0
+    assert "validated" in text
+
+
+def test_gantt_flag():
+    code, text = run_cli("--functional", "30000", "--batch-size",
+                         "10000", "--pinned", "3000", "--gantt")
+    assert code == 0
+    assert "s/column" in text
+
+
+def test_compare_mode():
+    code, text = run_cli("--n", "1e9", "--batch-size", "2.5e8",
+                         "--compare", "--memcpy-threads", "8")
+    assert code == 0
+    assert "cpu reference" in text
+    assert "pipemerge+parmemcpy" in text
+    assert "speedup" in text
+
+
+def test_platform2_multi_gpu():
+    code, text = run_cli("--platform", "platform2", "--gpus", "2",
+                         "--n", "1.4e9", "--batch-size", "3.5e8")
+    assert code == 0
+    assert "PLATFORM2" in text
+    assert "n_gpu=2" in text
+
+
+def test_gpumerge_approach():
+    code, text = run_cli("--n", "8e8", "--approach", "gpumerge",
+                         "--batch-size", "2e8")
+    assert code == 0
+    assert "gpumerge" in text
+
+
+def test_requires_exactly_one_input_spec():
+    with pytest.raises(SystemExit):
+        main([])
+    with pytest.raises(SystemExit):
+        main(["--n", "1e6", "--functional", "100"])
+
+
+def test_bad_approach_rejected():
+    with pytest.raises(SystemExit):
+        main(["--n", "1e6", "--approach", "bogosort"])
+
+
+def test_parser_defaults_match_paper():
+    args = build_parser().parse_args(["--n", "1e9"])
+    assert args.streams == 2
+    assert args.pinned == 1e6
+    assert args.approach == "pipemerge"
+
+
+def test_trace_json_export(tmp_path):
+    import json
+    path = tmp_path / "run.json"
+    code, text = run_cli("--n", "4e8", "--batch-size", "2e8",
+                         "--trace-json", str(path))
+    assert code == 0
+    assert "trace events" in text
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) > 10

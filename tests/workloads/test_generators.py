@@ -1,0 +1,75 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import DISTRIBUTIONS, dataset_gib, generate
+
+
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+def test_every_distribution_generates(dist):
+    a = generate(10_000, dist, seed=3)
+    assert len(a) == 10_000
+    assert a.dtype == np.float64
+    assert not np.isnan(a).any()
+
+
+def test_deterministic_by_seed():
+    assert np.array_equal(generate(1000, "uniform", seed=5),
+                          generate(1000, "uniform", seed=5))
+    assert not np.array_equal(generate(1000, "uniform", seed=5),
+                              generate(1000, "uniform", seed=6))
+
+
+def test_uniform_range():
+    a = generate(100_000, "uniform", seed=0)
+    assert a.min() >= 0.0 and a.max() < 1.0
+    # Uniform: mean near 0.5.
+    assert a.mean() == pytest.approx(0.5, abs=0.01)
+
+
+def test_sorted_and_reverse():
+    s = generate(5000, "sorted", seed=1)
+    r = generate(5000, "reverse", seed=1)
+    assert np.all(s[:-1] <= s[1:])
+    assert np.all(r[:-1] >= r[1:])
+
+
+def test_nearly_sorted_mostly_ordered():
+    a = generate(10_000, "nearly_sorted", seed=2)
+    inversions = np.sum(a[:-1] > a[1:])
+    assert 0 < inversions < 0.1 * len(a)
+
+
+def test_duplicates_few_distinct():
+    a = generate(10_000, "duplicates", seed=4, distinct=8)
+    assert len(np.unique(a)) <= 8
+
+
+def test_zipf_skewed():
+    a = generate(10_000, "zipf", seed=9)
+    values, counts = np.unique(a, return_counts=True)
+    # Heavy-tailed: the top few values dominate the distribution.
+    top3 = np.sort(counts)[-3:].sum()
+    assert top3 > 0.4 * len(a)
+
+
+def test_unknown_distribution():
+    with pytest.raises(ValidationError):
+        generate(10, "cauchy")
+
+
+def test_negative_size():
+    with pytest.raises(ValidationError):
+        generate(-1, "uniform")
+
+
+def test_zero_size():
+    assert len(generate(0, "uniform")) == 0
+
+
+def test_dataset_gib():
+    """The paper: n = 8e8 doubles = 5.96 GiB."""
+    assert dataset_gib(int(8e8)) == pytest.approx(5.96, abs=0.01)
+    assert dataset_gib(int(5e9)) == pytest.approx(37.25, abs=0.01)
