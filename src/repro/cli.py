@@ -14,6 +14,10 @@ Functional run with validation and a timeline::
 Compare every approach at one size::
 
     python -m repro --n 2e9 --batch-size 2e8 --compare
+
+Observability report (utilization, overlap matrix, counters)::
+
+    python -m repro metrics --n 2e9 --batch-size 2e8 --approach pipedata
 """
 
 from __future__ import annotations
@@ -24,17 +28,14 @@ import sys
 from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
 from repro.hetsort.config import Approach
 from repro.hw.platforms import get_platform
-from repro.reporting import render_gantt, render_table
+from repro.reporting import render_gantt, render_metrics_table, render_table
 from repro.workloads import generate
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_metrics_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro-hetsort",
-        description="Hybrid CPU/GPU sorting on a simulated platform "
-                    "(IPPS 2018 reproduction).")
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    """Options shared by the default run mode and `metrics`."""
     p.add_argument("--platform", default="PLATFORM1",
                    help="PLATFORM1 (GP100) or PLATFORM2 (2x K40m)")
     p.add_argument("--gpus", type=int, default=1, help="GPUs to use")
@@ -54,13 +55,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="p_s pinned staging elements")
     p.add_argument("--memcpy-threads", type=int, default=1,
                    help="> 1 enables PARMEMCPY")
+    p.add_argument("--trace-json", metavar="PATH", default=None,
+                   help="write a chrome://tracing / Perfetto JSON "
+                        "(spans + counter tracks)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort",
+        description="Hybrid CPU/GPU sorting on a simulated platform "
+                    "(IPPS 2018 reproduction).")
+    _add_run_options(p)
     p.add_argument("--compare", action="store_true",
                    help="run every approach plus the CPU reference")
     p.add_argument("--gantt", action="store_true",
                    help="print an ASCII timeline of the run")
-    p.add_argument("--trace-json", metavar="PATH", default=None,
-                   help="write a chrome://tracing JSON of the run")
-    p.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort metrics",
+        description="Run one sort and report its observability metrics: "
+                    "per-lane utilization, the category-overlap matrix, "
+                    "overlap efficiency, link goodput and live counters.")
+    _add_run_options(p)
+    p.add_argument("--profile", action="store_true",
+                   help="wall-clock the real numpy kernels "
+                        "(functional runs; never changes the timeline)")
     return p
 
 
@@ -87,10 +110,53 @@ def _run_one(args, out) -> int:
     out.write(res.summary() + "\n")
     if args.gantt:
         out.write(render_gantt(res.trace) + "\n")
+    _maybe_write_trace(args, res, out)
+    return 0
+
+
+def _maybe_write_trace(args, res, out) -> None:
     if args.trace_json:
         from repro.reporting import write_chrome_trace
-        count = write_chrome_trace(res.trace, args.trace_json)
+        count = write_chrome_trace(res.trace, args.trace_json,
+                                   counters=res.recorder)
         out.write(f"wrote {count} trace events to {args.trace_json}\n")
+
+
+def _run_metrics(argv, out) -> int:
+    args = build_metrics_parser().parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        build_metrics_parser().error("pass exactly one of --n or "
+                                     "--functional")
+    sorter = _make_sorter(args)
+    profiling = args.profile and args.functional is not None
+    if profiling:
+        from repro.obs import enable_profiling, reset_profiling
+        reset_profiling()
+        enable_profiling()
+    try:
+        if args.functional is not None:
+            data = generate(args.functional, args.distribution,
+                            seed=args.seed)
+            res = sorter.sort(data, approach=args.approach)
+        else:
+            res = sorter.sort(n=int(args.n), approach=args.approach)
+    finally:
+        if profiling:
+            from repro.obs import disable_profiling
+            disable_profiling()
+    out.write(res.summary() + "\n\n")
+    out.write(render_metrics_table(res.metrics) + "\n")
+    if profiling:
+        from repro.obs import profiling_stats
+        rows = [[s.name, s.calls, f"{s.total_s * 1e3:.3f}",
+                 f"{s.mean_s * 1e6:.1f}", f"{s.elements_per_s:.3g}"]
+                for s in sorted(profiling_stats().values(),
+                                key=lambda s: -s.total_s)]
+        if rows:
+            out.write("\n" + render_table(
+                ["kernel", "calls", "total [ms]", "mean [us]", "elem/s"],
+                rows, title="kernel wall-clock profile (real numpy)") + "\n")
+    _maybe_write_trace(args, res, out)
     return 0
 
 
@@ -118,6 +184,9 @@ def _run_compare(args, out) -> int:
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "metrics":
+        return _run_metrics(argv[1:], out)
     args = build_parser().parse_args(argv)
     if (args.n is None) == (args.functional is None):
         build_parser().error("pass exactly one of --n or --functional")

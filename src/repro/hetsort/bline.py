@@ -37,6 +37,7 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     out = ctx.B if ctx.plan.n_gpus == 1 else ctx.W
     stream = ctx.rt.create_stream(gpu)
     lane = f"host.gpu{gpu}"
+    ctx.obs.incr("workers.active")
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
@@ -53,6 +54,11 @@ def _gpu_worker(ctx: RunContext, gpu: int):
         ctx.rt.free(dev)
     if ctx.plan.n_gpus > 1:
         ctx.finish_run(batch)
+    else:
+        # Single GPU: the batch landed directly in B; count it anyway so
+        # `batches.completed` reaches n_batches for every approach.
+        ctx.obs.incr("batches.completed")
+    ctx.obs.incr("workers.active", -1)
 
 
 def run_bline(ctx: RunContext):

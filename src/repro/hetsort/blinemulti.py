@@ -27,6 +27,7 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     batches = [b for b in ctx.plan.batches if b.gpu == gpu]
     stream = ctx.rt.create_stream(gpu)
     lane = f"host.gpu{gpu}"
+    ctx.obs.incr("workers.active")
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
@@ -48,6 +49,7 @@ def _gpu_worker(ctx: RunContext, gpu: int):
                                                ctx.W, lane)
             ctx.finish_run(batch)
         ctx.rt.free(dev)
+    ctx.obs.incr("workers.active", -1)
 
 
 def run_blinemulti(ctx: RunContext):

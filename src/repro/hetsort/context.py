@@ -21,6 +21,7 @@ from repro.cuda import ELEM, PageableBuffer, Runtime
 from repro.hetsort.config import SortConfig
 from repro.hetsort.plan import Batch, SortPlan
 from repro.hw.machine import Machine
+from repro.obs.counters import MetricsRecorder
 from repro.sim import Store, Trace
 from repro.sim.engine import Environment
 
@@ -83,6 +84,15 @@ class RunContext:
         self.sorted_runs: Store = Store(env, name="sorted_runs")
         self.meta: dict = {}
 
+        #: Live counters/gauges for this run (queue depths, in-flight
+        #: transfers, batch progress).  Recording is passive -- it never
+        #: schedules events -- so the timeline is identical with or
+        #: without observers reading the series.
+        self.obs: MetricsRecorder = MetricsRecorder(clock=lambda: env.now)
+        machine.attach_recorder(self.obs)
+        self.sorted_runs.probe = self.obs.probe(
+            "sorted_runs.pending", lambda store: len(store))
+
     # -- derived knobs -------------------------------------------------------
 
     @property
@@ -112,5 +122,6 @@ class RunContext:
     def finish_run(self, batch: Batch) -> SortedRun:
         """Record a batch as sorted-and-landed-in-W."""
         run = SortedRun(size=batch.size, w_offset=batch.offset)
+        self.obs.incr("batches.completed")
         self.sorted_runs.put(run)
         return run

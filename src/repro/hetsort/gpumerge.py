@@ -91,6 +91,7 @@ def run_gpumerge(ctx: RunContext):
         runs.append(item)
 
     level = 0
+    ctx.obs.sample("gpumerge.runs_remaining", len(runs))
     while len(runs) > 1:
         nxt: list[SortedRun] = []
         procs = []
@@ -107,6 +108,7 @@ def run_gpumerge(ctx: RunContext):
         yield ctx.env.all_of(procs)
         runs = nxt
         level += 1
+        ctx.obs.sample("gpumerge.runs_remaining", len(runs))
     ctx.meta["gpu_merge_levels"] = level
 
     # The single remaining run becomes B (a parallel host copy).

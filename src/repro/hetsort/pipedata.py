@@ -27,6 +27,7 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
     batches = ctx.plan.batches_for(gpu, slot)
     if not batches:
         return
+    ctx.obs.incr("workers.active")
     stream = ctx.rt.create_stream(gpu)
     pin_in, pin_out, dev = yield from alloc_worker_buffers(
         ctx, gpu, tag=f"g{gpu}s{slot}")
@@ -35,6 +36,7 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
                                       stream)
     yield from stream.synchronize()
     free_worker_buffers(ctx, pin_in, pin_out, dev)
+    ctx.obs.incr("workers.active", -1)
 
 
 def spawn_stream_workers(ctx: RunContext) -> list:

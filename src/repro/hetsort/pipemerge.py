@@ -27,4 +27,5 @@ def run_pipemerge(ctx: RunContext):
     yield ctx.env.all_of(workers)
     merged = yield scheduler   # scheduler returns the pair-merged runs
     ctx.meta["pairwise_merged"] = len(merged)
+    ctx.obs.sample("pipeline.pair_merges", len(merged))
     yield from final_multiway(ctx, extra_runs=merged)

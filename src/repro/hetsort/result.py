@@ -31,6 +31,13 @@ class SortResult:
     trace: Trace
     output: np.ndarray | None = None
     meta: dict = field(default_factory=dict)
+    #: Derived observability metrics (see :mod:`repro.obs.metrics`):
+    #: per-lane utilisation, the category-overlap matrix, overlap
+    #: efficiency, link throughput and live counter summaries.
+    metrics: dict = field(default_factory=dict)
+    #: The run's :class:`~repro.obs.counters.MetricsRecorder` (full
+    #: counter time series, for Perfetto counter-track export).
+    recorder: _t.Any = None
 
     # -- component accounting ------------------------------------------------
 
@@ -61,6 +68,25 @@ class SortResult:
         t = other.elapsed if isinstance(other, SortResult) else float(other)
         return t / self.elapsed
 
+    # -- observability -------------------------------------------------------
+
+    @property
+    def lane_utilization(self) -> dict[str, float]:
+        """Per-lane ``busy / makespan`` from the metrics dict."""
+        return {lane: m["utilization"]
+                for lane, m in self.metrics.get("lanes", {}).items()}
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Critical-path lower bound / makespan (1.0 = perfectly
+        overlapped; see :func:`repro.obs.metrics.overlap_efficiency`)."""
+        return self.metrics.get("overlap_efficiency", 1.0)
+
+    def overlap(self, cat_a: str, cat_b: str) -> float:
+        """Seconds categories ``cat_a`` and ``cat_b`` ran concurrently."""
+        return self.metrics.get("overlap_matrix", {}) \
+            .get(cat_a, {}).get(cat_b, 0.0)
+
     @property
     def throughput(self) -> float:
         """Sorted elements per second, end to end."""
@@ -80,6 +106,7 @@ class SortResult:
             "related_work_end_to_end_s": self.related_work_end_to_end,
             "missing_overhead_s": self.missing_overhead,
             "breakdown_s": self.breakdown,
+            "metrics": self.metrics,
             "config": {
                 "n_streams": self.config.n_streams,
                 "batch_size": self.config.batch_size,

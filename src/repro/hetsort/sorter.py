@@ -31,6 +31,8 @@ from repro.hw.machine import Machine
 from repro.hw.platforms import PLATFORM1
 from repro.hw.spec import PlatformSpec
 from repro.kernels.samplesort import sample_sort
+from repro.obs.counters import MetricsRecorder
+from repro.obs.metrics import compute_metrics
 from repro.sim.engine import Environment
 
 __all__ = ["HeterogeneousSorter", "APPROACH_RUNNERS", "cpu_reference_sort"]
@@ -112,6 +114,9 @@ class HeterogeneousSorter:
             trace=machine.trace,
             output=output,
             meta=dict(ctx.meta),
+            metrics=compute_metrics(machine.trace, elapsed=env.now,
+                                    counters=ctx.obs.summary(env.now)),
+            recorder=ctx.obs,
         )
 
 
@@ -132,6 +137,7 @@ def cpu_reference_sort(platform: PlatformSpec = PLATFORM1,
 
     env = Environment()
     machine = Machine(env, platform, n_gpus=1)
+    machine.attach_recorder(MetricsRecorder(clock=lambda: env.now))
     out: dict = {}
 
     def work():
@@ -155,4 +161,8 @@ def cpu_reference_sort(platform: PlatformSpec = PLATFORM1,
         trace=machine.trace,
         output=out.get("output"),
         meta={"threads": threads, "n": n_elems},
+        metrics=compute_metrics(
+            machine.trace, elapsed=env.now,
+            counters=machine.recorder.summary(env.now)),
+        recorder=machine.recorder,
     )

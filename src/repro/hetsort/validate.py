@@ -1,11 +1,19 @@
-"""Output validation for functional-mode runs."""
+"""Output validation for functional-mode runs.
+
+NaN handling is explicit: NaN compares False against everything, so a
+NaN-laden output could slip through a naive elementwise ``<=`` check
+(single-element arrays) or make the "first failing index" diagnostic lie
+(``argmax`` over an all-False ``>`` mask reports index 0).  Validation
+therefore rejects NaN up front, with positions, before any order check.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.kernels.utils import is_sorted, same_multiset
+from repro.kernels.utils import (first_unsorted_index, has_nan,
+                                 same_multiset)
 
 __all__ = ["check_sorted_permutation"]
 
@@ -13,14 +21,26 @@ __all__ = ["check_sorted_permutation"]
 def check_sorted_permutation(original: np.ndarray,
                              output: np.ndarray) -> None:
     """Raise :class:`ValidationError` unless ``output`` is a sorted
-    permutation of ``original``."""
+    permutation of ``original`` (NaN-free total order required)."""
     if output is None:
         raise ValidationError("no output produced (timing-only run?)")
-    if not is_sorted(output):
-        bad = int(np.argmax(output[:-1] > output[1:]))
+    if has_nan(original):
+        idx = int(np.isnan(original).argmax())
+        raise ValidationError(
+            f"input contains NaN (first at index {idx}, "
+            f"{int(np.isnan(original).sum())} total); keys must be "
+            "totally ordered")
+    if has_nan(output):
+        idx = int(np.isnan(output).argmax())
+        raise ValidationError(
+            f"output contains NaN (first at index {idx}, "
+            f"{int(np.isnan(output).sum())} total) although the input "
+            "had none")
+    bad = first_unsorted_index(output)
+    if bad is not None:
         raise ValidationError(
             f"output not sorted at index {bad}: "
-            f"{output[bad]!r} > {output[bad + 1]!r}")
+            f"{output[bad]!r} followed by {output[bad + 1]!r}")
     if not same_multiset(original, output):
         raise ValidationError(
             "output is not a permutation of the input")

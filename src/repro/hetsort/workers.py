@@ -190,6 +190,7 @@ def pair_merge_scheduler(ctx: RunContext):
             label=f"pairmerge[{len(merged)}]", lane="cpu.pipeline",
             category=CAT.PAIRMERGE, work=work)
         merged.append(out)
+        ctx.obs.incr("pair_merges.completed")
     return merged
 
 

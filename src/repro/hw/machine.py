@@ -59,6 +59,26 @@ class Machine:
         #: Pageable working set (A + W + B) reserved by the run; pinned
         #: allocations must fit in what remains of host DRAM.
         self.host_reserved = 0
+        #: Optional :class:`~repro.obs.counters.MetricsRecorder`; when
+        #: attached, the machine samples pinned-buffer occupancy, in-flight
+        #: DMA transfers and core-pool pressure as counter time series.
+        self.recorder = None
+        self._inflight = {Direction.HTOD: 0, Direction.DTOH: 0}
+
+    def attach_recorder(self, recorder) -> None:
+        """Wire a :class:`~repro.obs.counters.MetricsRecorder` into the
+        machine's probes (core pool, pinned memory, DMA engines)."""
+        self.recorder = recorder
+
+        def cores_probe(res) -> None:
+            recorder.sample("cpu.cores.in_use", res.in_use)
+            recorder.sample("cpu.cores.queue_depth", res.queue_length)
+
+        self.cores.probe = cores_probe
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.sample(name, value)
 
     def reserve_host(self, nbytes: int) -> None:
         """Account a pageable working-set reservation (free of charge in
@@ -170,6 +190,7 @@ class Machine:
         yield self.env.timeout(
             self.platform.hostmem.pinned_alloc_seconds(nbytes))
         self.pinned_bytes += nbytes
+        self._gauge("host.pinned_bytes", self.pinned_bytes)
         self.trace.record(CAT.PINNED_ALLOC, label, start, self.env.now,
                           lane="host", nbytes=nbytes)
 
@@ -180,6 +201,7 @@ class Machine:
                 f"freeing {nbytes} pinned bytes with {self.pinned_bytes} "
                 "allocated")
         self.pinned_bytes -= nbytes
+        self._gauge("host.pinned_bytes", self.pinned_bytes)
 
     def sync_overhead(self, label: str = "streamSync", lane: str = "host"):
         """Process: per-call synchronisation cost of an async copy
@@ -208,6 +230,8 @@ class Machine:
         engine = gpu.copy_engines[direction]
         yield engine.request()
         start = self.env.now
+        self._inflight[direction] += 1
+        self._gauge(f"pcie.{direction}.inflight", self._inflight[direction])
         hostmem_weight = (1.0 if pinned
                           else self.platform.pcie.pageable_hostmem_factor)
         cap = self.platform.pcie.flow_cap(pinned)
@@ -216,6 +240,8 @@ class Machine:
             [self.pcie[direction], (self.host_bus, hostmem_weight)],
             cap=cap, label=label or f"{direction}@gpu{gpu.index}")
         engine.release()
+        self._inflight[direction] -= 1
+        self._gauge(f"pcie.{direction}.inflight", self._inflight[direction])
         category = CAT.HTOD if direction == Direction.HTOD else CAT.DTOH
         self.trace.record(category, label or direction, start, self.env.now,
                           lane=lane or f"gpu{gpu.index}.{direction}",

@@ -22,8 +22,10 @@ from repro.kernels.quicksort import introsort
 from repro.kernels.radix import (lsd_radix_sort_u64, sort_floats,
                                  sort_floats_inplace)
 from repro.kernels.samplesort import sample_sort
-from repro.kernels.utils import (float64_to_ordered_uint64, is_sorted,
-                                 ordered_uint64_to_float64, same_multiset)
+from repro.kernels.utils import (first_unsorted_index,
+                                 float64_to_ordered_uint64, has_nan,
+                                 is_sorted, ordered_uint64_to_float64,
+                                 same_multiset)
 
 __all__ = [
     "sort_floats", "sort_floats_inplace", "lsd_radix_sort_u64",
@@ -33,5 +35,5 @@ __all__ = [
     "multiway_rank_split",
     "sample_sort", "introsort",
     "float64_to_ordered_uint64", "ordered_uint64_to_float64",
-    "is_sorted", "same_multiset",
+    "is_sorted", "same_multiset", "has_nan", "first_unsorted_index",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.profile import profiled
 
 __all__ = ["corank", "partition_merge", "merge_two", "parallel_merge"]
 
@@ -73,6 +74,8 @@ def partition_merge(a: np.ndarray, b: np.ndarray, parts: int
     return out
 
 
+@profiled("mergepath.merge_two",
+          size_of=lambda a, b: len(a) + len(b))
 def merge_two(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Stable merge of two sorted arrays, vectorised.
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.kernels.mergepath import merge_two
+from repro.obs.profile import profiled
 
 __all__ = ["losertree_merge", "multiway_merge", "partition_multiway",
            "multiway_rank_split"]
@@ -36,6 +37,8 @@ def _check_runs(runs: _t.Sequence[np.ndarray]) -> None:
             raise ValidationError("runs must be 1-D arrays")
 
 
+@profiled("multiway.losertree_merge",
+          size_of=lambda runs: sum(len(r) for r in runs))
 def losertree_merge(runs: _t.Sequence[np.ndarray]) -> np.ndarray:
     """Tournament-tree k-way merge (stable; ties resolved by run index).
 
@@ -106,6 +109,8 @@ def losertree_merge(runs: _t.Sequence[np.ndarray]) -> np.ndarray:
     return out
 
 
+@profiled("multiway.multiway_merge",
+          size_of=lambda runs: sum(len(r) for r in runs))
 def multiway_merge(runs: _t.Sequence[np.ndarray]) -> np.ndarray:
     """Stable k-way merge via a balanced tree of vectorised pair merges.
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.kernels.utils import (float64_to_ordered_uint64,
                                  ordered_uint64_to_float64)
+from repro.obs.profile import profiled
 
 __all__ = [
     "lsd_radix_sort_u64", "sort_floats", "sort_floats_inplace",
@@ -92,6 +93,7 @@ def lsd_radix_sort_u64(keys: np.ndarray, radix_bits: int = 8,
     return out
 
 
+@profiled("radix.sort_floats", size_of=lambda a, *_, **__: len(a))
 def sort_floats(a: np.ndarray, radix_bits: int = 8) -> np.ndarray:
     """Radix-sort a float64 array (returns a new array)."""
     keys = float64_to_ordered_uint64(np.ascontiguousarray(a))

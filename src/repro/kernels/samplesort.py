@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.kernels.utils import check_no_nan
+from repro.obs.profile import profiled
 
 __all__ = ["sample_splitters", "partition_by_splitters", "sample_sort"]
 
@@ -56,6 +57,7 @@ def partition_by_splitters(a: np.ndarray, splitters: np.ndarray
     return [a[which == b] for b in range(len(splitters) + 1)]
 
 
+@profiled("samplesort.sample_sort", size_of=lambda a, *_, **__: len(a))
 def sample_sort(a: np.ndarray, threads: int = 1,
                 seed: int = 0x5EED) -> np.ndarray:
     """Sorted copy of ``a`` via sample sort with ``threads`` buckets."""

@@ -19,16 +19,22 @@ from repro.errors import ValidationError
 
 __all__ = [
     "float64_to_ordered_uint64", "ordered_uint64_to_float64",
-    "check_no_nan", "is_sorted", "same_multiset",
+    "check_no_nan", "has_nan", "is_sorted", "first_unsorted_index",
+    "same_multiset",
 ]
 
 _SIGN = np.uint64(0x8000000000000000)
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
+def has_nan(a: np.ndarray) -> bool:
+    """True if ``a`` is a float array containing at least one NaN."""
+    return a.dtype.kind == "f" and bool(np.isnan(a).any())
+
+
 def check_no_nan(a: np.ndarray) -> None:
     """Raise :class:`ValidationError` if ``a`` contains NaN."""
-    if a.dtype.kind == "f" and np.isnan(a).any():
+    if has_nan(a):
         raise ValidationError("input contains NaN; keys must be totally "
                               "ordered")
 
@@ -59,10 +65,39 @@ def ordered_uint64_to_float64(k: np.ndarray) -> np.ndarray:
 
 
 def is_sorted(a: np.ndarray) -> bool:
-    """True if ``a`` is non-decreasing."""
+    """True if ``a`` is non-decreasing under a *total* order.
+
+    NaN-explicit: NaN compares False against everything, so an array
+    containing NaN is never considered sorted -- including single-element
+    and ``[x, ..., x, nan]`` tails that elementwise ``<=`` checks would
+    wave through or reject for the wrong reason.
+    """
+    if has_nan(a):
+        return False
     if len(a) < 2:
         return True
     return bool(np.all(a[:-1] <= a[1:]))
+
+
+def first_unsorted_index(a: np.ndarray) -> int | None:
+    """Index of the first order violation, or ``None`` if sorted.
+
+    A violation at ``i`` means ``not (a[i] <= a[i+1])`` -- the negated
+    form deliberately catches NaN (for which both ``<=`` and ``>`` are
+    False, so the naive ``argmax(a[:-1] > a[1:])`` misreports index 0).
+    A NaN at position 0 of a single-element array reports index 0.
+    """
+    if len(a) == 0:
+        return None
+    if has_nan(a):
+        nan_idx = int(np.isnan(a).argmax())
+        if len(a) < 2:
+            return nan_idx
+    if len(a) < 2:
+        return None
+    bad = ~(a[:-1] <= a[1:])
+    idx = bad.nonzero()[0]
+    return int(idx[0]) if len(idx) else None
 
 
 def same_multiset(a: np.ndarray, b: np.ndarray) -> bool:

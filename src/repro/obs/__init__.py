@@ -1,0 +1,38 @@
+"""Observability: derived metrics, live counters, and profiling hooks.
+
+The paper's entire argument is about *where time goes* -- how much of the
+makespan each component occupies (Fig. 7), how much overhead the related
+work's accounting hides (Fig. 8), and how close a pipeline gets to the
+analytical lower bound (Fig. 11).  This package turns the raw
+:class:`~repro.sim.trace.Trace` spans and in-sim state into those
+quantities:
+
+* :mod:`repro.obs.metrics` -- derived metrics computed *after* a run:
+  per-lane busy/idle utilisation, the pairwise category-overlap matrix,
+  overlap efficiency (critical-path lower bound / makespan), per-link
+  throughput and pipeline-bubble detection;
+* :mod:`repro.obs.counters` -- live counters and gauges sampled *during*
+  a run (queue depths, pinned-buffer occupancy, in-flight transfers),
+  recorded as deterministic time series;
+* :mod:`repro.obs.profile` -- wall-clock profiling of the *real* numpy
+  kernels behind a zero-overhead-when-disabled toggle (never affects the
+  simulated timeline or the sorted output).
+"""
+
+from repro.obs.counters import CounterSeries, MetricsRecorder
+from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
+                               critical_path_lower_bound, detect_bubbles,
+                               lane_metrics, link_throughput,
+                               overlap_efficiency)
+from repro.obs.profile import (disable_profiling, enable_profiling,
+                               profiled, profiling_enabled, profiling_stats,
+                               reset_profiling)
+
+__all__ = [
+    "CounterSeries", "MetricsRecorder",
+    "compute_metrics", "lane_metrics", "category_overlap_matrix",
+    "overlap_efficiency", "critical_path_lower_bound", "link_throughput",
+    "detect_bubbles",
+    "profiled", "enable_profiling", "disable_profiling",
+    "profiling_enabled", "profiling_stats", "reset_profiling",
+]

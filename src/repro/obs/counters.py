@@ -1,0 +1,136 @@
+"""Live counters and gauges sampled while a simulation runs.
+
+A :class:`MetricsRecorder` holds named :class:`CounterSeries`; probes
+inside the simulation (resource queues, pinned-memory accounting, the
+PCIe copy paths, the approach runners) push ``(time, value)`` samples as
+state changes.  Recording never schedules events or consumes simulated
+time, so an attached recorder cannot perturb the timeline -- the
+determinism tests pin this.
+
+Series are exported as Perfetto/Chrome counter tracks by
+:func:`repro.reporting.chrometrace.to_chrome_trace` and summarised into
+``SortResult.metrics["counters"]``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["CounterSeries", "MetricsRecorder"]
+
+
+class CounterSeries:
+    """One named time series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "unit", "times", "values")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def add(self, t: float, value: float) -> None:
+        """Append a sample; repeated samples at one instant keep the
+        latest value (state changes within a zero-width event cascade)."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"counter {self.name!r}: sample at {t} before {self.times[-1]}")
+        if self.times and t == self.times[-1]:
+            self.values[-1] = value
+        else:
+            self.times.append(t)
+            self.values.append(value)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def time_weighted_mean(self, t_end: float | None = None) -> float:
+        """Average value weighted by how long each value was held.
+
+        The last value is held until ``t_end`` (default: the last sample
+        time, i.e. zero weight for the final sample).
+        """
+        if not self.times:
+            return 0.0
+        t_end = self.times[-1] if t_end is None else t_end
+        total = 0.0
+        span = t_end - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        for i, v in enumerate(self.values):
+            nxt = self.times[i + 1] if i + 1 < len(self.times) else t_end
+            total += v * max(0.0, nxt - self.times[i])
+        return total / span
+
+    def samples(self) -> _t.Iterator[tuple[float, float]]:
+        return zip(self.times, self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<CounterSeries {self.name!r} n={len(self)} "
+                f"last={self.last:g}>")
+
+
+class MetricsRecorder:
+    """Registry of counter series, bound to a simulation clock.
+
+    ``clock`` is any zero-argument callable returning the current
+    simulated time (normally ``lambda: env.now``).
+    """
+
+    def __init__(self, clock: _t.Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.series: dict[str, CounterSeries] = {}
+        self._totals: dict[str, float] = {}
+
+    def series_for(self, name: str, unit: str = "") -> CounterSeries:
+        """The series called ``name``, created on first use."""
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = CounterSeries(name, unit=unit)
+        return s
+
+    # -- recording -----------------------------------------------------------
+
+    def sample(self, name: str, value: float, unit: str = "") -> None:
+        """Record a gauge sample at the current simulated time."""
+        self.series_for(name, unit=unit).add(self.clock(), float(value))
+
+    def incr(self, name: str, delta: float = 1.0, unit: str = "") -> None:
+        """Advance a monotonically accumulating counter by ``delta``."""
+        total = self._totals.get(name, 0.0) + delta
+        self._totals[name] = total
+        self.series_for(name, unit=unit).add(self.clock(), total)
+
+    def probe(self, name: str, getter: _t.Callable[[_t.Any], float]
+              ) -> _t.Callable[[_t.Any], None]:
+        """A callback sampling ``getter(obj)`` into ``name`` -- the shape
+        :class:`~repro.sim.resources.Resource` probes expect."""
+        def _cb(obj) -> None:
+            self.sample(name, getter(obj))
+        return _cb
+
+    # -- export --------------------------------------------------------------
+
+    def summary(self, t_end: float | None = None) -> dict[str, dict]:
+        """Per-series scalar summary for ``SortResult.metrics``."""
+        out: dict[str, dict] = {}
+        for name in sorted(self.series):
+            s = self.series[name]
+            out[name] = {
+                "samples": len(s),
+                "last": s.last,
+                "max": s.max(),
+                "mean": s.time_weighted_mean(t_end),
+            }
+        return out

@@ -1,0 +1,282 @@
+"""Derived metrics computed from a :class:`~repro.sim.trace.Trace`.
+
+All quantities are pure functions of the recorded spans, so they can be
+computed after any run (timing-only or functional) without touching the
+simulation.  Definitions:
+
+busy / idle / utilisation (per lane)
+    ``busy`` is the union length of the lane's span intervals, ``idle``
+    is ``makespan - busy`` over the whole run window, and
+    ``utilization = busy / makespan`` (0 when the trace is empty).
+
+category-overlap matrix
+    ``overlap[a][b]`` is the length of the intersection of the interval
+    *unions* of categories ``a`` and ``b`` -- how long the two kinds of
+    work truly ran concurrently.  The diagonal ``overlap[a][a]`` equals
+    the category's collapsed busy time, so the related-work subset
+    (HtoD, DtoH, GPUSort) reproduces Fig. 7/Fig. 8's per-component
+    accounting.
+
+overlap efficiency
+    ``critical_path / makespan`` where the critical-path lower bound is
+    the busy time of the busiest serial lane (no schedule can finish
+    before its most loaded resource does).  1.0 means the pipeline hides
+    every other component behind the critical lane; the reciprocal
+    (``makespan / critical_path``, the *stretch*) is the ratio the
+    ISSUE/Fig. 11 accounting quotes.
+
+pipeline bubbles
+    Idle gaps inside a lane between its first and last span -- the
+    stalls a better schedule could fill.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.trace import CAT, Trace
+
+__all__ = [
+    "merge_intervals", "intersect_intervals", "interval_length",
+    "lane_metrics", "category_overlap_matrix", "overlap_efficiency",
+    "critical_path_lower_bound", "link_throughput", "detect_bubbles",
+    "compute_metrics",
+]
+
+Interval = _t.Tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra
+# ---------------------------------------------------------------------------
+
+def merge_intervals(intervals: _t.Iterable[Interval]) -> list[Interval]:
+    """Sorted union of intervals (overlapping/adjacent spans collapsed)."""
+    ivs = sorted(intervals)
+    out: list[Interval] = []
+    for s, e in ivs:
+        if out and s <= out[-1][1]:
+            if e > out[-1][1]:
+                out[-1] = (out[-1][0], e)
+        else:
+            out.append((s, e))
+    return out
+
+
+def interval_length(merged: _t.Sequence[Interval]) -> float:
+    """Total length of a merged (disjoint, sorted) interval list."""
+    return sum(e - s for s, e in merged)
+
+
+def intersect_intervals(a: _t.Sequence[Interval],
+                        b: _t.Sequence[Interval]) -> list[Interval]:
+    """Intersection of two merged interval lists (two-pointer sweep)."""
+    out: list[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        s = max(a[i][0], b[j][0])
+        e = min(a[i][1], b[j][1])
+        if s < e:
+            out.append((s, e))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _spans_by(trace: Trace, *, category: str | None = None,
+              lane: str | None = None) -> list[Interval]:
+    return [(s.start, s.end) for s in trace.spans
+            if (category is None or s.category == category)
+            and (lane is None or s.lane == lane)]
+
+
+# ---------------------------------------------------------------------------
+# Per-lane accounting
+# ---------------------------------------------------------------------------
+
+def detect_bubbles(trace: Trace, lane: str,
+                   min_gap: float = 0.0) -> list[Interval]:
+    """Idle gaps within ``lane`` between its first and last span.
+
+    Gaps no longer than ``min_gap`` are ignored.  Gaps before the lane's
+    first span or after its last are *not* bubbles (the lane simply had
+    no work yet / any more).
+    """
+    merged = merge_intervals(_spans_by(trace, lane=lane))
+    out: list[Interval] = []
+    for (_, prev_end), (nxt_start, _) in zip(merged[:-1], merged[1:]):
+        if nxt_start - prev_end > min_gap:
+            out.append((prev_end, nxt_start))
+    return out
+
+
+def lane_metrics(trace: Trace) -> dict[str, dict]:
+    """Per-lane busy/idle/utilisation over the run's full window.
+
+    Invariant (tested): ``busy + idle == makespan`` for every lane, and
+    ``utilization`` lies in ``[0, 1]``.
+    """
+    makespan = trace.makespan()
+    out: dict[str, dict] = {}
+    for lane in trace.lanes():
+        merged = merge_intervals(_spans_by(trace, lane=lane))
+        busy = interval_length(merged)
+        bubbles = detect_bubbles(trace, lane)
+        out[lane] = {
+            "busy_s": busy,
+            "idle_s": makespan - busy,
+            "utilization": (busy / makespan) if makespan > 0 else 0.0,
+            "spans": sum(1 for s in trace.spans if s.lane == lane),
+            "bubbles": len(bubbles),
+            "bubble_s": interval_length(bubbles),
+            "largest_bubble_s": max((e - s for s, e in bubbles),
+                                    default=0.0),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Category overlap
+# ---------------------------------------------------------------------------
+
+def category_overlap_matrix(trace: Trace,
+                            categories: _t.Sequence[str] | None = None
+                            ) -> dict[str, dict[str, float]]:
+    """Pairwise concurrency matrix over span categories.
+
+    ``matrix[a][b]`` = seconds during which work of category ``a`` and
+    work of category ``b`` were simultaneously in flight (interval
+    unions intersected).  Symmetric; the diagonal is each category's
+    collapsed busy time.  Invariant (tested):
+    ``matrix[a][b] <= min(matrix[a][a], matrix[b][b])``.
+    """
+    if categories is None:
+        seen: dict[str, None] = {}
+        for s in trace.spans:
+            seen.setdefault(s.category, None)
+        categories = list(seen)
+    merged = {c: merge_intervals(_spans_by(trace, category=c))
+              for c in categories}
+    matrix: dict[str, dict[str, float]] = {}
+    for a in categories:
+        row: dict[str, float] = {}
+        for b in categories:
+            if b in matrix:        # symmetry: reuse the transposed entry
+                row[b] = matrix[b][a]
+            elif a == b:
+                row[b] = interval_length(merged[a])
+            else:
+                row[b] = interval_length(
+                    intersect_intervals(merged[a], merged[b]))
+        matrix[a] = row
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Makespan vs. critical path
+# ---------------------------------------------------------------------------
+
+def critical_path_lower_bound(trace: Trace) -> float:
+    """Busy time of the busiest lane -- no schedule finishes earlier.
+
+    This is the per-resource half of the Sec. IV-G lower-bound argument:
+    the makespan is at least the work bound to any single serial
+    resource (one PCIe direction, one GPU's sort engine, the merge
+    thread pool's critical run).
+    """
+    return max((interval_length(merge_intervals(_spans_by(trace, lane=ln)))
+                for ln in trace.lanes()), default=0.0)
+
+
+def overlap_efficiency(trace: Trace) -> float:
+    """``critical_path / makespan`` in ``(0, 1]`` (1.0 when empty).
+
+    1.0 = perfect pipelining: everything off the critical lane is fully
+    hidden.  The reciprocal is the stretch over the trace-derived lower
+    bound.
+    """
+    makespan = trace.makespan()
+    if makespan <= 0:
+        return 1.0
+    return critical_path_lower_bound(trace) / makespan
+
+
+# ---------------------------------------------------------------------------
+# Links
+# ---------------------------------------------------------------------------
+
+#: Categories that move payload over a measurable link.
+LINK_CATEGORIES = (CAT.HTOD, CAT.DTOH, CAT.MCPY)
+
+
+def link_throughput(trace: Trace) -> dict[str, dict[str, float]]:
+    """Achieved bytes/second per transfer category (HtoD, DtoH, MCpy).
+
+    ``busy_s`` collapses overlap (two concurrent HtoD streams count
+    once), so ``bytes_per_s`` is the *link-level* goodput the run
+    achieved, directly comparable to the platform's peak bandwidth.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for cat in LINK_CATEGORIES:
+        nbytes = trace.bytes_moved(cat)
+        if not nbytes and not trace.count(cat):
+            continue
+        busy = interval_length(
+            merge_intervals(_spans_by(trace, category=cat)))
+        out[cat] = {
+            "bytes": nbytes,
+            "busy_s": busy,
+            "bytes_per_s": (nbytes / busy) if busy > 0 else 0.0,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The full metrics dict
+# ---------------------------------------------------------------------------
+
+def compute_metrics(trace: Trace, elapsed: float | None = None,
+                    counters: "dict | None" = None) -> dict:
+    """Assemble the complete metrics dictionary for one run.
+
+    ``elapsed`` is the run's end-to-end response time (defaults to the
+    trace makespan); ``counters`` is an optional summary produced by
+    :meth:`repro.obs.counters.MetricsRecorder.summary`.
+
+    Keys (all derived, all deterministic):
+
+    * ``makespan_s``, ``elapsed_s``
+    * ``components`` -- per-category summed durations (== ``Trace.total``)
+    * ``component_busy`` -- per-category collapsed busy time
+    * ``overlap_matrix`` -- :func:`category_overlap_matrix`
+    * ``related_work_end_to_end_s`` / ``missing_overhead_s`` -- Fig. 8
+    * ``lanes`` -- :func:`lane_metrics`
+    * ``links`` -- :func:`link_throughput`
+    * ``critical_path_s``, ``overlap_efficiency``, ``stretch``
+    * ``counters`` -- live counter summaries (when recorded)
+    """
+    makespan = trace.makespan()
+    elapsed = makespan if elapsed is None else float(elapsed)
+    matrix = category_overlap_matrix(trace)
+    related = sum(matrix.get(c, {}).get(c, 0.0) for c in CAT.RELATED_WORK)
+    critical = critical_path_lower_bound(trace)
+    metrics = {
+        "makespan_s": makespan,
+        "elapsed_s": elapsed,
+        "components": trace.breakdown(),
+        "component_busy": {c: matrix[c][c] for c in matrix},
+        "overlap_matrix": matrix,
+        "related_work_end_to_end_s": related,
+        "missing_overhead_s": max(0.0, elapsed - related),
+        "lanes": lane_metrics(trace),
+        "links": link_throughput(trace),
+        "critical_path_s": critical,
+        "overlap_efficiency": (critical / makespan) if makespan > 0
+        else 1.0,
+        "stretch": (makespan / critical) if critical > 0 else 1.0,
+    }
+    if counters:
+        metrics["counters"] = counters
+    return metrics

@@ -4,10 +4,12 @@ benchmark harness and examples."""
 from repro.reporting.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.reporting.gantt import render_gantt
 from repro.reporting.series import FigureSeries, crossover, speedup_series
-from repro.reporting.table import format_count, format_seconds, render_table
+from repro.reporting.table import (format_count, format_seconds,
+                                   render_metrics_table, render_table)
 
 __all__ = [
     "render_table", "format_seconds", "format_count",
+    "render_metrics_table",
     "FigureSeries", "speedup_series", "crossover",
     "render_gantt", "to_chrome_trace", "write_chrome_trace",
 ]

@@ -2,7 +2,10 @@
 
 Load the produced file in ``chrome://tracing`` or https://ui.perfetto.dev
 to inspect a pipeline interactively -- every lane (GPU engines, streams,
-CPU merge workers) becomes a track, every span a complete event.
+CPU merge workers) becomes a track, every span a complete event.  Live
+counter series (queue depths, pinned-buffer occupancy, in-flight
+transfers) recorded by a :class:`~repro.obs.counters.MetricsRecorder`
+render as Perfetto counter tracks alongside the spans.
 
 >>> from repro import HeterogeneousSorter, PLATFORM1
 >>> from repro.reporting.chrometrace import to_chrome_trace
@@ -36,12 +39,22 @@ _COLOURS = {
 }
 
 
-def to_chrome_trace(trace: Trace) -> list[dict]:
+def _counter_series(counters) -> "dict":
+    """Accept a MetricsRecorder or a plain ``{name: CounterSeries}``."""
+    if counters is None:
+        return {}
+    return getattr(counters, "series", counters)
+
+
+def to_chrome_trace(trace: Trace, counters=None) -> list[dict]:
     """Convert a :class:`Trace` into a list of trace-event dicts.
 
     Spans become complete ("X") events; lanes map to thread ids so each
     lane renders as its own track.  Times are microseconds, as the format
-    requires.
+    requires.  ``counters`` (a
+    :class:`~repro.obs.counters.MetricsRecorder` or a mapping of
+    :class:`~repro.obs.counters.CounterSeries`) adds one Perfetto counter
+    ("C") track per series.
     """
     lanes = {lane: tid for tid, lane in enumerate(trace.lanes())}
     events: list[dict] = []
@@ -71,12 +84,22 @@ def to_chrome_trace(trace: Trace) -> list[dict]:
         if colour:
             ev["cname"] = colour
         events.append(ev)
+    for name in sorted(_counter_series(counters)):
+        series = _counter_series(counters)[name]
+        for t, v in series.samples():
+            events.append({
+                "ph": "C",
+                "pid": 0,
+                "name": name,
+                "ts": t * 1e6,
+                "args": {series.unit or "value": v},
+            })
     return events
 
 
-def write_chrome_trace(trace: Trace, path: str) -> int:
+def write_chrome_trace(trace: Trace, path: str, counters=None) -> int:
     """Write the trace-event JSON to ``path``; returns the event count."""
-    events = to_chrome_trace(trace)
+    events = to_chrome_trace(trace, counters=counters)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
     return len(events)

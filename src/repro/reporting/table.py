@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import typing as _t
 
-__all__ = ["render_table", "format_seconds", "format_count"]
+__all__ = ["render_table", "format_seconds", "format_count",
+           "render_metrics_table"]
 
 
 def format_seconds(t: float) -> str:
@@ -56,3 +57,74 @@ def render_table(headers: _t.Sequence[str],
     for row in cells[1:]:
         lines.append("  ".join(pad(c, w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def _format_bytes_per_s(rate: float) -> str:
+    if rate >= 1e9:
+        return f"{rate / 1e9:.2f} GB/s"
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f} MB/s"
+    return f"{rate:.0f} B/s"
+
+
+def render_metrics_table(metrics: dict) -> str:
+    """Render a run's observability metrics (``SortResult.metrics``) as
+    stacked text tables: headline numbers, per-lane utilisation, the
+    category-overlap matrix, link throughput and counter summaries."""
+    blocks: list[str] = []
+
+    headline = [
+        ["makespan", format_seconds(metrics.get("makespan_s", 0.0))],
+        ["elapsed (end-to-end)", format_seconds(metrics.get("elapsed_s", 0.0))],
+        ["critical path (lower bound)",
+         format_seconds(metrics.get("critical_path_s", 0.0))],
+        ["overlap efficiency",
+         f"{metrics.get('overlap_efficiency', 1.0):.3f}"],
+        ["stretch over critical path",
+         f"{metrics.get('stretch', 1.0):.3f}"],
+        ["related-work end-to-end",
+         format_seconds(metrics.get("related_work_end_to_end_s", 0.0))],
+        ["missing overhead",
+         format_seconds(metrics.get("missing_overhead_s", 0.0))],
+    ]
+    blocks.append(render_table(["metric", "value"], headline,
+                               title="run metrics", align_right=False))
+
+    lanes = metrics.get("lanes", {})
+    if lanes:
+        rows = [[lane or "(main)", format_seconds(m["busy_s"]),
+                 format_seconds(m["idle_s"]), f"{m['utilization']:.3f}",
+                 m["bubbles"], format_seconds(m["bubble_s"])]
+                for lane, m in lanes.items()]
+        blocks.append(render_table(
+            ["lane", "busy", "idle", "util", "bubbles", "bubble time"],
+            rows, title="per-lane utilization"))
+
+    matrix = metrics.get("overlap_matrix", {})
+    if matrix:
+        cats = list(matrix)
+        rows = [[a] + [format_seconds(matrix[a][b]) for b in cats]
+                for a in cats]
+        blocks.append(render_table(
+            ["overlap [s]"] + cats, rows,
+            title="category-overlap matrix (diagonal = busy time)"))
+
+    links = metrics.get("links", {})
+    if links:
+        rows = [[cat, format_count(m["bytes"]),
+                 format_seconds(m["busy_s"]),
+                 _format_bytes_per_s(m["bytes_per_s"])]
+                for cat, m in links.items()]
+        blocks.append(render_table(["link", "bytes", "busy", "goodput"],
+                                   rows, title="link throughput"))
+
+    counters = metrics.get("counters", {})
+    if counters:
+        rows = [[name, m["samples"], f"{m['last']:g}", f"{m['max']:g}",
+                 f"{m['mean']:.3f}"]
+                for name, m in counters.items()]
+        blocks.append(render_table(
+            ["counter", "samples", "last", "max", "time-wtd mean"],
+            rows, title="live counters"))
+
+    return "\n\n".join(blocks)

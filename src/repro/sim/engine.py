@@ -132,6 +132,25 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self.active_processes = 0
+        self._monitors: list[_t.Callable[["Environment"], None]] = []
+
+    # -- observability -------------------------------------------------------
+
+    def add_monitor(self, callback: _t.Callable[["Environment"], None]
+                    ) -> None:
+        """Register an observer invoked after every processed event.
+
+        Monitors are passive: they may read simulation state (``now``,
+        resource occupancy, ...) and record it, but must not schedule
+        events or otherwise perturb the run.  With no monitors registered
+        the per-step cost is a single truthiness check.
+        """
+        self._monitors.append(callback)
+
+    def remove_monitor(self, callback: _t.Callable[["Environment"], None]
+                       ) -> None:
+        """Unregister a monitor added with :meth:`add_monitor`."""
+        self._monitors.remove(callback)
 
     # -- time ---------------------------------------------------------------
 
@@ -214,6 +233,9 @@ class Environment:
         if not event._ok and not event._defused:
             # An un-handled failure: abort the simulation loudly.
             raise _t.cast(BaseException, event._value)
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor(self)
 
     def run(self, until: float | Event | None = None) -> _t.Any:
         """Run the simulation.

@@ -47,6 +47,10 @@ class Resource:
         # Utilisation accounting (for reports / tests).
         self._busy_units_time = 0.0
         self._last_change = env.now
+        #: Observability probe: called as ``probe(self)`` after every
+        #: state change (request queued, units granted, units released).
+        #: Must not schedule events; ``None`` costs nothing.
+        self.probe: _t.Callable[["Resource"], None] | None = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -86,6 +90,8 @@ class Resource:
         ev = Event(self.env)
         self._waiting.append((ev, units))
         self._grant()
+        if self.probe is not None:
+            self.probe(self)
         return ev
 
     def release(self, units: int = 1) -> None:
@@ -98,6 +104,8 @@ class Resource:
             raise SimulationError(
                 f"{self.name!r}: released more units than acquired")
         self._grant()
+        if self.probe is not None:
+            self.probe(self)
 
     def _grant(self) -> None:
         while self._waiting:
@@ -126,9 +134,17 @@ class Store:
         self.name = name
         self._items: deque[_t.Any] = deque()
         self._getters: deque[Event] = deque()
+        #: Observability probe: called as ``probe(self)`` after every put
+        #: or (successful) get.  Must not schedule events.
+        self.probe: _t.Callable[["Store"], None] | None = None
 
     def __len__(self) -> int:
         return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        """Number of blocked ``get`` calls."""
+        return len(self._getters)
 
     def put(self, item: _t.Any) -> None:
         """Add ``item``; wakes the oldest waiting getter if any."""
@@ -136,6 +152,8 @@ class Store:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
+        if self.probe is not None:
+            self.probe(self)
 
     def get(self) -> Event:
         """Return an event that fires with the next available item."""
@@ -144,10 +162,15 @@ class Store:
             ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
+        if self.probe is not None:
+            self.probe(self)
         return ev
 
     def try_get(self) -> tuple[bool, _t.Any]:
         """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
         if self._items:
-            return True, self._items.popleft()
+            item = self._items.popleft()
+            if self.probe is not None:
+                self.probe(self)
+            return True, item
         return False, None

@@ -128,6 +128,21 @@ class Trace:
         return (max(s.end for s in self.spans)
                 - min(s.start for s in self.spans))
 
+    def window(self) -> tuple[float, float]:
+        """``(earliest start, latest end)`` across all spans
+        (``(0.0, 0.0)`` when empty)."""
+        if not self.spans:
+            return 0.0, 0.0
+        return (min(s.start for s in self.spans),
+                max(s.end for s in self.spans))
+
+    def categories(self) -> list[str]:
+        """Distinct categories in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.category, None)
+        return list(seen)
+
     def lanes(self) -> list[str]:
         """Distinct lanes in first-seen order."""
         seen: dict[str, None] = {}

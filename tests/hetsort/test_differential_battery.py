@@ -1,0 +1,72 @@
+"""Differential battery: every approach x every distribution vs np.sort.
+
+The oracle is exact: functional mode must produce byte-identical output
+to ``np.sort`` for every registered approach on uniform, pre-sorted,
+reverse-sorted and heavy-duplicate inputs.  Each run's metrics must also
+satisfy the structural invariants of the observability layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hetsort import APPROACH_RUNNERS, HeterogeneousSorter
+from repro.hw.platforms import PLATFORM1
+from repro.workloads import generate
+
+DISTRIBUTIONS = ["uniform", "sorted", "reverse", "duplicates"]
+N = 60_000
+
+
+def battery_sorter(approach):
+    if approach == "bline":
+        # BLINE plans exactly one batch per GPU; let the planner size it.
+        return HeterogeneousSorter(PLATFORM1, pinned_elements=3_000)
+    return HeterogeneousSorter(PLATFORM1, batch_size=15_000,
+                               pinned_elements=3_000)
+
+
+def check_metrics_invariants(res):
+    m = res.metrics
+    assert m, "SortResult.metrics must be populated"
+    makespan = m["makespan_s"]
+
+    # Per lane: utilization in [0, 1] and busy + idle == makespan.
+    assert m["lanes"], "at least one lane must have activity"
+    for lane, lm in m["lanes"].items():
+        assert 0.0 <= lm["utilization"] <= 1.0 + 1e-12, lane
+        assert lm["busy_s"] + lm["idle_s"] == pytest.approx(makespan), lane
+
+    # Overlap matrix: symmetric, and every pairwise overlap bounded by
+    # the smaller of the two categories' own (collapsed) busy time.
+    ov = m["overlap_matrix"]
+    for a in ov:
+        for b in ov:
+            assert ov[a][b] == pytest.approx(ov[b][a])
+            assert ov[a][b] <= min(ov[a][a], ov[b][b]) + 1e-9
+
+    # Component accounting reproduces the trace's own totals exactly.
+    for cat, total in m["components"].items():
+        assert abs(total - res.trace.total(cat)) < 1e-9
+
+    assert 0.0 < m["overlap_efficiency"] <= 1.0 + 1e-12
+    assert m["critical_path_s"] <= makespan + 1e-9
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS)
+@pytest.mark.parametrize("approach", sorted(APPROACH_RUNNERS))
+def test_approach_matches_numpy(approach, dist):
+    data = generate(N, dist, seed=42)
+    res = battery_sorter(approach).sort(data.copy(), approach=approach)
+    np.testing.assert_array_equal(res.output, np.sort(data))
+    check_metrics_invariants(res)
+
+
+@pytest.mark.parametrize("approach", sorted(APPROACH_RUNNERS))
+def test_timing_mode_metrics_invariants(approach):
+    """Timing-only runs (no data) must satisfy the same invariants."""
+    sorter = battery_sorter(approach)
+    res = sorter.sort(n=1_000_000, approach=approach)
+    check_metrics_invariants(res)
+    assert res.metrics["counters"], "live counters must be recorded"
+    done = res.metrics["counters"].get("batches.completed")
+    assert done is not None and done["last"] >= 1

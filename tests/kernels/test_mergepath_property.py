@@ -1,0 +1,159 @@
+"""Property tests for Merge Path partitioning (seeded-random loops).
+
+Adversarial inputs the binary search is most likely to get wrong:
+heavy duplicates, all-equal keys, empty sides, single elements and
++/-inf keys.  Each case checks the documented invariants of ``corank``
+plus the end-to-end oracle ``np.sort`` / stable-concatenation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels.mergepath import (corank, merge_two, parallel_merge,
+                                     partition_merge)
+
+RNG_SEED = 0xC0FFEE
+N_CASES = 150
+
+
+def random_sorted_pair(rng):
+    """Adversarial generator: sizes skewed to tiny, values drawn from a
+    small alphabet (duplicate-heavy) with occasional +/-inf."""
+    sizes = [0, 0, 1, 1, 2, 3, 5, 8, 17, 64, 257]
+    n = int(rng.choice(sizes))
+    m = int(rng.choice(sizes))
+    alphabet = rng.choice([3, 8, 1000])
+    a = rng.integers(0, alphabet, size=n).astype(np.float64)
+    b = rng.integers(0, alphabet, size=m).astype(np.float64)
+    # Sprinkle infinities in ~a third of the cases.
+    if rng.random() < 0.35:
+        for arr in (a, b):
+            if len(arr):
+                mask = rng.random(len(arr)) < 0.2
+                arr[mask] = rng.choice([-np.inf, np.inf])
+    a.sort()
+    b.sort()
+    return a, b
+
+
+def check_corank_invariants(d, a, b):
+    i, j = corank(d, a, b)
+    assert i + j == d
+    assert 0 <= i <= len(a)
+    assert 0 <= j <= len(b)
+    # Stable cut: everything taken is <= everything left, and ties are
+    # taken from a first.
+    if i > 0 and j < len(b):
+        assert a[i - 1] <= b[j]
+    if j > 0 and i < len(a):
+        assert b[j - 1] < a[i]
+
+
+def test_corank_invariants_random():
+    rng = np.random.default_rng(RNG_SEED)
+    for _ in range(N_CASES):
+        a, b = random_sorted_pair(rng)
+        for d in {0, 1, (len(a) + len(b)) // 2, len(a) + len(b)}:
+            if d <= len(a) + len(b):
+                check_corank_invariants(d, a, b)
+
+
+def test_corank_all_equal_keys():
+    a = np.full(10, 5.0)
+    b = np.full(7, 5.0)
+    for d in range(18):
+        i, j = corank(d, a, b)
+        assert i + j == d
+        # Stability: with all ties, a is consumed before b.
+        assert i == min(d, 10)
+
+
+def test_corank_rejects_out_of_range():
+    a = np.array([1.0])
+    b = np.array([2.0])
+    with pytest.raises(ValidationError):
+        corank(3, a, b)
+    with pytest.raises(ValidationError):
+        corank(-1, a, b)
+
+
+def test_merge_two_matches_numpy_random():
+    rng = np.random.default_rng(RNG_SEED + 1)
+    for _ in range(N_CASES):
+        a, b = random_sorted_pair(rng)
+        got = merge_two(a, b)
+        want = np.sort(np.concatenate([a, b]), kind="stable")
+        np.testing.assert_array_equal(got, want)
+
+
+def test_merge_two_stability_with_tagged_ties():
+    # Tag values in the fraction so equal keys are distinguishable:
+    # a-elements carry .25, b-elements .75; floor() compares them equal
+    # under the integer key, but merge order must put all a's first.
+    a = np.array([1.25, 1.25, 2.25])
+    b = np.array([1.75, 2.75, 2.75])
+    keyed_a = np.floor(a)
+    keyed_b = np.floor(b)
+    merged = merge_two(keyed_a, keyed_b)
+    assert merged.tolist() == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+    # Reconstruct with tags via the same positional computation.
+    n, m = len(a), len(b)
+    pos_a = np.arange(n) + np.searchsorted(keyed_b, keyed_a, side="left")
+    pos_b = np.arange(m) + np.searchsorted(keyed_a, keyed_b, side="right")
+    out = np.empty(n + m)
+    out[pos_a] = a
+    out[pos_b] = b
+    # Within each group of equal integer keys, a-tags precede b-tags.
+    assert out.tolist() == [1.25, 1.25, 1.75, 2.25, 2.75, 2.75]
+
+
+def test_merge_two_empty_and_single():
+    e = np.empty(0)
+    one = np.array([3.0])
+    np.testing.assert_array_equal(merge_two(e, e), e)
+    np.testing.assert_array_equal(merge_two(e, one), one)
+    np.testing.assert_array_equal(merge_two(one, e), one)
+    np.testing.assert_array_equal(merge_two(one, np.array([1.0])),
+                                  np.array([1.0, 3.0]))
+
+
+def test_merge_two_infinities():
+    a = np.array([-np.inf, 0.0, np.inf])
+    b = np.array([-np.inf, np.inf, np.inf])
+    got = merge_two(a, b)
+    np.testing.assert_array_equal(
+        got, np.array([-np.inf, -np.inf, 0.0, np.inf, np.inf, np.inf]))
+
+
+def test_partition_merge_segments_reassemble():
+    rng = np.random.default_rng(RNG_SEED + 2)
+    for _ in range(N_CASES // 2):
+        a, b = random_sorted_pair(rng)
+        total = len(a) + len(b)
+        for parts in (1, 2, 3, 7):
+            segs = partition_merge(a, b, parts)
+            assert len(segs) == parts
+            pieces = [merge_two(a[sa], b[sb]) for sa, sb in segs]
+            got = np.concatenate(pieces) if pieces else np.empty(0)
+            want = np.sort(np.concatenate([a, b]), kind="stable")
+            np.testing.assert_array_equal(got, want)
+            # Balance: each segment within one element of total/parts.
+            for sa, sb in segs:
+                seg_n = (sa.stop - sa.start) + (sb.stop - sb.start)
+                assert seg_n <= total // parts + 1
+
+
+def test_partition_merge_rejects_bad_parts():
+    with pytest.raises(ValidationError):
+        partition_merge(np.empty(0), np.empty(0), 0)
+
+
+def test_parallel_merge_matches_serial():
+    rng = np.random.default_rng(RNG_SEED + 3)
+    for _ in range(N_CASES // 2):
+        a, b = random_sorted_pair(rng)
+        want = merge_two(a, b)
+        for threads in (1, 2, 4, 9):
+            np.testing.assert_array_equal(
+                parallel_merge(a, b, threads=threads), want)

@@ -1,0 +1,181 @@
+"""Unit tests for the derived-metrics layer (hand-built traces, so every
+expected value is computable by hand)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
+                               critical_path_lower_bound, detect_bubbles,
+                               intersect_intervals, interval_length,
+                               lane_metrics, link_throughput,
+                               merge_intervals, overlap_efficiency)
+from repro.sim.trace import CAT, Trace
+
+
+def make_trace(spans):
+    t = Trace()
+    for cat, label, start, end, lane, nbytes in spans:
+        t.record(cat, label, start, end, lane=lane, nbytes=nbytes)
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra
+# ---------------------------------------------------------------------------
+
+def test_merge_intervals_collapses_overlaps():
+    assert merge_intervals([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+    assert merge_intervals([(1, 2), (2, 3)]) == [(1, 3)]  # adjacent
+    assert merge_intervals([]) == []
+
+
+def test_intersect_intervals():
+    a = [(0.0, 2.0), (4.0, 6.0)]
+    b = [(1.0, 5.0)]
+    assert intersect_intervals(a, b) == [(1.0, 2.0), (4.0, 5.0)]
+    assert intersect_intervals(a, [(10.0, 11.0)]) == []
+    assert interval_length(intersect_intervals(a, b)) == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Lane metrics
+# ---------------------------------------------------------------------------
+
+def test_lane_busy_idle_sums_to_makespan():
+    t = make_trace([
+        (CAT.HTOD, "a", 0.0, 1.0, "x", 8.0),
+        (CAT.HTOD, "b", 2.0, 4.0, "x", 8.0),
+        (CAT.GPUSORT, "k", 0.0, 4.0, "y", 0.0),
+    ])
+    lanes = lane_metrics(t)
+    assert lanes["x"]["busy_s"] == pytest.approx(3.0)
+    assert lanes["x"]["idle_s"] == pytest.approx(1.0)
+    assert lanes["x"]["utilization"] == pytest.approx(0.75)
+    assert lanes["y"]["utilization"] == pytest.approx(1.0)
+    for m in lanes.values():
+        assert m["busy_s"] + m["idle_s"] == pytest.approx(t.makespan())
+
+
+def test_bubble_detection_interior_gaps_only():
+    t = make_trace([
+        (CAT.MCPY, "a", 1.0, 2.0, "x", 0.0),
+        (CAT.MCPY, "b", 3.0, 4.0, "x", 0.0),
+        (CAT.MCPY, "c", 4.0, 5.0, "x", 0.0),
+        (CAT.GPUSORT, "pad", 0.0, 10.0, "y", 0.0),
+    ])
+    # Only the 2..3 gap counts: before-first and after-last are not bubbles.
+    assert detect_bubbles(t, "x") == [(2.0, 3.0)]
+    assert detect_bubbles(t, "x", min_gap=1.5) == []
+    assert detect_bubbles(t, "y") == []
+    lanes = lane_metrics(t)
+    assert lanes["x"]["bubbles"] == 1
+    assert lanes["x"]["largest_bubble_s"] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Overlap matrix
+# ---------------------------------------------------------------------------
+
+def test_overlap_matrix_by_hand():
+    t = make_trace([
+        (CAT.HTOD, "h", 0.0, 2.0, "a", 16.0),
+        (CAT.GPUSORT, "s", 1.0, 4.0, "b", 0.0),
+        (CAT.DTOH, "d", 3.5, 5.0, "c", 8.0),
+    ])
+    m = category_overlap_matrix(t)
+    assert m[CAT.HTOD][CAT.HTOD] == pytest.approx(2.0)
+    assert m[CAT.HTOD][CAT.GPUSORT] == pytest.approx(1.0)   # [1, 2]
+    assert m[CAT.GPUSORT][CAT.DTOH] == pytest.approx(0.5)   # [3.5, 4]
+    assert m[CAT.HTOD][CAT.DTOH] == pytest.approx(0.0)
+    # Symmetry.
+    for a in m:
+        for b in m:
+            assert m[a][b] == pytest.approx(m[b][a])
+
+
+def test_overlap_bounded_by_component_busy():
+    t = make_trace([
+        (CAT.HTOD, "h1", 0.0, 2.0, "a", 0.0),
+        (CAT.HTOD, "h2", 1.0, 3.0, "b", 0.0),   # overlapping same-cat spans
+        (CAT.GPUSORT, "s", 0.0, 10.0, "g", 0.0),
+    ])
+    m = category_overlap_matrix(t)
+    assert m[CAT.HTOD][CAT.HTOD] == pytest.approx(3.0)  # union, not 4
+    for a in m:
+        for b in m:
+            assert m[a][b] <= min(m[a][a], m[b][b]) + 1e-12
+
+
+def test_diagonal_reproduces_related_work_accounting():
+    """The related-work subset of the matrix equals the Fig. 7/8 numbers
+    computed by Trace.busy_time (the SortResult.related_work_end_to_end
+    path)."""
+    t = make_trace([
+        (CAT.HTOD, "h", 0.0, 2.0, "a", 0.0),
+        (CAT.GPUSORT, "s1", 1.0, 4.0, "g", 0.0),
+        (CAT.GPUSORT, "s2", 3.0, 6.0, "g", 0.0),
+        (CAT.DTOH, "d", 5.0, 7.0, "c", 0.0),
+        (CAT.MCPY, "m", 0.0, 7.0, "h", 0.0),
+    ])
+    m = category_overlap_matrix(t)
+    for cat in CAT.RELATED_WORK:
+        assert m[cat][cat] == pytest.approx(t.busy_time([cat]), abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Efficiency, links, full dict
+# ---------------------------------------------------------------------------
+
+def test_overlap_efficiency_perfect_and_serial():
+    perfect = make_trace([
+        (CAT.HTOD, "h", 0.0, 4.0, "a", 0.0),
+        (CAT.GPUSORT, "s", 0.0, 4.0, "b", 0.0),
+    ])
+    assert overlap_efficiency(perfect) == pytest.approx(1.0)
+    serial = make_trace([
+        (CAT.HTOD, "h", 0.0, 2.0, "a", 0.0),
+        (CAT.GPUSORT, "s", 2.0, 4.0, "b", 0.0),
+    ])
+    assert critical_path_lower_bound(serial) == pytest.approx(2.0)
+    assert overlap_efficiency(serial) == pytest.approx(0.5)
+    assert overlap_efficiency(Trace()) == 1.0
+
+
+def test_link_throughput():
+    t = make_trace([
+        (CAT.HTOD, "h1", 0.0, 1.0, "a", 10e9),
+        (CAT.HTOD, "h2", 0.5, 1.5, "b", 5e9),   # overlap collapses
+        (CAT.GPUSORT, "s", 0.0, 2.0, "g", 0.0),
+    ])
+    links = link_throughput(t)
+    assert links[CAT.HTOD]["bytes"] == pytest.approx(15e9)
+    assert links[CAT.HTOD]["busy_s"] == pytest.approx(1.5)
+    assert links[CAT.HTOD]["bytes_per_s"] == pytest.approx(10e9)
+    assert CAT.DTOH not in links        # nothing moved
+    assert CAT.GPUSORT not in links     # not a link category
+
+
+def test_compute_metrics_components_match_trace_total():
+    t = make_trace([
+        (CAT.HTOD, "h", 0.0, 2.0, "a", 1.0),
+        (CAT.HTOD, "h2", 1.0, 2.5, "a2", 1.0),
+        (CAT.GPUSORT, "s", 1.0, 4.0, "g", 0.0),
+        (CAT.SYNC, "y", 4.0, 4.1, "h", 0.0),
+    ])
+    m = compute_metrics(t)
+    for cat, total in m["components"].items():
+        assert math.isclose(total, t.total(cat), abs_tol=1e-9)
+    assert m["related_work_end_to_end_s"] == pytest.approx(
+        sum(t.busy_time([c]) for c in CAT.RELATED_WORK))
+    assert m["elapsed_s"] == pytest.approx(t.makespan())
+    assert 0.0 < m["overlap_efficiency"] <= 1.0
+    assert m["stretch"] == pytest.approx(1.0 / m["overlap_efficiency"])
+
+
+def test_compute_metrics_empty_trace():
+    m = compute_metrics(Trace())
+    assert m["makespan_s"] == 0.0
+    assert m["components"] == {}
+    assert m["overlap_efficiency"] == 1.0
+    assert m["lanes"] == {}
