@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Trace-diff regression gate: re-run pinned scenarios, diff against the
+committed baseline, fail on makespan regressions beyond tolerance.
+
+The simulation is deterministic, so every scenario's run report (makespan,
+per-category time, critical path, span-shape index) is a pure function of
+the code.  ``benchmarks/results/baseline.json`` freezes those reports;
+this script re-runs the scenarios and applies
+:func:`repro.obs.diff.check_regression` to each.
+
+Usage::
+
+    python benchmarks/regression_gate.py                 # check
+    python benchmarks/regression_gate.py --update        # re-freeze
+    python benchmarks/regression_gate.py --trace-dir out # + Perfetto JSONs
+
+Exit status: 0 = all scenarios within tolerance, 1 = regression or
+structural drift (or a scenario missing from the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+
+from repro.hetsort import HeterogeneousSorter  # noqa: E402
+from repro.hw.platforms import get_platform  # noqa: E402
+from repro.obs import check_regression, run_report  # noqa: E402
+
+BASELINE = os.path.join(_HERE, "results", "baseline.json")
+BASELINE_SCHEMA = "repro.baseline/v1"
+DEFAULT_TOLERANCE = 0.02
+
+#: Pinned scenarios: small enough for CI, spanning the blocking baseline
+#: and the fastest pipelined approach (one multi-batch, multi-stream).
+SCENARIOS = [
+    {"name": "bline_1m", "platform": "PLATFORM1", "approach": "bline",
+     "n": 1_000_000, "pinned_elements": 50_000},
+    {"name": "pipemerge_2m", "platform": "PLATFORM1",
+     "approach": "pipemerge", "n": 2_000_000, "batch_size": 250_000,
+     "pinned_elements": 50_000},
+]
+
+
+def run_scenario(sc: dict):
+    """Run one pinned scenario; returns its SortResult."""
+    platform = get_platform(sc["platform"])
+    kwargs = {k: sc[k] for k in ("batch_size", "pinned_elements",
+                                 "n_streams", "memcpy_threads")
+              if k in sc}
+    sorter = HeterogeneousSorter(platform, approach=sc["approach"],
+                                 **kwargs)
+    return sorter.sort(n=sc["n"])
+
+
+def build_baseline(trace_dir: str | None = None) -> dict:
+    """Run every scenario; returns the baseline document (and optionally
+    writes one Perfetto trace JSON per scenario into ``trace_dir``)."""
+    scenarios = {}
+    for sc in SCENARIOS:
+        res = run_scenario(sc)
+        scenarios[sc["name"]] = run_report(res, label=sc["name"])
+        if trace_dir:
+            from repro.reporting import write_chrome_trace
+            os.makedirs(trace_dir, exist_ok=True)
+            path = os.path.join(trace_dir, f"{sc['name']}.trace.json")
+            write_chrome_trace(res.trace, path, counters=res.recorder)
+            print(f"wrote {path}")
+    return {"schema": BASELINE_SCHEMA, "tolerance": DEFAULT_TOLERANCE,
+            "scenarios": scenarios}
+
+
+def check(baseline: dict, tolerance: float | None = None,
+          trace_dir: str | None = None) -> list[str]:
+    """Run the scenarios and compare; returns failure messages."""
+    tol = baseline.get("tolerance", DEFAULT_TOLERANCE) \
+        if tolerance is None else tolerance
+    current = build_baseline(trace_dir=trace_dir)
+    failures: list[str] = []
+    for sc in SCENARIOS:
+        name = sc["name"]
+        frozen = baseline.get("scenarios", {}).get(name)
+        if frozen is None:
+            failures.append(f"{name}: missing from baseline "
+                            "(run with --update)")
+            continue
+        verdict = check_regression(current["scenarios"][name], frozen,
+                                   tolerance=tol)
+        cur = current["scenarios"][name]["makespan_s"]
+        base = frozen["makespan_s"]
+        status = "ok" if verdict["ok"] else "FAIL"
+        print(f"{name}: {status}  baseline {base:.6f}s  "
+              f"current {cur:.6f}s  ({(cur - base) / base * 100:+.3f}%)")
+        for msg in verdict["failures"]:
+            failures.append(f"{name}: {msg}")
+    return failures
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", default=BASELINE,
+                   help="baseline JSON path")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative makespan growth to tolerate "
+                        "(default: the baseline's own)")
+    p.add_argument("--update", action="store_true",
+                   help="re-run the scenarios and rewrite the baseline")
+    p.add_argument("--trace-dir", default=None,
+                   help="also write one Perfetto trace JSON per scenario")
+    args = p.parse_args(argv)
+
+    if args.update:
+        doc = build_baseline(trace_dir=args.trace_dir)
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(doc['scenarios'])} scenarios)")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = check(baseline, tolerance=args.tolerance,
+                     trace_dir=args.trace_dir)
+    for msg in failures:
+        print(f"REGRESSION: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

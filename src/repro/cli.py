@@ -18,11 +18,24 @@ Compare every approach at one size::
 Observability report (utilization, overlap matrix, counters)::
 
     python -m repro metrics --n 2e9 --batch-size 2e8 --approach pipedata
+
+Causal analysis -- where did the makespan go, and what would change::
+
+    python -m repro critical-path --n 2e9 --batch-size 2e8 --gantt
+    python -m repro whatif --n 2e9 --batch-size 2e8 --scale GPUSort=0.5
+
+Regression workflow -- freeze a run, compare a later one against it::
+
+    python -m repro --n 2e9 --batch-size 2e8 --report before.json
+    ... change something ...
+    python -m repro --n 2e9 --batch-size 2e8 --report after.json
+    python -m repro diff before.json after.json --fail-on-regression
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
@@ -31,7 +44,9 @@ from repro.hw.platforms import get_platform
 from repro.reporting import render_gantt, render_metrics_table, render_table
 from repro.workloads import generate
 
-__all__ = ["main", "build_parser", "build_metrics_parser"]
+__all__ = ["main", "build_parser", "build_metrics_parser",
+           "build_critical_path_parser", "build_whatif_parser",
+           "build_diff_parser"]
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -57,7 +72,10 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    help="> 1 enables PARMEMCPY")
     p.add_argument("--trace-json", metavar="PATH", default=None,
                    help="write a chrome://tracing / Perfetto JSON "
-                        "(spans + counter tracks)")
+                        "(spans + counter tracks + causal flow arrows)")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the run report JSON (input to `repro diff` "
+                        "and the regression gate)")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -84,6 +102,63 @@ def build_metrics_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="wall-clock the real numpy kernels "
                         "(functional runs; never changes the timeline)")
+    return p
+
+
+def build_critical_path_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort critical-path",
+        description="Run one sort and attribute its makespan along the "
+                    "causal critical path: which dependency chain bound "
+                    "the run, per category and per lane, with slack.")
+    _add_run_options(p)
+    p.add_argument("--gantt", action="store_true",
+                   help="print the timeline with the critical path "
+                        "highlighted and per-lane slack")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of tables")
+    p.add_argument("--limit", type=int, default=12,
+                   help="path steps to show in the table (0 = all)")
+    return p
+
+
+def build_whatif_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort whatif",
+        description="Run one sort, then predict the makespan if selected "
+                    "span categories were k times their duration, by "
+                    "re-scheduling the recorded causal DAG.  Without "
+                    "--scale, prints a sensitivity sweep over every "
+                    "category.")
+    _add_run_options(p)
+    p.add_argument("--scale", action="append", default=[],
+                   metavar="CAT=K",
+                   help="scale category CAT's durations by factor K "
+                        "(repeatable; e.g. --scale GPUSort=0.5)")
+    p.add_argument("--json", action="store_true",
+                   help="print the prediction as JSON instead of a table")
+    return p
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort diff",
+        description="Structurally compare two run reports written with "
+                    "--report: makespan / per-category / per-lane / "
+                    "critical-path deltas plus span shapes added, removed "
+                    "or recounted.")
+    p.add_argument("report_a", help="baseline report JSON")
+    p.add_argument("report_b", help="candidate report JSON")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative makespan growth to tolerate "
+                        "(e.g. 0.02 = 2%%)")
+    p.add_argument("--min-rel", type=float, default=0.0,
+                   help="hide rows whose relative change is smaller")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable diff document")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 when the makespan regressed beyond "
+                        "--tolerance or the trace structure changed")
     return p
 
 
@@ -120,6 +195,137 @@ def _maybe_write_trace(args, res, out) -> None:
         count = write_chrome_trace(res.trace, args.trace_json,
                                    counters=res.recorder)
         out.write(f"wrote {count} trace events to {args.trace_json}\n")
+    if args.report:
+        from repro.obs import run_report, write_report
+        write_report(run_report(res), args.report)
+        out.write(f"wrote run report to {args.report}\n")
+
+
+def _run_sort(args):
+    """Run one sort for the causal subcommands (timing or functional)."""
+    sorter = _make_sorter(args)
+    if args.functional is not None:
+        data = generate(args.functional, args.distribution, seed=args.seed)
+        return sorter.sort(data, approach=args.approach)
+    return sorter.sort(n=int(args.n), approach=args.approach)
+
+
+def _run_critical_path(argv, out) -> int:
+    parser = build_critical_path_parser()
+    args = parser.parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        parser.error("pass exactly one of --n or --functional")
+    from repro.obs import critical_path_report
+    res = _run_sort(args)
+    graph = res.causal_graph()
+    report = critical_path_report(graph)
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        _maybe_write_trace(args, res, out)
+        return 0
+    out.write(res.summary() + "\n\n")
+    makespan = report["makespan"] or 1.0
+    out.write(render_table(
+        ["category", "time [ms]", "% of makespan"],
+        [[c, f"{v * 1e3:.4f}", f"{v / makespan:.1%}"]
+         for c, v in report["by_category"].items()],
+        title=f"critical path: {report['n_spans']} of "
+              f"{report['n_trace_spans']} spans, "
+              f"{report['duration'] * 1e3:.4f} ms "
+              f"(= makespan), wait {report['wait'] * 1e3:.4f} ms") + "\n")
+    out.write("\n" + render_table(
+        ["lane", "time [ms]", "% of makespan"],
+        [[l, f"{v * 1e3:.4f}", f"{v / makespan:.1%}"]
+         for l, v in report["by_lane"].items()],
+        title="critical path by lane") + "\n")
+    steps = report["path"]
+    shown = steps if args.limit <= 0 else steps[:args.limit]
+    rows = [[s["id"], s["category"], s["label"], s["lane"],
+             f"{s['start'] * 1e3:.4f}", f"{s['duration'] * 1e3:.4f}",
+             f"{s['wait_before'] * 1e3:.4f}"] for s in shown]
+    title = "path steps" if len(shown) == len(steps) else \
+        f"path steps (first {len(shown)} of {len(steps)})"
+    out.write("\n" + render_table(
+        ["id", "category", "label", "lane", "start [ms]", "dur [ms]",
+         "wait [ms]"], rows, title=title) + "\n")
+    if args.gantt:
+        out.write("\n" + render_gantt(res.trace,
+                                      critical=graph.critical_path(),
+                                      slack=graph.slack()) + "\n")
+    _maybe_write_trace(args, res, out)
+    return 0
+
+
+def _parse_scales(pairs, error) -> dict[str, float]:
+    scale: dict[str, float] = {}
+    for item in pairs:
+        cat, sep, k = item.partition("=")
+        if not sep:
+            error(f"--scale expects CAT=K, got {item!r}")
+        try:
+            scale[cat] = float(k)
+        except ValueError:
+            error(f"--scale factor must be a number, got {k!r}")
+    return scale
+
+
+def _run_whatif(argv, out) -> int:
+    parser = build_whatif_parser()
+    args = parser.parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        parser.error("pass exactly one of --n or --functional")
+    from repro.obs import sensitivity_report, whatif_report
+    scale = _parse_scales(args.scale, parser.error)
+    res = _run_sort(args)
+    graph = res.causal_graph()
+    if scale:
+        report = whatif_report(graph, scale)
+        if args.json:
+            out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            return 0
+        out.write(res.summary() + "\n\n")
+        # One combined prediction row labelled with every scaled category.
+        label = " ".join(f"{c}x{k:g}" for c, k in report["scale"].items())
+        rows = [[label, f"{report['measured_makespan'] * 1e3:.4f}",
+                 f"{report['predicted_makespan'] * 1e3:.4f}",
+                 f"{report['delta'] * 1e3:+.4f}",
+                 f"{report['speedup']:.3f}"]]
+        out.write(render_table(
+            ["scenario", "measured [ms]", "predicted [ms]", "delta [ms]",
+             "speedup"], rows, title="what-if prediction") + "\n")
+        return 0
+    report = sensitivity_report(graph)
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        return 0
+    out.write(res.summary() + "\n\n")
+    rows = [[r["category"], f"{r['factor']:g}",
+             f"{r['predicted_makespan'] * 1e3:.4f}",
+             f"{r['delta'] * 1e3:+.4f}", f"{r['speedup']:.3f}"]
+            for r in report["rows"]]
+    out.write(render_table(
+        ["category", "factor", "predicted [ms]", "delta [ms]", "speedup"],
+        rows,
+        title=f"what-if sensitivity (measured "
+              f"{report['measured_makespan'] * 1e3:.4f} ms)") + "\n")
+    return 0
+
+
+def _run_diff(argv, out) -> int:
+    parser = build_diff_parser()
+    args = parser.parse_args(argv)
+    from repro.obs import diff_reports, load_report, render_diff
+    a = load_report(args.report_a)
+    b = load_report(args.report_b)
+    diff = diff_reports(a, b, tolerance=args.tolerance)
+    if args.json:
+        out.write(json.dumps(diff, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_diff(diff, min_rel=args.min_rel) + "\n")
+    if args.fail_on_regression and (diff["regression"]
+                                    or diff["structural_change"]):
+        return 1
+    return 0
 
 
 def _run_metrics(argv, out) -> int:
@@ -187,6 +393,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "metrics":
         return _run_metrics(argv[1:], out)
+    if argv and argv[0] == "critical-path":
+        return _run_critical_path(argv[1:], out)
+    if argv and argv[0] == "whatif":
+        return _run_whatif(argv[1:], out)
+    if argv and argv[0] == "diff":
+        return _run_diff(argv[1:], out)
     args = build_parser().parse_args(argv)
     if (args.n is None) == (args.functional is None):
         build_parser().error("pass exactly one of --n or --functional")

@@ -96,6 +96,10 @@ class PinnedBuffer(Buffer):
     the allocation cost is charged)."""
 
     kind = "pinned"
+    #: Trace span of the ``cudaMallocHost`` that created this buffer
+    #: (set by :meth:`repro.cuda.runtime.Runtime.malloc_host`); the first
+    #: operation touching the buffer depends on it causally.
+    alloc_span = None
 
 
 class DeviceBuffer(Buffer):

@@ -116,12 +116,17 @@ class Runtime:
         buf.freed = True
 
     def malloc_host(self, nbytes: int, name: str = "",
-                    data: np.ndarray | None = None):
+                    data: np.ndarray | None = None, deps=()):
         """Process: ``cudaMallocHost`` -- allocate pinned staging memory,
         charging the affine allocation cost (Sec. IV-E1).  Returns the
-        :class:`PinnedBuffer` as the process value."""
-        yield from self.machine.pinned_alloc(nbytes, label=name or "pinned")
-        return PinnedBuffer(nbytes, data=data, name=name)
+        :class:`PinnedBuffer` as the process value; the allocation's
+        trace span is attached as ``buf.alloc_span`` so the first use of
+        the buffer can depend on it causally."""
+        span = yield from self.machine.pinned_alloc(
+            nbytes, label=name or "pinned", deps=deps)
+        buf = PinnedBuffer(nbytes, data=data, name=name)
+        buf.alloc_span = span
+        return buf
 
     def free_host(self, buf: PinnedBuffer) -> None:
         """``cudaFreeHost`` (modelled as free of charge)."""
@@ -135,10 +140,12 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def memcpy(self, dst, src, nbytes: int, kind: str,
-               dst_off: int = 0, src_off: int = 0, lane: str = "host"):
+               dst_off: int = 0, src_off: int = 0, lane: str = "host",
+               deps=()):
         """Process: blocking ``cudaMemcpy`` -- the calling host thread
         does not resume until the copy completes (the BLINE /
-        BLINEMULTI data-transfer mode, Sec. III-D)."""
+        BLINEMULTI data-transfer mode, Sec. III-D).  Returns the copy's
+        trace span."""
         direction, gpu, pinned = self._classify(dst, src, nbytes, kind,
                                                 dst_off, src_off)
         call = self.machine.platform.runtime.memcpy_blocking_call_s
@@ -146,21 +153,29 @@ class Runtime:
             yield self.env.timeout(call)
         if direction is None:
             # HostToHost: a plain staging copy on the host bus.
-            yield from self.machine.host_memcpy(
+            span = yield from self.machine.host_memcpy(
                 nbytes, threads=1, label="cudaMemcpy(H2H)", lane=lane,
-                work=lambda: copy_payload(dst, dst_off, src, src_off, nbytes))
+                work=lambda: copy_payload(dst, dst_off, src, src_off, nbytes),
+                deps=deps)
         else:
-            yield from self.machine.pcie_transfer(
+            span = yield from self.machine.pcie_transfer(
                 gpu, nbytes, direction, pinned=pinned,
                 label=f"cudaMemcpy({direction})", lane=lane,
-                work=lambda: copy_payload(dst, dst_off, src, src_off, nbytes))
+                work=lambda: copy_payload(dst, dst_off, src, src_off, nbytes),
+                deps=deps)
+        return span
 
     def memcpy_async(self, dst, src, nbytes: int, kind: str, stream: Stream,
-                     dst_off: int = 0, src_off: int = 0):
+                     dst_off: int = 0, src_off: int = 0, deps=()):
         """Process: ``cudaMemcpyAsync`` -- enqueue the copy on ``stream``
         and return its completion event after the (host-side) call
         overhead.  The host-memory end **must be pinned**, as in CUDA;
-        otherwise :class:`~repro.errors.CudaInvalidValue` is raised."""
+        otherwise :class:`~repro.errors.CudaInvalidValue` is raised.
+
+        The completion event's value is the copy's trace span.  Its deps
+        combine the explicit ``deps`` (e.g. the staging copy that filled
+        the pinned buffer) with the in-stream predecessor, read when the
+        op actually starts."""
         direction, gpu, pinned = self._classify(dst, src, nbytes, kind,
                                                 dst_off, src_off)
         if direction is None:
@@ -176,14 +191,17 @@ class Runtime:
         call = self.machine.platform.runtime.memcpy_async_call_s
         if call > 0:
             yield self.env.timeout(call)
+        explicit = tuple(deps)
 
         def op():
-            yield from self.machine.pcie_transfer(
+            span = yield from self.machine.pcie_transfer(
                 gpu, nbytes, direction, pinned=True,
                 label=f"cudaMemcpyAsync({direction})",
                 lane=stream.name,
                 work=lambda: copy_payload(dst, dst_off, src, src_off,
-                                          nbytes))
+                                          nbytes),
+                deps=(*explicit, stream.last_span))
+            return span
 
         return stream.submit(op, label=f"memcpy.{direction}")
 
@@ -192,10 +210,11 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def sort_async(self, buf: DeviceBuffer, n_elements: int, stream: Stream,
-                   offset: int = 0):
+                   offset: int = 0, deps=()):
         """Process: launch ``thrust::sort`` over ``n_elements`` 64-bit keys
         of ``buf`` on ``stream``; returns the completion event after the
-        kernel-launch overhead.
+        kernel-launch overhead.  The completion event's value is the
+        kernel's trace span.
 
         In functional mode the elements are really sorted with the
         runtime's sort kernel (LSD radix by default)."""
@@ -207,6 +226,7 @@ class Runtime:
         call = self.machine.platform.runtime.kernel_launch_s
         if call > 0:
             yield self.env.timeout(call)
+        explicit = tuple(deps)
 
         def work():
             view = buf.view(offset, nbytes)
@@ -214,7 +234,10 @@ class Runtime:
                 self.sort_kernel(view)
 
         def op():
-            yield from gpu.sort(n_elements, label="thrust::sort", work=work)
+            span = yield from gpu.sort(
+                n_elements, label="thrust::sort", work=work,
+                deps=(*explicit, stream.last_span))
+            return span
 
         return stream.submit(op, label="sort")
 

@@ -32,6 +32,11 @@ class Stream:
         self._trace = trace
         self._sync_cost_s = sync_cost_s
         self.ops_submitted = 0
+        #: Causal tracing: the span of the most recently *completed*
+        #: operation on this stream.  The next op records it as a
+        #: dependency, materialising the in-stream submission order as
+        #: edges of the span DAG.
+        self.last_span = None
 
     def submit(self, factory: _t.Callable[[], _t.Generator],
                label: str = "op") -> Event:
@@ -39,6 +44,9 @@ class Stream:
 
         ``factory`` produces the operation's process generator; it starts
         only after every previously submitted operation has completed.
+        The completion event carries the factory's return value (the
+        recorded span for runtime-issued copies and kernels), and
+        :attr:`last_span` is updated with it.
         """
         done = Event(self.env)
         prev = self._tail
@@ -46,26 +54,37 @@ class Stream:
         def runner():
             if prev is not None and not prev.processed:
                 yield prev
-            yield from factory()
-            done.succeed()
+            value = yield from factory()
+            if value is not None:
+                self.last_span = value
+            done.succeed(value)
 
         self.env.process(runner(), name=f"{self.name}:{label}")
         self._tail = done
         self.ops_submitted += 1
         return done
 
-    def synchronize(self):
+    def synchronize(self, deps: _t.Sequence = ()):
         """Process: block the calling host thread until the stream drains
         (``cudaStreamSynchronize``), charging the per-call overhead that the
-        related work's end-to-end accounting omits (Sec. IV-E)."""
+        related work's end-to-end accounting omits (Sec. IV-E).
+
+        Returns the recorded Sync span (``None`` when the platform models
+        the call as free).  The span depends on the stream op it waited
+        for plus any explicit ``deps`` (host program order)."""
         if self._tail is not None and not self._tail.processed:
             yield self._tail
         if self._sync_cost_s > 0:
             start = self.env.now
             yield self.env.timeout(self._sync_cost_s)
             if self._trace is not None:
-                self._trace.record(CAT.SYNC, f"sync:{self.name}",
-                                   start, self.env.now, lane=self.name)
+                causal = [d for d in deps if d is not None]
+                if self.last_span is not None:
+                    causal.append(self.last_span)
+                return self._trace.record(CAT.SYNC, f"sync:{self.name}",
+                                          start, self.env.now,
+                                          lane=self.name, deps=causal)
+        return None
 
     @property
     def idle(self) -> bool:

@@ -41,19 +41,20 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
-        yield from staged_blocking_batch(ctx, batch, pin_in, pin_out, dev,
-                                         stream, out, lane)
+        last = yield from staged_blocking_batch(
+            ctx, batch, pin_in, pin_out, dev, stream, out, lane,
+            deps=(pin_in.alloc_span, pin_out.alloc_span))
         free_worker_buffers(ctx, pin_in, pin_out, dev)
     else:
         data = (np.empty(2 * batch.size, dtype=np.float64)
                 if ctx.functional else None)
         dev = ctx.rt.malloc(2 * batch.size * ELEM, gpu_index=gpu,
                             name=f"dev.g{gpu}", data=data)
-        yield from pageable_blocking_batch(ctx, batch, dev, stream, out,
-                                           lane)
+        last = yield from pageable_blocking_batch(ctx, batch, dev, stream,
+                                                 out, lane)
         ctx.rt.free(dev)
     if ctx.plan.n_gpus > 1:
-        ctx.finish_run(batch)
+        ctx.finish_run(batch, producer=last)
     else:
         # Single GPU: the batch landed directly in B; count it anyway so
         # `batches.completed` reaches n_batches for every approach.

@@ -31,10 +31,13 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
+        prev: tuple = (pin_in.alloc_span, pin_out.alloc_span)
         for batch in batches:
-            yield from staged_blocking_batch(
-                ctx, batch, pin_in, pin_out, dev, stream, ctx.W, lane)
-            ctx.finish_run(batch)
+            last = yield from staged_blocking_batch(
+                ctx, batch, pin_in, pin_out, dev, stream, ctx.W, lane,
+                deps=prev)
+            ctx.finish_run(batch, producer=last)
+            prev = (last,)   # this thread processes its batches serially
         free_worker_buffers(ctx, pin_in, pin_out, dev)
     else:
         import numpy as np
@@ -44,10 +47,12 @@ def _gpu_worker(ctx: RunContext, gpu: int):
                 if ctx.functional else None)
         dev = ctx.rt.malloc(2 * ctx.plan.batch_size * ELEM, gpu_index=gpu,
                             name=f"dev.g{gpu}", data=data)
+        prev = ()
         for batch in batches:
-            yield from pageable_blocking_batch(ctx, batch, dev, stream,
-                                               ctx.W, lane)
-            ctx.finish_run(batch)
+            last = yield from pageable_blocking_batch(
+                ctx, batch, dev, stream, ctx.W, lane, deps=prev)
+            ctx.finish_run(batch, producer=last)
+            prev = (last,)
         ctx.rt.free(dev)
     ctx.obs.incr("workers.active", -1)
 

@@ -37,6 +37,10 @@ class SortedRun:
     w_offset: int | None = None    #: element offset in W (batch units)
     array: np.ndarray | None = None  #: merged-pair storage (functional)
     from_pair: bool = False        #: True for pair-merge outputs
+    #: Trace span id of the operation that completed this run (the last
+    #: staging copy / DtoH / pair merge).  Consumers of the run record it
+    #: as a causal dependency -- the buffer-handoff edge of the span DAG.
+    producer_id: int | None = None
 
     def data(self, ctx: "RunContext") -> np.ndarray | None:
         """Functional view of this run's elements."""
@@ -119,9 +123,15 @@ class RunContext:
 
     # -- functional-layer helpers ---------------------------------------------
 
-    def finish_run(self, batch: Batch) -> SortedRun:
-        """Record a batch as sorted-and-landed-in-W."""
-        run = SortedRun(size=batch.size, w_offset=batch.offset)
+    def finish_run(self, batch: Batch, producer=None) -> SortedRun:
+        """Record a batch as sorted-and-landed-in-W.
+
+        ``producer`` is the trace span (or span id) of the operation that
+        completed the run; downstream merges depend on it causally.
+        """
+        pid = getattr(producer, "id", producer)
+        run = SortedRun(size=batch.size, w_offset=batch.offset,
+                        producer_id=pid)
         self.obs.incr("batches.completed")
         self.sorted_runs.put(run)
         return run

@@ -50,29 +50,35 @@ def _gpu_pair_merge(ctx: RunContext, gpu_index: int, first: SortedRun,
 
     # Stream both inputs in, interleaved chunk by chunk (the kernel
     # consumes windows of each run); kernel time accrues per window; the
-    # merged output streams straight back out.
+    # merged output streams straight back out.  The first staging copy
+    # depends on both runs' producers (buffer handoff); the chunk chain is
+    # then linked span to span, single-staging-buffer reuse included.
     done = 0
+    prev: tuple = (first.producer_id, second.producer_id)
+    last = None
     while done < total:
         step = min(ps, total - done)
         nbytes = step * ELEM
-        yield from machine.host_memcpy(
+        staged = yield from machine.host_memcpy(
             nbytes, threads=ctx.config.memcpy_threads,
-            label="W->Stage(gpumerge)", lane=lane)
-        yield from machine.pcie_transfer(
+            label="W->Stage(gpumerge)", lane=lane, deps=prev)
+        htod = yield from machine.pcie_transfer(
             gpu, nbytes, Direction.HTOD, pinned=True,
-            label="gpumerge.in", lane=lane)
+            label="gpumerge.in", lane=lane, deps=(staged,))
         start = machine.env.now
         yield machine.env.timeout(step / GPU_MERGE_RATE_F64)
-        machine.trace.record(CAT.GPUSORT, "mergepath<<<...>>>", start,
-                             machine.env.now, lane=f"gpu{gpu_index}",
-                             elements=step)
-        yield from machine.pcie_transfer(
+        kern = machine.trace.record(CAT.GPUSORT, "mergepath<<<...>>>", start,
+                                    machine.env.now, lane=f"gpu{gpu_index}",
+                                    elements=step, deps=(htod,))
+        dtoh = yield from machine.pcie_transfer(
             gpu, nbytes, Direction.DTOH, pinned=True,
-            label="gpumerge.out", lane=lane)
-        yield from machine.host_memcpy(
+            label="gpumerge.out", lane=lane, deps=(kern,))
+        last = yield from machine.host_memcpy(
             nbytes, threads=ctx.config.memcpy_threads,
-            label="Stage->W(gpumerge)", lane=lane)
+            label="Stage->W(gpumerge)", lane=lane, deps=(dtoh,))
+        prev = (last,)
         done += step
+    out.producer_id = last.id if last is not None else None
 
     if ctx.functional:
         out.array = merge_two(first.data(ctx), second.data(ctx))
@@ -120,4 +126,5 @@ def run_gpumerge(ctx: RunContext):
 
     yield from ctx.machine.host_memcpy(
         final.size * ELEM, threads=ctx.merge_threads, label="W->B",
-        lane="cpu.merge", work=copy_work)
+        lane="cpu.merge", work=copy_work,
+        deps=(final.producer_id,))

@@ -31,10 +31,12 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
     stream = ctx.rt.create_stream(gpu)
     pin_in, pin_out, dev = yield from alloc_worker_buffers(
         ctx, gpu, tag=f"g{gpu}s{slot}")
+    prev: tuple = (pin_in.alloc_span, pin_out.alloc_span)
     for batch in batches:
-        yield from async_stream_batch(ctx, batch, pin_in, pin_out, dev,
-                                      stream)
-    yield from stream.synchronize()
+        last = yield from async_stream_batch(ctx, batch, pin_in, pin_out,
+                                             dev, stream, deps=prev)
+        prev = (last,)   # the worker reuses its buffers batch after batch
+    yield from stream.synchronize(deps=prev)
     free_worker_buffers(ctx, pin_in, pin_out, dev)
     ctx.obs.incr("workers.active", -1)
 

@@ -87,6 +87,17 @@ class SortResult:
         return self.metrics.get("overlap_matrix", {}) \
             .get(cat_a, {}).get(cat_b, 0.0)
 
+    def causal_graph(self):
+        """The run's causal span DAG (validated on construction)."""
+        from repro.obs.causal import SpanGraph
+        return SpanGraph.from_trace(self.trace)
+
+    def critical_path_report(self) -> dict:
+        """Critical-path attribution (see
+        :func:`repro.obs.causal.critical_path_report`)."""
+        from repro.obs.causal import critical_path_report
+        return critical_path_report(self.causal_graph())
+
     @property
     def throughput(self) -> float:
         """Sorted elements per second, end to end."""

@@ -29,7 +29,9 @@ def alloc_worker_buffers(ctx: RunContext, gpu: int, tag: str):
 
     Returns ``(pinned_in, pinned_out, dev)``.  The device buffer holds
     ``2 * b_s`` elements: the batch plus Thrust's out-of-place scratch
-    (Sec. III-B).
+    (Sec. III-B).  The two pinned allocations are sequential on the host
+    thread, so the second depends causally on the first; the first use of
+    either buffer should depend on ``buf.alloc_span``.
     """
     import numpy as np
 
@@ -40,7 +42,8 @@ def alloc_worker_buffers(ctx: RunContext, gpu: int, tag: str):
     pinned_in = yield from ctx.rt.malloc_host(
         ps * ELEM, name=f"stage_in.{tag}", data=mk(ps))
     pinned_out = yield from ctx.rt.malloc_host(
-        ps * ELEM, name=f"stage_out.{tag}", data=mk(ps))
+        ps * ELEM, name=f"stage_out.{tag}", data=mk(ps),
+        deps=(pinned_in.alloc_span,))
     dev = ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu, name=f"dev.{tag}",
                         data=mk(2 * bs))
     return pinned_in, pinned_out, dev
@@ -61,56 +64,75 @@ def free_worker_buffers(ctx: RunContext, pinned_in: PinnedBuffer,
 def staged_blocking_batch(ctx: RunContext, batch: Batch,
                           pinned_in: PinnedBuffer, pinned_out: PinnedBuffer,
                           dev: DeviceBuffer, stream, out: Buffer,
-                          lane: str):
+                          lane: str, deps=()):
     """Process: one batch through the *blocking* pinned-staging path:
 
     ``A -> Stage -> HtoD -> GPUSort -> DtoH -> Stage -> out``
     (Sec. III-D2's n_b = 1 workflow; ``out`` is B for BLINE, W otherwise).
+
+    ``deps`` seeds the first operation's causal parents (the pinned
+    allocations / the previous batch on this worker); the chunk chain is
+    linked span to span -- each HtoD depends on the staging copy that
+    filled the pinned buffer, and the next staging copy depends on the
+    HtoD that drained it (single-buffer reuse).  Returns the batch's last
+    span (the final ``Stage->out`` copy).
     """
     rt, machine, cfg = ctx.rt, ctx.machine, ctx.config
+    prev = tuple(deps)
     for a_off, b_off, size in ctx.plan.chunks(batch):
         nb = size * ELEM
 
         def stage_in(a_off=a_off, nb=nb):
             copy_payload(pinned_in, 0, ctx.A, a_off * ELEM, nb)
 
-        yield from machine.host_memcpy(
+        staged = yield from machine.host_memcpy(
             nb, threads=cfg.memcpy_threads, label="A->Stage", lane=lane,
-            work=stage_in)
-        yield from rt.memcpy(dev, pinned_in, nb,
-                             MemcpyKind.HOST_TO_DEVICE,
-                             dst_off=b_off * ELEM, lane=lane)
-    done = yield from rt.sort_async(dev, batch.size, stream)
-    yield done  # blocking semantics: host waits for the sort
+            work=stage_in, deps=prev)
+        htod = yield from rt.memcpy(dev, pinned_in, nb,
+                                    MemcpyKind.HOST_TO_DEVICE,
+                                    dst_off=b_off * ELEM, lane=lane,
+                                    deps=(staged,))
+        prev = (htod,)
+    done = yield from rt.sort_async(dev, batch.size, stream, deps=prev)
+    sort_span = yield done  # blocking semantics: host waits for the sort
+    prev = (sort_span,)
+    last = sort_span
     for a_off, b_off, size in ctx.plan.chunks(batch):
         nb = size * ELEM
-        yield from rt.memcpy(pinned_out, dev, nb,
-                             MemcpyKind.DEVICE_TO_HOST,
-                             src_off=b_off * ELEM, lane=lane)
+        dtoh = yield from rt.memcpy(pinned_out, dev, nb,
+                                    MemcpyKind.DEVICE_TO_HOST,
+                                    src_off=b_off * ELEM, lane=lane,
+                                    deps=prev)
 
         def stage_out(a_off=a_off, nb=nb):
             copy_payload(out, a_off * ELEM, pinned_out, 0, nb)
 
-        yield from machine.host_memcpy(
+        last = yield from machine.host_memcpy(
             nb, threads=cfg.memcpy_threads, label="Stage->out", lane=lane,
-            work=stage_out)
+            work=stage_out, deps=(dtoh,))
+        prev = (last,)   # pinned_out reuse: next DtoH waits for this copy
+    return last
 
 
 def pageable_blocking_batch(ctx: RunContext, batch: Batch,
                             dev: DeviceBuffer, stream, out: Buffer,
-                            lane: str):
+                            lane: str, deps=()):
     """Process: one batch via plain blocking ``cudaMemcpy`` from pageable
     memory (no staging, no pinned buffers): ``A -> HtoD -> GPUSort ->
-    DtoH -> out`` (Sec. III-D's literal BLINE)."""
+    DtoH -> out`` (Sec. III-D's literal BLINE).  Returns the batch's last
+    span (the DtoH)."""
     rt = ctx.rt
-    yield from rt.memcpy(dev, ctx.A, batch.nbytes,
-                         MemcpyKind.HOST_TO_DEVICE,
-                         src_off=batch.offset_bytes, lane=lane)
-    done = yield from rt.sort_async(dev, batch.size, stream)
-    yield done
-    yield from rt.memcpy(out, dev, batch.nbytes,
-                         MemcpyKind.DEVICE_TO_HOST,
-                         dst_off=batch.offset_bytes, lane=lane)
+    htod = yield from rt.memcpy(dev, ctx.A, batch.nbytes,
+                                MemcpyKind.HOST_TO_DEVICE,
+                                src_off=batch.offset_bytes, lane=lane,
+                                deps=deps)
+    done = yield from rt.sort_async(dev, batch.size, stream, deps=(htod,))
+    sort_span = yield done
+    dtoh = yield from rt.memcpy(out, dev, batch.nbytes,
+                                MemcpyKind.DEVICE_TO_HOST,
+                                dst_off=batch.offset_bytes, lane=lane,
+                                deps=(sort_span,))
+    return dtoh
 
 
 # ---------------------------------------------------------------------------
@@ -119,7 +141,7 @@ def pageable_blocking_batch(ctx: RunContext, batch: Batch,
 
 def async_stream_batch(ctx: RunContext, batch: Batch,
                        pinned_in: PinnedBuffer, pinned_out: PinnedBuffer,
-                       dev: DeviceBuffer, stream):
+                       dev: DeviceBuffer, stream, deps=()):
     """Process: one batch through the asynchronous pipelined path of
     Fig. 2: chunked ``MCpy``/``HtoD`` interleave into the device, an async
     sort, then chunked ``DtoH``/``MCpy`` out to W.
@@ -128,38 +150,52 @@ def async_stream_batch(ctx: RunContext, batch: Batch,
     before reusing the single pinned buffer -- this is the per-copy
     synchronisation overhead the related work omits (Sec. IV-E).
     Across streams, everything overlaps.
+
+    Causal edges: each async copy depends on the staging copy that fed it
+    (plus stream order, recorded by the stream itself); each ``Sync``
+    span depends on the op it waited for; the host-side chain
+    (``deps`` -> staging -> sync -> staging ...) captures worker program
+    order and pinned-buffer reuse.  Returns the batch's last span.
     """
     rt, machine, cfg = ctx.rt, ctx.machine, ctx.config
     lane = stream.name
+    prev = tuple(deps)
     for a_off, b_off, size in ctx.plan.chunks(batch):
         nb = size * ELEM
 
         def stage_in(a_off=a_off, nb=nb):
             copy_payload(pinned_in, 0, ctx.A, a_off * ELEM, nb)
 
-        yield from machine.host_memcpy(
+        staged = yield from machine.host_memcpy(
             nb, threads=cfg.memcpy_threads, label="A->Stage", lane=lane,
-            work=stage_in)
-        yield from rt.memcpy_async(dev, pinned_in, nb,
-                                   MemcpyKind.HOST_TO_DEVICE, stream,
-                                   dst_off=b_off * ELEM)
-        yield from stream.synchronize()
-    yield from rt.sort_async(dev, batch.size, stream)
+            work=stage_in, deps=prev)
+        ev = yield from rt.memcpy_async(dev, pinned_in, nb,
+                                        MemcpyKind.HOST_TO_DEVICE, stream,
+                                        dst_off=b_off * ELEM, deps=(staged,))
+        sync = yield from stream.synchronize(deps=(staged,))
+        prev = (sync if sync is not None else ev.value,)
+    yield from rt.sort_async(dev, batch.size, stream, deps=prev)
     # No explicit sync: the DtoH below queues behind the sort in-stream.
+    last = prev[0]
+    stage_prev: tuple = ()
     for a_off, b_off, size in ctx.plan.chunks(batch):
         nb = size * ELEM
-        yield from rt.memcpy_async(pinned_out, dev, nb,
-                                   MemcpyKind.DEVICE_TO_HOST, stream,
-                                   src_off=b_off * ELEM)
-        yield from stream.synchronize()
+        ev = yield from rt.memcpy_async(pinned_out, dev, nb,
+                                        MemcpyKind.DEVICE_TO_HOST, stream,
+                                        src_off=b_off * ELEM,
+                                        deps=stage_prev)
+        sync = yield from stream.synchronize()
+        dtoh_done = sync if sync is not None else ev.value
 
         def stage_out(a_off=a_off, nb=nb):
             copy_payload(ctx.W, a_off * ELEM, pinned_out, 0, nb)
 
-        yield from machine.host_memcpy(
+        last = yield from machine.host_memcpy(
             nb, threads=cfg.memcpy_threads, label="Stage->W", lane=lane,
-            work=stage_out)
-    ctx.finish_run(batch)
+            work=stage_out, deps=(dtoh_done,))
+        stage_prev = (last,)  # pinned_out reuse: next DtoH waits for it
+    ctx.finish_run(batch, producer=last)
+    return last
 
 
 # ---------------------------------------------------------------------------
@@ -185,10 +221,12 @@ def pair_merge_scheduler(ctx: RunContext):
             if ctx.functional:
                 out.array = merge_two(first.data(ctx), second.data(ctx))
 
-        yield from ctx.machine.host_merge(
+        span = yield from ctx.machine.host_merge(
             out.size, k=2, threads=ctx.pipeline_merge_threads,
             label=f"pairmerge[{len(merged)}]", lane="cpu.pipeline",
-            category=CAT.PAIRMERGE, work=work)
+            category=CAT.PAIRMERGE, work=work,
+            deps=(first.producer_id, second.producer_id))
+        out.producer_id = span.id
         merged.append(out)
         ctx.obs.incr("pair_merges.completed")
     return merged
@@ -213,6 +251,10 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
         raise RuntimeError(
             f"sorted runs cover {total} of {ctx.plan.n} elements")
 
+    # The merge consumes every run, so it depends on every producer: the
+    # buffer-handoff edges W -> merge of the span DAG.
+    producers = tuple(r.producer_id for r in runs if r.producer_id is not None)
+
     if len(runs) == 1:
         run = runs[0]
 
@@ -222,7 +264,7 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
 
         yield from ctx.machine.host_memcpy(
             total * ELEM, threads=ctx.merge_threads, label="W->B",
-            lane="cpu.merge", work=copy_work)
+            lane="cpu.merge", work=copy_work, deps=producers)
         return
 
     def work():
@@ -232,4 +274,4 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
     yield from ctx.machine.host_merge(
         total, k=len(runs), threads=ctx.merge_threads,
         label=f"multiway(k={len(runs)})", lane="cpu.merge",
-        category=CAT.MERGE, work=work)
+        category=CAT.MERGE, work=work, deps=producers)

@@ -78,7 +78,8 @@ class SimGPU:
     # -- compute ------------------------------------------------------------
 
     def sort(self, n: int, label: str = "thrust::sort",
-             work: _t.Callable[[], None] | None = None):
+             work: _t.Callable[[], None] | None = None,
+             deps: _t.Sequence = ()):
         """Process: run a Thrust-style sort of ``n`` 64-bit elements.
 
         Thrust sorts out of place, temporarily doubling the footprint of
@@ -86,13 +87,22 @@ class SimGPU:
         allocated that scratch space (the batch planner enforces it).
 
         ``work`` (functional layer) runs when the kernel completes.
+        Returns the recorded span; serialisation of kernels from
+        different streams on the single compute engine is recorded as a
+        causal edge from the kernel that freed it.
         """
-        yield self.kernel_engine.request()
+        grant = self.kernel_engine.request()
+        waited = not grant.triggered
+        yield grant
         start = self.env.now
         yield self.env.timeout(self.spec.sort_seconds(n))
-        self.kernel_engine.release()
-        self.trace.record(CAT.GPUSORT, label, start, self.env.now,
-                          lane=f"gpu{self.index}", elements=n,
-                          nbytes=8.0 * n)
+        causal = [d for d in deps if d is not None]
+        if waited and self.kernel_engine.last_release_span is not None:
+            causal.append(self.kernel_engine.last_release_span)
+        span = self.trace.record(CAT.GPUSORT, label, start, self.env.now,
+                                 lane=f"gpu{self.index}", elements=n,
+                                 nbytes=8.0 * n, deps=causal)
+        self.kernel_engine.release(span=span)
         if work is not None:
             work()
+        return span

@@ -92,13 +92,22 @@ class Machine:
                 f"({self.host_reserved} B already reserved)")
         self.host_reserved += nbytes
 
+    @staticmethod
+    def _causal(deps, *extra) -> list:
+        """Combine explicit causal deps with wait-derived ones (drops
+        ``None`` entries; :meth:`Trace.record` dedupes)."""
+        out = [d for d in deps if d is not None]
+        out.extend(e for e in extra if e is not None)
+        return out
+
     # ------------------------------------------------------------------
     # Host-side primitives
     # ------------------------------------------------------------------
 
     def host_memcpy(self, nbytes: float, threads: int = 1,
                     label: str = "memcpy", lane: str = "host",
-                    work: _t.Callable[[], None] | None = None):
+                    work: _t.Callable[[], None] | None = None,
+                    deps: _t.Sequence = ()):
         """Process: a host-to-host copy (pageable <-> pinned staging).
 
         With ``threads == 1`` this is ``std::memcpy`` (rate capped at the
@@ -106,6 +115,8 @@ class Machine:
         optimisation -- the rate cap scales linearly with threads but the
         flow then competes with DMA and merges on the shared host bus,
         which is exactly the effect discussed in Sec. IV-F.
+
+        Returns the recorded :class:`~repro.sim.trace.Span`.
         """
         if threads < 1:
             raise SimulationError(f"memcpy threads must be >= 1: {threads}")
@@ -114,69 +125,91 @@ class Machine:
         # copy helpers are short bursts that time-share with whatever else
         # runs (they are bounded by the rate cap and the shared bus, which
         # is where the real contention lives).
-        yield self.cores.request(1)
+        grant = self.cores.request(1)
+        waited = not grant.triggered
+        yield grant
         start = self.env.now
         cap = threads * self.platform.hostmem.per_core_copy_bw
         yield self.net.transfer(nbytes, [self.host_bus], cap=cap,
                                 label=label)
-        self.cores.release(1)
-        self.trace.record(CAT.MCPY, label, start, self.env.now, lane=lane,
-                          nbytes=nbytes, meta=(("threads", threads),))
+        span = self.trace.record(
+            CAT.MCPY, label, start, self.env.now, lane=lane, nbytes=nbytes,
+            meta={"threads": threads},
+            deps=self._causal(
+                deps, self.cores.last_release_span if waited else None))
+        self.cores.release(1, span=span)
         if work is not None:
             work()
+        return span
 
     def host_merge(self, n_elements: int, k: int, threads: int,
                    label: str = "merge", lane: str = "cpu",
                    category: str = CAT.MERGE,
-                   work: _t.Callable[[], None] | None = None):
+                   work: _t.Callable[[], None] | None = None,
+                   deps: _t.Sequence = ()):
         """Process: merge ``n_elements`` from ``k`` sorted runs on the CPU.
 
         Modelled as a memory-bus flow so that pipelined pair-wise merges
         (PIPEMERGE) contend with concurrent staging copies and DMA.
+        Returns the recorded :class:`~repro.sim.trace.Span`.
         """
         model = self.platform.merge
         threads = min(threads, self.platform.cpu.cores)
-        yield self.cores.request(threads)
+        grant = self.cores.request(threads)
+        waited = not grant.triggered
+        yield grant
         start = self.env.now
         if model.spawn_overhead_s > 0:
             yield self.env.timeout(model.spawn_overhead_s * threads)
         yield self.net.transfer(
             model.flow_bytes(n_elements, k), [self.host_bus],
             cap=model.flow_cap(threads, k), label=label)
-        self.cores.release(threads)
-        self.trace.record(category, label, start, self.env.now, lane=lane,
-                          elements=n_elements, nbytes=8.0 * n_elements,
-                          meta=(("k", k), ("threads", threads)))
+        span = self.trace.record(
+            category, label, start, self.env.now, lane=lane,
+            elements=n_elements, nbytes=8.0 * n_elements,
+            meta={"k": k, "threads": threads},
+            deps=self._causal(
+                deps, self.cores.last_release_span if waited else None))
+        self.cores.release(threads, span=span)
         if work is not None:
             work()
+        return span
 
     def cpu_sort(self, n: int, library: str = "gnu",
                  threads: int | None = None, label: str = "cpu_sort",
                  lane: str = "cpu",
-                 work: _t.Callable[[], None] | None = None):
+                 work: _t.Callable[[], None] | None = None,
+                 deps: _t.Sequence = ()):
         """Process: a CPU-only library sort (the reference implementation).
 
         Time-based (Amdahl + spawn overhead, Fig. 4 model); holds the
-        requested cores for its duration.
+        requested cores for its duration.  Returns the recorded span.
         """
         model = self.platform.sort_model(library)
         threads = self.platform.reference_threads if threads is None \
             else threads
         threads = min(threads, self.platform.cpu.cores, model.max_threads)
-        yield self.cores.request(threads)
+        grant = self.cores.request(threads)
+        waited = not grant.triggered
+        yield grant
         start = self.env.now
         yield self.env.timeout(model.seconds(n, threads))
-        self.cores.release(threads)
-        self.trace.record(CAT.CPUSORT, label, start, self.env.now,
-                          lane=lane, elements=n,
-                          meta=(("library", library), ("threads", threads)))
+        span = self.trace.record(
+            CAT.CPUSORT, label, start, self.env.now, lane=lane, elements=n,
+            meta={"library": library, "threads": threads},
+            deps=self._causal(
+                deps, self.cores.last_release_span if waited else None))
+        self.cores.release(threads, span=span)
         if work is not None:
             work()
+        return span
 
-    def pinned_alloc(self, nbytes: float, label: str = "cudaMallocHost"):
+    def pinned_alloc(self, nbytes: float, label: str = "cudaMallocHost",
+                     deps: _t.Sequence = ()):
         """Process: allocate pinned host memory (cudaMallocHost).
 
         Costs the affine time of Sec. IV-E1 and counts against host DRAM.
+        Returns the recorded span.
         """
         if nbytes < 0:
             raise SimulationError(f"negative pinned allocation {nbytes}")
@@ -191,8 +224,9 @@ class Machine:
             self.platform.hostmem.pinned_alloc_seconds(nbytes))
         self.pinned_bytes += nbytes
         self._gauge("host.pinned_bytes", self.pinned_bytes)
-        self.trace.record(CAT.PINNED_ALLOC, label, start, self.env.now,
-                          lane="host", nbytes=nbytes)
+        return self.trace.record(CAT.PINNED_ALLOC, label, start,
+                                 self.env.now, lane="host", nbytes=nbytes,
+                                 deps=self._causal(deps))
 
     def pinned_free(self, nbytes: float) -> None:
         """Release pinned host memory (modelled as free of charge)."""
@@ -203,13 +237,16 @@ class Machine:
         self.pinned_bytes -= nbytes
         self._gauge("host.pinned_bytes", self.pinned_bytes)
 
-    def sync_overhead(self, label: str = "streamSync", lane: str = "host"):
+    def sync_overhead(self, label: str = "streamSync", lane: str = "host",
+                      deps: _t.Sequence = ()):
         """Process: per-call synchronisation cost of an async copy
-        (one of the overheads the related work omits, Sec. IV-E)."""
+        (one of the overheads the related work omits, Sec. IV-E).
+        Returns the recorded span."""
         cost = self.platform.runtime.stream_sync_s
         start = self.env.now
         yield self.env.timeout(cost)
-        self.trace.record(CAT.SYNC, label, start, self.env.now, lane=lane)
+        return self.trace.record(CAT.SYNC, label, start, self.env.now,
+                                 lane=lane, deps=self._causal(deps))
 
     # ------------------------------------------------------------------
     # PCIe transfers
@@ -217,18 +254,23 @@ class Machine:
 
     def pcie_transfer(self, gpu: SimGPU, nbytes: float, direction: str,
                       pinned: bool = True, label: str = "",
-                      lane: str = "", work: _t.Callable[[], None] | None = None):
+                      lane: str = "", work: _t.Callable[[], None] | None = None,
+                      deps: _t.Sequence = ()):
         """Process: one DMA transfer between host and ``gpu``.
 
         Waits for the device's per-direction copy engine, then flows
         through the shared per-direction PCIe link *and* the host memory
         bus (DMA reads/writes host DRAM).  Pageable transfers are slower
-        (driver staging) and touch host DRAM twice per byte.
+        (driver staging) and touch host DRAM twice per byte.  Returns the
+        recorded span; serialisation on the copy engine is recorded as a
+        causal edge from the transfer that freed the engine.
         """
         if direction not in Direction.ALL:
             raise SimulationError(f"bad transfer direction {direction!r}")
         engine = gpu.copy_engines[direction]
-        yield engine.request()
+        grant = engine.request()
+        waited = not grant.triggered
+        yield grant
         start = self.env.now
         self._inflight[direction] += 1
         self._gauge(f"pcie.{direction}.inflight", self._inflight[direction])
@@ -239,12 +281,15 @@ class Machine:
             nbytes,
             [self.pcie[direction], (self.host_bus, hostmem_weight)],
             cap=cap, label=label or f"{direction}@gpu{gpu.index}")
-        engine.release()
         self._inflight[direction] -= 1
         self._gauge(f"pcie.{direction}.inflight", self._inflight[direction])
         category = CAT.HTOD if direction == Direction.HTOD else CAT.DTOH
-        self.trace.record(category, label or direction, start, self.env.now,
-                          lane=lane or f"gpu{gpu.index}.{direction}",
-                          nbytes=nbytes)
+        span = self.trace.record(
+            category, label or direction, start, self.env.now,
+            lane=lane or f"gpu{gpu.index}.{direction}", nbytes=nbytes,
+            deps=self._causal(
+                deps, engine.last_release_span if waited else None))
+        engine.release(span=span)
         if work is not None:
             work()
+        return span

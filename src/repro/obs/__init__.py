@@ -14,12 +14,23 @@ quantities:
 * :mod:`repro.obs.counters` -- live counters and gauges sampled *during*
   a run (queue depths, pinned-buffer occupancy, in-flight transfers),
   recorded as deterministic time series;
+* :mod:`repro.obs.causal` -- the causal span DAG: critical-path
+  extraction with per-category/per-lane attribution, per-span slack, and
+  shift-based what-if rescheduling (``k = 1`` is an exact fixed point);
+* :mod:`repro.obs.diff` -- structural trace diffing (run reports, report
+  diffs, the CI regression gate's verdict logic);
 * :mod:`repro.obs.profile` -- wall-clock profiling of the *real* numpy
   kernels behind a zero-overhead-when-disabled toggle (never affects the
   simulated timeline or the sorted output).
 """
 
+from repro.obs.causal import (CausalGraphError, SpanGraph,
+                              critical_path_report, sensitivity_report,
+                              whatif_report)
 from repro.obs.counters import CounterSeries, MetricsRecorder
+from repro.obs.diff import (check_regression, diff_reports, load_report,
+                            render_diff, report_from_trace, run_report,
+                            write_report)
 from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
                                critical_path_lower_bound, detect_bubbles,
                                lane_metrics, link_throughput,
@@ -33,6 +44,10 @@ __all__ = [
     "compute_metrics", "lane_metrics", "category_overlap_matrix",
     "overlap_efficiency", "critical_path_lower_bound", "link_throughput",
     "detect_bubbles",
+    "SpanGraph", "CausalGraphError", "critical_path_report",
+    "whatif_report", "sensitivity_report",
+    "run_report", "report_from_trace", "diff_reports", "check_regression",
+    "render_diff", "write_report", "load_report",
     "profiled", "enable_profiling", "disable_profiling",
     "profiling_enabled", "profiling_stats", "reset_profiling",
 ]

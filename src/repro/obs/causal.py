@@ -1,0 +1,324 @@
+"""Causal span-DAG analysis: critical paths, slack, and what-if predictions.
+
+Every :class:`~repro.sim.trace.Trace` records, besides the flat timeline,
+the *causal edges* between spans -- which operations had to finish before
+each span could run (buffer handoffs, stream order, engine contention,
+synchronisation waits, host program order).  This module turns that DAG
+into the three questions a performance engineer actually asks:
+
+* **Where did the time go?**  :meth:`SpanGraph.critical_path` walks the
+  longest dependency chain ending at the last span and attributes every
+  second of the makespan to a span category (or to *wait* -- time where
+  the chain sat between a parent finishing and the child starting, e.g.
+  queueing behind a busy engine whose release edge was not the binding
+  one).  Unlike the busiest-lane *resource* bound of
+  :func:`repro.obs.metrics.critical_path_lower_bound`, this is the actual
+  *dependency* chain: shortening anything off it cannot help.
+
+* **What has room?**  :meth:`SpanGraph.slack` runs the classic
+  critical-path-method backward pass (lags preserved) and reports, per
+  span, how much later it could have finished without growing the
+  makespan.  Spans on the critical path have (near-)zero slack.
+
+* **What if?**  :meth:`SpanGraph.whatif` re-schedules the DAG with one or
+  more categories' durations scaled by a factor ``k``, predicting the new
+  makespan.  The reschedule is *shift-based*: a span keeps its original
+  start unless a parent moved, so ``k = 1`` reproduces the measured
+  timeline bit-for-bit (an exact fixed point, used as a self-check).
+  Predictions are optimistic for ``k < 1``: only the recorded dependency
+  edges constrain the reschedule, so contention that would re-arise in a
+  real re-run is not re-modelled.
+
+All reports are plain dicts of floats/strings/lists, deterministic for a
+deterministic trace, so ``json.dumps(..., sort_keys=True)`` is
+byte-stable across same-seed runs -- the property the trace-diff
+regression harness (:mod:`repro.obs.diff`) relies on.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ReproError
+from repro.sim.trace import Span, Trace
+
+__all__ = ["SpanGraph", "CausalGraphError", "WAIT",
+           "critical_path_report", "whatif_report", "sensitivity_report"]
+
+#: Pseudo-category used to attribute gaps along the critical path.
+WAIT = "(wait)"
+
+#: Tolerance for the lag invariant ``child.start >= parent.end``; spans
+#: are recorded at event-queue precision so genuine edges never violate
+#: it, but serialized traces may round.
+LAG_EPS = 1e-9
+
+
+class CausalGraphError(ReproError):
+    """A trace's span DAG violates its structural invariants."""
+
+
+class SpanGraph:
+    """The causal DAG of one run's spans.
+
+    Spans are indexed by their stable ``id``; because every dependency id
+    is smaller than the dependent span's id, id order is a topological
+    order and every traversal below is a single linear pass.
+    """
+
+    def __init__(self, spans: _t.Sequence[Span]) -> None:
+        self.spans: list[Span] = list(spans)
+        self.validate()
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "SpanGraph":
+        return cls(trace.spans)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the DAG invariants; raises :class:`CausalGraphError`.
+
+        * ids are dense and equal to list position (hence acyclic);
+        * every dependency refers to an earlier span;
+        * every edge has non-negative lag (a span never starts before a
+          recorded dependency finished).
+        """
+        for i, s in enumerate(self.spans):
+            if s.id != i:
+                raise CausalGraphError(
+                    f"span at position {i} has id {s.id}")
+            for d in s.deps:
+                if not 0 <= d < i:
+                    raise CausalGraphError(
+                        f"span {i} ({s.label!r}) depends on {d}, which is "
+                        "not an earlier span")
+                p = self.spans[d]
+                if s.start < p.end - LAG_EPS:
+                    raise CausalGraphError(
+                        f"negative lag: span {i} ({s.label!r}) starts at "
+                        f"{s.start} before dependency {d} ({p.label!r}) "
+                        f"ends at {p.end}")
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """``(t0, t1)`` of the whole trace."""
+        if not self.spans:
+            return 0.0, 0.0
+        return (min(s.start for s in self.spans),
+                max(s.end for s in self.spans))
+
+    @property
+    def makespan(self) -> float:
+        t0, t1 = self.window
+        return t1 - t0
+
+    def roots(self) -> list[Span]:
+        """Spans with no recorded dependency."""
+        return [s for s in self.spans if not s.deps]
+
+    def children(self) -> list[list[int]]:
+        """Forward adjacency: ``children()[p]`` lists ids depending on
+        ``p``."""
+        out: list[list[int]] = [[] for _ in self.spans]
+        for s in self.spans:
+            for d in s.deps:
+                out[d].append(s.id)
+        return out
+
+    def edge_count(self) -> int:
+        return sum(len(s.deps) for s in self.spans)
+
+    # ------------------------------------------------------------------
+    # Critical path
+    # ------------------------------------------------------------------
+
+    def critical_path(self) -> list[Span]:
+        """The binding dependency chain, earliest span first.
+
+        Walks backward from the span with the latest end (ties broken by
+        id, deterministically), at each step following the dependency
+        with the latest end.  Consecutive path spans never overlap
+        (edges have non-negative lag), so the path tiles the interval
+        ``[path[0].start, t1]`` with span durations and wait gaps.
+        """
+        if not self.spans:
+            return []
+        cur = max(self.spans, key=lambda s: (s.end, s.id))
+        path = [cur]
+        while cur.deps:
+            cur = max((self.spans[d] for d in cur.deps),
+                      key=lambda s: (s.end, s.id))
+            path.append(cur)
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Slack
+    # ------------------------------------------------------------------
+
+    def slack(self) -> list[float]:
+        """Per-span slack: how much later each span could finish without
+        growing the makespan, treating every edge as a pure precedence
+        constraint (classic critical-path-method backward pass: a child
+        may start any time at or after its parents' ends).
+
+        Always >= 0.  Along the critical path, a span's slack is bounded
+        by the total wait remaining after it on the path (exactly zero
+        when the chain is gapless); off-path spans report the real
+        scheduling headroom the what-if engine could exploit."""
+        n = len(self.spans)
+        _, t1 = self.window
+        latest_finish = [t1] * n
+        # Reverse id order is reverse topological order.
+        kids = self.children()
+        for s in reversed(self.spans):
+            lf = t1
+            for c in kids[s.id]:
+                child = self.spans[c]
+                lf = min(lf, latest_finish[c] - child.duration)
+            latest_finish[s.id] = lf
+        return [latest_finish[s.id] - s.end for s in self.spans]
+
+    # ------------------------------------------------------------------
+    # What-if rescheduling
+    # ------------------------------------------------------------------
+
+    def whatif(self, scale: _t.Mapping[str, float]
+               ) -> tuple[list[float], list[float]]:
+        """Re-schedule the DAG with each category ``c`` in ``scale``
+        having its span durations multiplied by ``scale[c]``.
+
+        Returns ``(new_start, new_end)`` lists indexed by span id.  A
+        span starts at its original start plus the largest shift among
+        its dependencies (how much later/earlier the latest-ending parent
+        now finishes), so an empty/identity ``scale`` returns the
+        measured timeline exactly.
+        """
+        for cat, k in scale.items():
+            if k < 0:
+                raise ValueError(f"negative what-if factor {k} for {cat!r}")
+        new_start = [0.0] * len(self.spans)
+        new_end = [0.0] * len(self.spans)
+        for s in self.spans:
+            if s.deps:
+                shift = (max(new_end[d] for d in s.deps)
+                         - max(self.spans[d].end for d in s.deps))
+            else:
+                shift = 0.0
+            ns = s.start + shift
+            k = scale.get(s.category, 1.0)
+            # k == 1 keeps the span's own end arithmetic untouched so an
+            # unshifted span reproduces its floats bit-for-bit.
+            ne = s.end + shift if k == 1.0 else ns + k * s.duration
+            new_start[s.id] = ns
+            new_end[s.id] = ne
+        return new_start, new_end
+
+    def whatif_makespan(self, scale: _t.Mapping[str, float]) -> float:
+        """Predicted makespan under :meth:`whatif` rescheduling."""
+        if not self.spans:
+            return 0.0
+        new_start, new_end = self.whatif(scale)
+        return max(new_end) - min(new_start)
+
+
+# ---------------------------------------------------------------------------
+# Reports (plain dicts, deterministic, JSON-stable)
+# ---------------------------------------------------------------------------
+
+def _span_brief(s: Span) -> dict:
+    return {"id": s.id, "category": s.category, "label": s.label,
+            "lane": s.lane, "start": s.start, "end": s.end,
+            "duration": s.duration}
+
+
+def critical_path_report(graph: SpanGraph) -> dict:
+    """Critical path with per-category and per-lane attribution.
+
+    The report's ``duration`` equals the trace makespan whenever the
+    chain roots at the first span of the run (it does, for every
+    approach: the acceptance check of the differential battery).  Gaps
+    between consecutive path spans are attributed to the :data:`WAIT`
+    pseudo-category (and pseudo-lane).
+    """
+    path = graph.critical_path()
+    t0, t1 = graph.window
+    slack = graph.slack()
+    by_category: dict[str, float] = {}
+    by_lane: dict[str, float] = {}
+    steps: list[dict] = []
+    prev_end = path[0].start if path else t0
+    wait_total = 0.0
+    for s in path:
+        gap = s.start - prev_end
+        if gap > 0:
+            by_category[WAIT] = by_category.get(WAIT, 0.0) + gap
+            by_lane[WAIT] = by_lane.get(WAIT, 0.0) + gap
+            wait_total += gap
+        by_category[s.category] = by_category.get(s.category, 0.0) \
+            + s.duration
+        by_lane[s.lane] = by_lane.get(s.lane, 0.0) + s.duration
+        step = _span_brief(s)
+        step["wait_before"] = gap
+        step["slack"] = slack[s.id]
+        steps.append(step)
+        prev_end = s.end
+    duration = (t1 - path[0].start) if path else 0.0
+    return {
+        "schema": "repro.critical_path/v1",
+        "makespan": graph.makespan,
+        "duration": duration,
+        "lead_in": (path[0].start - t0) if path else 0.0,
+        "n_spans": len(path),
+        "n_trace_spans": len(graph),
+        "n_edges": graph.edge_count(),
+        "wait": wait_total,
+        "by_category": dict(sorted(by_category.items(),
+                                   key=lambda kv: (-kv[1], kv[0]))),
+        "by_lane": dict(sorted(by_lane.items(),
+                               key=lambda kv: (-kv[1], kv[0]))),
+        "path": steps,
+    }
+
+
+def whatif_report(graph: SpanGraph, scale: _t.Mapping[str, float]) -> dict:
+    """Predicted effect of scaling the given categories by their factors."""
+    measured = graph.makespan
+    predicted = graph.whatif_makespan(scale)
+    return {
+        "schema": "repro.whatif/v1",
+        "scale": dict(sorted(scale.items())),
+        "measured_makespan": measured,
+        "predicted_makespan": predicted,
+        "delta": predicted - measured,
+        "speedup": (measured / predicted) if predicted > 0 else float("inf"),
+    }
+
+
+def sensitivity_report(graph: SpanGraph,
+                       factors: _t.Sequence[float] = (0.0, 0.5, 2.0),
+                       categories: _t.Sequence[str] | None = None) -> dict:
+    """One what-if prediction per (category, factor) pair.
+
+    The default factors answer: what if this component were free (0),
+    twice as fast (0.5), or twice as slow (2)?  Categories default to
+    every category present in the trace, in deterministic (sorted)
+    order."""
+    if categories is None:
+        categories = sorted({s.category for s in graph.spans})
+    rows = []
+    for cat in categories:
+        for k in factors:
+            rows.append(whatif_report(graph, {cat: k}) | {"category": cat,
+                                                          "factor": k})
+    return {
+        "schema": "repro.sensitivity/v1",
+        "measured_makespan": graph.makespan,
+        "rows": rows,
+    }

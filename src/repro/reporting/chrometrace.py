@@ -5,7 +5,10 @@ to inspect a pipeline interactively -- every lane (GPU engines, streams,
 CPU merge workers) becomes a track, every span a complete event.  Live
 counter series (queue depths, pinned-buffer occupancy, in-flight
 transfers) recorded by a :class:`~repro.obs.counters.MetricsRecorder`
-render as Perfetto counter tracks alongside the spans.
+render as Perfetto counter tracks alongside the spans.  The trace's
+causal edges export as flow events ("s"/"f" pairs), so Perfetto draws
+the dependency arrows -- staging copy to HtoD, sort to DtoH, producers
+into the final merge -- right on the timeline.
 
 >>> from repro import HeterogeneousSorter, PLATFORM1
 >>> from repro.reporting.chrometrace import to_chrome_trace
@@ -13,7 +16,7 @@ render as Perfetto counter tracks alongside the spans.
 ...     n=int(4e8), approach="pipedata")
 >>> events = to_chrome_trace(r.trace)
 >>> sorted({e["ph"] for e in events})
-['M', 'X']
+['M', 'X', 'f', 's']
 """
 
 from __future__ import annotations
@@ -51,7 +54,10 @@ def to_chrome_trace(trace: Trace, counters=None) -> list[dict]:
 
     Spans become complete ("X") events; lanes map to thread ids so each
     lane renders as its own track.  Times are microseconds, as the format
-    requires.  ``counters`` (a
+    requires.  Every causal edge becomes a flow-event pair: a start
+    ("s") at the parent span's end on the parent's track and a finish
+    ("f", binding point "e") at the child span's start on the child's
+    track, so Perfetto renders the span DAG as arrows.  ``counters`` (a
     :class:`~repro.obs.counters.MetricsRecorder` or a mapping of
     :class:`~repro.obs.counters.CounterSeries`) adds one Perfetto counter
     ("C") track per series.
@@ -84,6 +90,17 @@ def to_chrome_trace(trace: Trace, counters=None) -> list[dict]:
         if colour:
             ev["cname"] = colour
         events.append(ev)
+    flow_id = 0
+    for parent_id, child_id in trace.edges():
+        parent = trace.span_by_id(parent_id)
+        child = trace.span_by_id(child_id)
+        common = {"cat": "causal", "name": "dep", "pid": 0, "id": flow_id}
+        events.append(common | {"ph": "s", "tid": lanes[parent.lane],
+                                "ts": parent.end * 1e6})
+        events.append(common | {"ph": "f", "bp": "e",
+                                "tid": lanes[child.lane],
+                                "ts": child.start * 1e6})
+        flow_id += 1
     for name in sorted(_counter_series(counters)):
         series = _counter_series(counters)[name]
         for t, v in series.samples():

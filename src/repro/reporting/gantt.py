@@ -3,11 +3,20 @@
 Turns a :class:`~repro.sim.trace.Trace` into the kind of lane/timeline
 picture the paper uses to explain pipelining (Figs. 1-3), so the examples
 can *show* the overlap structure each approach achieves.
+
+When given the run's causal analysis (``critical`` -- the path spans from
+:meth:`repro.obs.causal.SpanGraph.critical_path` -- and optionally the
+per-span ``slack`` list), the chart grows a top ``*critical*`` row
+painting the binding dependency chain (waits between its spans shown as
+``~``) and per-lane annotations: what fraction of each lane's busy time
+sits on the path and the smallest slack among the lane's spans.
 """
 
 from __future__ import annotations
 
-from repro.sim.trace import Trace
+import typing as _t
+
+from repro.sim.trace import Span, Trace
 
 __all__ = ["render_gantt"]
 
@@ -17,14 +26,27 @@ _GLYPHS = {
     "CPUSort": "C",
 }
 
+#: Glyph for wait gaps along the critical path.
+_WAIT_GLYPH = "~"
 
-def render_gantt(trace: Trace, width: int = 100,
-                 max_lanes: int = 24) -> str:
+
+def _paint(row: list[str], start: float, end: float, glyph: str,
+           t0: float, scale: float, width: int) -> None:
+    a = int((start - t0) * scale)
+    b = max(a + 1, int((end - t0) * scale))
+    for i in range(a, min(b, width)):
+        row[i] = glyph
+
+
+def render_gantt(trace: Trace, width: int = 100, max_lanes: int = 24,
+                 critical: _t.Sequence[Span] | None = None,
+                 slack: _t.Sequence[float] | None = None) -> str:
     """Render the trace as one text row per lane.
 
     Each column is ``makespan / width`` seconds; a span paints its
     category glyph over its columns (later spans overwrite earlier ones
-    within a lane).
+    within a lane).  ``critical``/``slack`` add the causal overlay
+    described in the module docstring.
     """
     if not trace.spans:
         return "(empty trace)"
@@ -33,19 +55,46 @@ def render_gantt(trace: Trace, width: int = 100,
     span = max(t1 - t0, 1e-12)
     scale = width / span
 
+    crit_ids = {s.id for s in critical} if critical else set()
     lanes = trace.lanes()[:max_lanes]
     rows = []
-    label_w = max((len(l) for l in lanes), default=4) + 2
+    labels = list(lanes)
+    if critical:
+        labels.append("*critical*")
+    label_w = max((len(l) for l in labels), default=4) + 2
+
+    if critical:
+        crow = [" "] * width
+        prev_end: float | None = None
+        for s in critical:
+            if prev_end is not None and s.start > prev_end:
+                _paint(crow, prev_end, s.start, _WAIT_GLYPH, t0, scale,
+                       width)
+            _paint(crow, s.start, s.end, _GLYPHS.get(s.category, "?"),
+                   t0, scale, width)
+            prev_end = s.end
+        rows.append(f"{'*critical*':<{label_w}}|{''.join(crow)}|")
+
     for lane in lanes:
         row = [" "] * width
-        for s in trace.filter(lane=lane):
-            a = int((s.start - t0) * scale)
-            b = max(a + 1, int((s.end - t0) * scale))
-            g = _GLYPHS.get(s.category, "?")
-            for i in range(a, min(b, width)):
-                row[i] = g
-        rows.append(f"{lane:<{label_w}}|{''.join(row)}|")
+        lane_spans = trace.filter(lane=lane)
+        for s in lane_spans:
+            _paint(row, s.start, s.end, _GLYPHS.get(s.category, "?"),
+                   t0, scale, width)
+        note = ""
+        if critical:
+            busy = sum(s.duration for s in lane_spans)
+            on_path = sum(s.duration for s in lane_spans
+                          if s.id in crit_ids)
+            note = f"  crit={on_path / busy:4.0%}" if busy > 0 \
+                else "  crit=  0%"
+            if slack is not None and lane_spans:
+                min_slack = min(slack[s.id] for s in lane_spans)
+                note += f" slack={min_slack * 1e3:.3g}ms"
+        rows.append(f"{lane:<{label_w}}|{''.join(row)}|{note}")
     legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    if critical:
+        legend += f"  {_WAIT_GLYPH}=wait(critical)"
     header = (f"t=[{t0:.4f}s .. {t1:.4f}s]  "
               f"({span / width:.4g} s/column)")
     return "\n".join([header, *rows, legend])

@@ -51,6 +51,12 @@ class Resource:
         #: state change (request queued, units granted, units released).
         #: Must not schedule events; ``None`` costs nothing.
         self.probe: _t.Callable[["Resource"], None] | None = None
+        #: Causal tracing: the trace span (or span id) of the operation
+        #: whose :meth:`release` most recently returned units.  A request
+        #: that had to *wait* was unblocked by that release, so the waiter
+        #: records a causal edge from this span to its own (see
+        #: :mod:`repro.sim.trace`).  Updated by ``release(units, span=...)``.
+        self.last_release_span: _t.Any = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -94,10 +100,17 @@ class Resource:
             self.probe(self)
         return ev
 
-    def release(self, units: int = 1) -> None:
-        """Return ``units`` units to the pool and wake waiters."""
+    def release(self, units: int = 1, span: _t.Any = None) -> None:
+        """Return ``units`` units to the pool and wake waiters.
+
+        ``span`` optionally names the trace span of the operation that
+        held the units; it is exposed as :attr:`last_release_span` so a
+        request that was blocked can attribute its wait causally.
+        """
         if units < 1:
             raise SimulationError(f"cannot release {units} units")
+        if span is not None:
+            self.last_release_span = span
         self._account()
         self._available += units
         if self._available > self.capacity:

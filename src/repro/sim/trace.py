@@ -11,11 +11,23 @@ spans:
 * the Gantt-style ASCII timelines in the examples.
 
 Categories follow Table I of the paper.
+
+Beyond the flat span list, a trace records *causal edges*: every span has
+a stable ``id`` (its index in recording order) and a ``deps`` tuple of
+earlier span ids that had to finish before it could run -- buffer
+handoffs (a staging copy feeding the HtoD that reads it), stream order
+(ops on one CUDA stream execute in submission order), engine order (two
+sorts serialising on a device's kernel engine), synchronisation waits and
+host-worker program order.  Because a span can only depend on spans that
+already completed, ``deps`` ids are always smaller than the span's own id
+and the span graph is acyclic by construction.  :mod:`repro.obs.causal`
+turns this DAG into critical-path attribution and what-if predictions.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 __all__ = ["Span", "Trace", "CAT"]
@@ -41,6 +53,20 @@ class CAT:
     OMITTED = (MCPY, PINNED_ALLOC, SYNC)
 
 
+def _normalize_meta(meta) -> tuple:
+    """Normalize span metadata to a sorted tuple of ``(key, value)`` pairs.
+
+    Accepts a mapping, an iterable of pairs, or an already-normalized
+    tuple; always returns a canonical (sorted-by-key) tuple so two spans
+    with equal metadata compare equal regardless of how the metadata was
+    passed.
+    """
+    if not meta:
+        return ()
+    items = meta.items() if isinstance(meta, Mapping) else meta
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
 @dataclass(frozen=True)
 class Span:
     """One timed operation on the simulated timeline."""
@@ -52,11 +78,18 @@ class Span:
     lane: str = ""          #: e.g. "gpu0", "stream1", "cpu"
     nbytes: float = 0.0
     elements: int = 0
-    meta: tuple = ()
+    meta: tuple = ()        #: sorted tuple of (key, value) pairs
+    id: int = -1            #: index in the trace's recording order
+    deps: tuple = ()        #: ids of spans this one causally waited for
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def meta_dict(self) -> dict:
+        """Metadata as a plain dict."""
+        return dict(self.meta)
 
 
 class Trace:
@@ -67,13 +100,68 @@ class Trace:
 
     def record(self, category: str, label: str, start: float, end: float,
                lane: str = "", nbytes: float = 0.0, elements: int = 0,
-               meta: tuple = ()) -> Span:
-        """Append a span (``end`` must be >= ``start``)."""
+               meta: _t.Mapping | tuple = (),
+               deps: _t.Iterable["Span | int | None"] = ()) -> Span:
+        """Append a span (``end`` must be >= ``start``).
+
+        ``meta`` may be a mapping or an iterable of pairs; it is stored as
+        a sorted tuple of pairs.  ``deps`` lists causal predecessors as
+        :class:`Span` objects or span ids (``None`` entries are ignored);
+        every dependency must already be recorded in this trace.
+        """
         if end < start:
             raise ValueError(f"span ends before it starts: {label!r}")
-        span = Span(category, label, start, end, lane, nbytes, elements, meta)
+        sid = len(self.spans)
+        dep_ids: list[int] = []
+        for d in deps:
+            if d is None:
+                continue
+            i = d.id if isinstance(d, Span) else int(d)
+            if not 0 <= i < sid:
+                raise ValueError(
+                    f"span {label!r} depends on unrecorded span id {i}")
+            if i not in dep_ids:
+                dep_ids.append(i)
+        span = Span(category, label, start, end, lane, nbytes, elements,
+                    _normalize_meta(meta), id=sid,
+                    deps=tuple(sorted(dep_ids)))
         self.spans.append(span)
         return span
+
+    def span_by_id(self, span_id: int) -> Span:
+        """The span with the given id (ids are list indices)."""
+        return self.spans[span_id]
+
+    def edges(self) -> _t.Iterator[tuple[int, int]]:
+        """All causal edges as ``(parent_id, child_id)`` pairs, in
+        deterministic (child, then parent) order."""
+        for s in self.spans:
+            for d in s.deps:
+                yield d, s.id
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (spans with ids, deps and meta)."""
+        return {"spans": [
+            {"id": s.id, "category": s.category, "label": s.label,
+             "start": s.start, "end": s.end, "lane": s.lane,
+             "nbytes": s.nbytes, "elements": s.elements,
+             "meta": [list(kv) for kv in s.meta], "deps": list(s.deps)}
+            for s in self.spans]}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Trace":
+        """Rebuild a trace written by :meth:`to_dict`."""
+        trace = cls()
+        for rec in doc["spans"]:
+            trace.record(rec["category"], rec["label"], rec["start"],
+                         rec["end"], lane=rec.get("lane", ""),
+                         nbytes=rec.get("nbytes", 0.0),
+                         elements=rec.get("elements", 0),
+                         meta=[tuple(kv) for kv in rec.get("meta", ())],
+                         deps=rec.get("deps", ()))
+        return trace
 
     # -- aggregation ---------------------------------------------------------
 

@@ -52,6 +52,17 @@ def check_metrics_invariants(res):
     assert m["critical_path_s"] <= makespan + 1e-9
 
 
+def check_causal_invariants(res):
+    """The span DAG must be valid, its critical path must tile the
+    makespan exactly, and the what-if identity must reproduce the
+    measured makespan (the PR's acceptance criteria)."""
+    graph = res.causal_graph()             # validates on construction
+    report = res.critical_path_report()
+    assert report["duration"] == res.trace.makespan()
+    assert report["lead_in"] == 0.0
+    assert graph.whatif_makespan({}) == res.trace.makespan()
+
+
 @pytest.mark.parametrize("dist", DISTRIBUTIONS)
 @pytest.mark.parametrize("approach", sorted(APPROACH_RUNNERS))
 def test_approach_matches_numpy(approach, dist):
@@ -59,6 +70,7 @@ def test_approach_matches_numpy(approach, dist):
     res = battery_sorter(approach).sort(data.copy(), approach=approach)
     np.testing.assert_array_equal(res.output, np.sort(data))
     check_metrics_invariants(res)
+    check_causal_invariants(res)
 
 
 @pytest.mark.parametrize("approach", sorted(APPROACH_RUNNERS))

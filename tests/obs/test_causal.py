@@ -1,0 +1,270 @@
+"""Tests for the causal span DAG: validation, critical path, slack and
+what-if rescheduling.
+
+The acceptance invariants are exercised against every approach of the
+battery: the extracted critical path tiles the makespan exactly, the
+what-if engine at k=1 reproduces the measured timeline bit-for-bit, and
+the DAG itself is structurally sound (acyclic by construction, every
+edge with non-negative lag).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hetsort import APPROACH_RUNNERS, HeterogeneousSorter
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.obs.causal import (WAIT, CausalGraphError, SpanGraph,
+                              critical_path_report, sensitivity_report,
+                              whatif_report)
+from repro.sim.trace import CAT, Trace
+
+APPROACHES = sorted(APPROACH_RUNNERS)
+
+_cache: dict = {}
+
+
+def run(approach, platform=PLATFORM1, n_gpus=1):
+    key = (approach, platform.name, n_gpus)
+    if key not in _cache:
+        kw = {} if approach == "bline" else {"batch_size": 250_000}
+        sorter = HeterogeneousSorter(platform, n_gpus=n_gpus,
+                                     pinned_elements=50_000, **kw)
+        _cache[key] = sorter.sort(n=1_000_000, approach=approach)
+    return _cache[key]
+
+
+# ---------------------------------------------------------------------------
+# DAG structure
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_graph_validates(approach):
+    g = run(approach).causal_graph()       # validate() runs on build
+    assert len(g) > 10
+    assert g.edge_count() >= len(g) - len(g.roots())
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_every_nonroot_reaches_a_root(approach):
+    g = run(approach).causal_graph()
+    # deps < id means id order is topological: walking parents always
+    # terminates at a root.
+    for s in g.spans:
+        cur = s
+        hops = 0
+        while cur.deps:
+            cur = g.spans[cur.deps[0]]
+            hops += 1
+            assert hops <= len(g)
+        assert not cur.deps
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_edges_have_nonnegative_lag(approach):
+    g = run(approach).causal_graph()
+    for parent_id, child_id in ((d, s.id) for s in g.spans
+                                for d in s.deps):
+        assert g.spans[child_id].start >= g.spans[parent_id].end - 1e-9
+
+
+def test_validate_rejects_bad_graphs():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0)
+    t.record(CAT.DTOH, "b", 2.0, 3.0, deps=(0,))
+    good = SpanGraph.from_trace(t)
+    assert good.edge_count() == 1
+
+    # Negative lag: child starts before its recorded dependency ends.
+    bad = Trace()
+    bad.record(CAT.HTOD, "a", 0.0, 2.0)
+    bad.record(CAT.DTOH, "b", 1.0, 3.0, deps=(0,))
+    with pytest.raises(CausalGraphError):
+        SpanGraph.from_trace(bad)
+
+
+def test_record_rejects_forward_and_unknown_deps():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        t.record(CAT.DTOH, "b", 1.0, 2.0, deps=(5,))
+    with pytest.raises(ValueError):
+        t.record(CAT.DTOH, "c", 1.0, 2.0, deps=(1,))  # self-reference
+
+
+# ---------------------------------------------------------------------------
+# Critical path == makespan (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_critical_path_duration_equals_makespan(approach):
+    res = run(approach)
+    report = res.critical_path_report()
+    assert report["duration"] == res.trace.makespan()
+    assert report["lead_in"] == 0.0
+
+
+def test_critical_path_multi_gpu():
+    res = run("pipemerge", platform=PLATFORM2, n_gpus=2)
+    report = res.critical_path_report()
+    assert report["duration"] == res.trace.makespan()
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_attribution_sums_to_duration(approach):
+    report = run(approach).critical_path_report()
+    for key in ("by_category", "by_lane"):
+        total = sum(report[key].values())
+        assert total == pytest.approx(report["duration"], abs=1e-12)
+    assert report["by_category"].get(WAIT, 0.0) == \
+        pytest.approx(report["wait"], abs=1e-15)
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_path_is_a_dependency_chain(approach):
+    g = run(approach).causal_graph()
+    path = g.critical_path()
+    for earlier, later in zip(path, path[1:]):
+        assert earlier.id in later.deps
+        assert later.start >= earlier.end  # never overlapping
+
+
+# ---------------------------------------------------------------------------
+# Slack
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_slack_nonnegative_and_bounded_on_path(approach):
+    g = run(approach).causal_graph()
+    slack = g.slack()
+    assert all(s >= -1e-12 for s in slack)
+    report = critical_path_report(g)
+    for s in g.critical_path():
+        assert slack[s.id] <= report["wait"] + 1e-9
+
+
+def test_gapless_chain_has_zero_slack():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0, deps=())
+    t.record(CAT.GPUSORT, "b", 1.0, 3.0, deps=(0,))
+    t.record(CAT.DTOH, "c", 3.0, 4.0, deps=(1,))
+    t.record(CAT.MCPY, "side", 0.0, 1.5)   # 2.5s of headroom before c?
+    g = SpanGraph.from_trace(t)
+    slack = g.slack()
+    assert slack[0] == slack[1] == slack[2] == 0.0
+    assert slack[3] == pytest.approx(2.5)  # only bound by t1
+
+
+# ---------------------------------------------------------------------------
+# What-if
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_whatif_identity_is_exact_fixed_point(approach):
+    g = run(approach).causal_graph()
+    for scale in ({}, {CAT.GPUSORT: 1.0},
+                  {c: 1.0 for c in {s.category for s in g.spans}}):
+        new_start, new_end = g.whatif(scale)
+        assert new_start == [s.start for s in g.spans]
+        assert new_end == [s.end for s in g.spans]
+    assert g.whatif_makespan({}) == g.makespan
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+@pytest.mark.parametrize("category", [CAT.GPUSORT, CAT.MCPY,
+                                      CAT.PINNED_ALLOC])
+def test_whatif_monotone_in_k(approach, category):
+    g = run(approach).causal_graph()
+    makespans = [g.whatif_makespan({category: k})
+                 for k in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)]
+    assert makespans == sorted(makespans)
+    assert makespans[3] == g.makespan      # k=1 in the middle
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_whatif_preserves_dependency_feasibility(approach):
+    g = run(approach).causal_graph()
+    new_start, new_end = g.whatif({CAT.GPUSORT: 0.5, CAT.MCPY: 3.0})
+    for s in g.spans:
+        for d in s.deps:
+            assert new_start[s.id] >= new_end[d] - 1e-9
+
+
+def test_whatif_rejects_negative_factor():
+    g = run("bline").causal_graph()
+    with pytest.raises(ValueError):
+        g.whatif({CAT.GPUSORT: -1.0})
+
+
+def test_whatif_report_fields():
+    g = run("pipemerge").causal_graph()
+    rep = whatif_report(g, {CAT.GPUSORT: 0.5})
+    assert rep["predicted_makespan"] < rep["measured_makespan"]
+    assert rep["delta"] == rep["predicted_makespan"] - \
+        rep["measured_makespan"]
+    assert rep["speedup"] > 1.0
+
+
+def test_sensitivity_report_covers_all_categories():
+    g = run("pipemerge").causal_graph()
+    rep = sensitivity_report(g, factors=(0.5, 2.0))
+    cats = {s.category for s in g.spans}
+    assert {r["category"] for r in rep["rows"]} == cats
+    assert len(rep["rows"]) == 2 * len(cats)
+
+
+# ---------------------------------------------------------------------------
+# Property tests on synthetic DAGs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def feasible_traces(draw):
+    """Random traces that satisfy the DAG invariants by construction."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    t = Trace()
+    cats = [CAT.HTOD, CAT.GPUSORT, CAT.MCPY, CAT.MERGE]
+    for i in range(n):
+        n_deps = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        deps = sorted(draw(st.sets(
+            st.integers(min_value=0, max_value=i - 1),
+            min_size=n_deps, max_size=n_deps))) if i else []
+        earliest = max((t.spans[d].end for d in deps), default=0.0)
+        gap = draw(st.floats(min_value=0.0, max_value=2.0))
+        dur = draw(st.floats(min_value=0.0, max_value=5.0))
+        start = earliest + gap
+        t.record(cats[i % len(cats)], f"s{i}", start, start + dur,
+                 lane=f"lane{i % 3}", deps=deps)
+    return t
+
+
+@settings(max_examples=60, deadline=None)
+@given(feasible_traces())
+def test_property_dag_invariants(trace):
+    g = SpanGraph.from_trace(trace)          # validates: acyclic, lag >= 0
+    report = critical_path_report(g)
+    # The path always ends at t1, so its duration never exceeds (and,
+    # net of the lead-in, always equals) the makespan.
+    assert report["duration"] + report["lead_in"] == \
+        pytest.approx(g.makespan, abs=1e-9)
+    assert all(s >= -1e-9 for s in g.slack())
+    # Identity what-if is exact.
+    ns, ne = g.whatif({})
+    assert ns == [s.start for s in g.spans]
+    assert ne == [s.end for s in g.spans]
+
+
+@settings(max_examples=40, deadline=None)
+@given(feasible_traces(),
+       st.floats(min_value=0.0, max_value=4.0))
+def test_property_whatif_monotone(trace, k):
+    g = SpanGraph.from_trace(trace)
+    scaled = g.whatif_makespan({CAT.GPUSORT: k})
+    if k <= 1.0:
+        assert scaled <= g.makespan + 1e-9
+    else:
+        assert scaled >= g.makespan - 1e-9

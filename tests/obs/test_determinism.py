@@ -35,6 +35,27 @@ def test_repeated_runs_identical(approach):
                     sort_keys=True)
     assert ja == jb  # byte-identical, counter tracks included
 
-    # And the counter tracks are really in there.
+    # And the counter tracks and causal flow events are really in there.
     events = json.loads(ja)
     assert any(e["ph"] == "C" for e in events)
+    assert any(e["ph"] == "s" for e in events)
+    assert any(e["ph"] == "f" for e in events)
+
+
+@pytest.mark.parametrize("approach", sorted(APPROACH_RUNNERS))
+def test_causal_reports_byte_identical(approach):
+    """Critical-path reports and self-diffs are byte-stable across
+    same-seed runs -- the property the regression gate rests on."""
+    from repro.obs import diff_reports, run_report
+
+    a = run_once(approach)
+    b = run_once(approach)
+
+    ca = json.dumps(a.critical_path_report(), sort_keys=True)
+    cb = json.dumps(b.critical_path_report(), sort_keys=True)
+    assert ca == cb
+
+    ra, rb = run_report(a), run_report(b)
+    assert json.dumps(ra, sort_keys=True) == json.dumps(rb, sort_keys=True)
+    d = diff_reports(ra, rb)
+    assert d["zero"] and not d["regression"]

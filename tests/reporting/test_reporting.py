@@ -121,6 +121,34 @@ def test_gantt_width_respected():
     assert lane_line.count("S") == 30
 
 
+def test_gantt_critical_overlay():
+    from repro.obs.causal import SpanGraph
+    t = Trace()
+    t.record(CAT.HTOD, "h", 0.0, 1.0, lane="gpu0")
+    t.record(CAT.GPUSORT, "s", 2.0, 4.0, lane="gpu0", deps=(0,))
+    t.record(CAT.MCPY, "m", 0.0, 1.0, lane="host")
+    g = SpanGraph.from_trace(t)
+    out = render_gantt(t, width=40, critical=g.critical_path(),
+                       slack=g.slack())
+    lines = out.splitlines()
+    crit = [l for l in lines if l.startswith("*critical*")][0]
+    assert "H" in crit and "S" in crit
+    assert "~" in crit                      # the 1s wait gap on the path
+    gpu = [l for l in lines if l.startswith("gpu0")][0]
+    host = [l for l in lines if l.startswith("host")][0]
+    assert "crit=100%" in gpu and "slack=0ms" in gpu
+    # m could end 3 s later (at t1) without growing the makespan.
+    assert "crit=  0%" in host and "slack=3e+03ms" in host
+    assert "~=wait(critical)" in lines[-1]
+
+
+def test_gantt_without_critical_has_no_overlay():
+    t = Trace()
+    t.record(CAT.HTOD, "h", 0.0, 1.0, lane="gpu0")
+    out = render_gantt(t, width=20)
+    assert "*critical*" not in out and "crit=" not in out
+
+
 # ---------------------------------------------------------------------------
 # chrome trace export
 # ---------------------------------------------------------------------------
@@ -146,6 +174,35 @@ def test_chrome_trace_events():
     # lanes map to distinct tids
     assert len({e["tid"] for e in xs}) == 2
     assert json.dumps(events)              # serialisable
+
+
+def test_chrome_trace_flow_events():
+    from repro.reporting.chrometrace import to_chrome_trace
+    t = Trace()
+    t.record(CAT.MCPY, "stage", 0.0, 1.0, lane="host")
+    t.record(CAT.HTOD, "htod", 1.0, 2.0, lane="stream0", deps=(0,))
+    t.record(CAT.GPUSORT, "sort", 2.0, 3.0, lane="gpu0", deps=(1,))
+    events = to_chrome_trace(t)
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == len(finishes) == 2
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    assert all(e["cat"] == "causal" for e in starts + finishes)
+    assert all(e["bp"] == "e" for e in finishes)
+    # Arrow 0: host lane @ stage.end -> stream0 lane @ htod.start.
+    s0 = next(e for e in starts if e["id"] == 0)
+    f0 = next(e for e in finishes if e["id"] == 0)
+    lanes = {e["args"]["name"]: e["tid"] for e in events
+             if e["ph"] == "M"}
+    assert s0["tid"] == lanes["host"] and s0["ts"] == 1e6
+    assert f0["tid"] == lanes["stream0"] and f0["ts"] == 1e6
+
+
+def test_chrome_trace_no_deps_no_flows():
+    from repro.reporting.chrometrace import to_chrome_trace
+    t = Trace()
+    t.record(CAT.HTOD, "h", 0.0, 1.0, lane="gpu0")
+    assert not [e for e in to_chrome_trace(t) if e["ph"] in ("s", "f")]
 
 
 def test_chrome_trace_roundtrip_to_file(tmp_path):

@@ -86,3 +86,62 @@ def test_span_duration_and_validation():
 def test_related_work_categories():
     assert set(CAT.RELATED_WORK) == {CAT.HTOD, CAT.DTOH, CAT.GPUSORT}
     assert set(CAT.OMITTED) == {CAT.MCPY, CAT.PINNED_ALLOC, CAT.SYNC}
+
+
+# ---------------------------------------------------------------------------
+# Span ids, meta normalization, causal deps
+# ---------------------------------------------------------------------------
+
+
+def test_span_ids_are_recording_order():
+    t = make_trace()
+    assert [s.id for s in t.spans] == list(range(len(t.spans)))
+    assert t.span_by_id(2) is t.spans[2]
+
+
+def test_meta_mapping_normalized_to_sorted_pairs():
+    t = Trace()
+    a = t.record(CAT.MCPY, "a", 0.0, 1.0, meta={"threads": 4, "k": 2})
+    b = t.record(CAT.MCPY, "b", 0.0, 1.0, meta=(("threads", 4), ("k", 2)))
+    assert a.meta == (("k", 2), ("threads", 4))
+    assert a.meta == b.meta
+    assert a.meta_dict == {"threads": 4, "k": 2}
+    assert t.record(CAT.MCPY, "c", 0.0, 1.0).meta == ()
+
+
+def test_deps_accept_spans_ids_and_none():
+    t = Trace()
+    a = t.record(CAT.HTOD, "a", 0.0, 1.0)
+    b = t.record(CAT.GPUSORT, "b", 1.0, 2.0, deps=(a, None, 0, a.id))
+    assert b.deps == (0,)                  # deduplicated, None dropped
+    c = t.record(CAT.DTOH, "c", 2.0, 3.0, deps=(b, a))
+    assert c.deps == (0, 1)                # sorted
+
+
+def test_deps_must_reference_recorded_spans():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        t.record(CAT.DTOH, "b", 1.0, 2.0, deps=(7,))
+    with pytest.raises(ValueError):        # forward/self reference
+        t.record(CAT.DTOH, "b", 1.0, 2.0, deps=(1,))
+
+
+def test_edges_enumeration():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0)
+    t.record(CAT.HTOD, "b", 0.0, 1.0)
+    t.record(CAT.GPUSORT, "c", 1.0, 2.0, deps=(0, 1))
+    assert list(t.edges()) == [(0, 2), (1, 2)]
+
+
+def test_to_dict_from_dict_round_trip():
+    t = Trace()
+    t.record(CAT.HTOD, "a", 0.0, 1.0, lane="gpu0", nbytes=8.0,
+             meta={"chunk": 1})
+    t.record(CAT.GPUSORT, "b", 1.0, 2.0, lane="gpu0", elements=10,
+             deps=(0,))
+    doc = t.to_dict()
+    back = Trace.from_dict(doc)
+    assert back.spans == t.spans
+    assert back.to_dict() == doc

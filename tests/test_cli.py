@@ -88,3 +88,73 @@ def test_trace_json_export(tmp_path):
     assert "trace events" in text
     doc = json.loads(path.read_text())
     assert len(doc["traceEvents"]) > 10
+    assert any(e["ph"] == "s" for e in doc["traceEvents"])
+
+
+def test_critical_path_subcommand():
+    code, text = run_cli("critical-path", "--n", "1e6", "--batch-size",
+                         "2.5e5", "--pinned", "5e4", "--gantt")
+    assert code == 0
+    assert "critical path" in text
+    assert "= makespan" in text
+    assert "GPUSort" in text
+    assert "*critical*" in text            # the Gantt overlay
+    assert "crit=" in text and "slack=" in text
+
+
+def test_critical_path_json(tmp_path):
+    import json
+    code, text = run_cli("critical-path", "--n", "1e6", "--batch-size",
+                         "2.5e5", "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["schema"] == "repro.critical_path/v1"
+    assert doc["duration"] == doc["makespan"]
+
+
+def test_whatif_scale():
+    code, text = run_cli("whatif", "--n", "1e6", "--batch-size", "2.5e5",
+                         "--pinned", "5e4", "--scale", "GPUSort=0.5")
+    assert code == 0
+    assert "what-if prediction" in text
+    assert "GPUSortx0.5" in text
+
+
+def test_whatif_sensitivity_default():
+    code, text = run_cli("whatif", "--n", "1e6", "--batch-size", "2.5e5",
+                         "--pinned", "5e4")
+    assert code == 0
+    assert "sensitivity" in text
+    assert "PinnedAlloc" in text and "GPUSort" in text
+
+
+def test_whatif_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["whatif", "--n", "1e6", "--scale", "GPUSort"])
+    with pytest.raises(SystemExit):
+        main(["whatif", "--n", "1e6", "--scale", "GPUSort=fast"])
+
+
+def test_report_and_diff_workflow(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    args = ("--n", "1e6", "--batch-size", "2.5e5", "--pinned", "5e4")
+    assert run_cli(*args, "--report", str(a))[0] == 0
+    assert run_cli(*args, "--report", str(b))[0] == 0
+    code, text = run_cli("diff", str(a), str(b), "--fail-on-regression")
+    assert code == 0
+    assert "identical" in text
+
+
+def test_diff_detects_regression(tmp_path):
+    import json
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    args = ("--n", "1e6", "--batch-size", "2.5e5", "--pinned", "5e4")
+    run_cli(*args, "--report", str(a))
+    doc = json.loads(a.read_text())
+    doc["makespan_s"] *= 1.5               # simulate a slower candidate
+    b.write_text(json.dumps(doc))
+    code, text = run_cli("diff", str(a), str(b), "--fail-on-regression")
+    assert code == 1
+    assert "REGRESSION" in text
+    # Without the flag the diff still prints but exits 0.
+    assert run_cli("diff", str(a), str(b))[0] == 0
