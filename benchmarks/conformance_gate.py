@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Model-conformance gate: replay the pinned ``ci`` sweep grid and fail
+on anomalies or fitted-slope drift against the committed mini-ledger.
+
+The simulation is deterministic, so a same-seed sweep writes a
+byte-stable ledger; ``benchmarks/results/conformance_baseline.jsonl``
+freezes the ``ci`` grid.  This script re-runs the grid and fails when
+
+* any run is flagged anomalous by :func:`repro.obs.group_conformance`
+  (deviation from its group's fitted line beyond tolerance / z-score);
+* any group's fitted slope drifted from the frozen ledger's by more
+  than ``--slope-tolerance`` (default 2%) -- the model-vs-measured
+  relationship changed, even if no single run looks anomalous.
+
+Usage::
+
+    python benchmarks/conformance_gate.py                 # check
+    python benchmarks/conformance_gate.py --update        # re-freeze
+
+Exit status: 0 = conformant, 1 = anomaly or slope drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+
+from repro.errors import LedgerError  # noqa: E402
+from repro.obs import (conformance_summary, load_ledger,  # noqa: E402
+                       run_sweep, write_ledger)
+from repro.obs.sweep import GRIDS, sweep_points  # noqa: E402
+
+BASELINE = os.path.join(_HERE, "results", "conformance_baseline.jsonl")
+GRID = "ci"
+DEFAULT_SLOPE_TOLERANCE = 0.02
+
+
+def run_grid() -> list[dict]:
+    """Re-run the pinned grid; returns its ledger records."""
+    return run_sweep(sweep_points(GRID), model_n=GRIDS[GRID][1])
+
+
+def check(baseline_records: list[dict], current: list[dict],
+          slope_tolerance: float) -> list[str]:
+    """Compare a fresh sweep against the frozen ledger; returns failure
+    messages (empty = conformant)."""
+    failures: list[str] = []
+    base = conformance_summary(baseline_records)
+    cur = conformance_summary(current)
+    for a in cur["anomalies"]:
+        failures.append(
+            f"{a['run_id']} ({a['group']}): anomalous -- measured "
+            f"{a['measured_s']:.6f}s vs fit {a['expected_s']:.6f}s "
+            f"({'/'.join(a['flags'])})")
+    for key, g in cur["groups"].items():
+        frozen = base["groups"].get(key)
+        if frozen is None:
+            failures.append(f"{key}: group missing from baseline "
+                            "(run with --update)")
+            continue
+        b_slope, c_slope = frozen["fitted_slope"], g["fitted_slope"]
+        drift = abs(c_slope - b_slope) / b_slope if b_slope else 0.0
+        status = "ok" if drift <= slope_tolerance else "FAIL"
+        print(f"{key}: {status}  baseline slope {b_slope * 1e9:.4f} "
+              f"ns/el  current {c_slope * 1e9:.4f} ns/el  "
+              f"(drift {drift * 100:+.3f}%)")
+        if drift > slope_tolerance:
+            failures.append(
+                f"{key}: fitted slope drifted {drift * 100:.2f}% "
+                f"(baseline {b_slope:.6e}, current {c_slope:.6e}, "
+                f"tolerance {slope_tolerance * 100:.1f}%)")
+    missing = set(base["groups"]) - set(cur["groups"])
+    for key in sorted(missing):
+        failures.append(f"{key}: group vanished from the {GRID} grid")
+    return failures
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", default=BASELINE,
+                   help="frozen mini-ledger JSONL path")
+    p.add_argument("--slope-tolerance", type=float,
+                   default=DEFAULT_SLOPE_TOLERANCE,
+                   help="relative fitted-slope drift to tolerate "
+                        "(default 0.02 = 2%%)")
+    p.add_argument("--update", action="store_true",
+                   help="re-run the grid and rewrite the baseline ledger")
+    args = p.parse_args(argv)
+
+    records = run_grid()
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        write_ledger(records, args.baseline)
+        print(f"baseline updated: {args.baseline} "
+              f"({len(records)} ledger lines)")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+    try:
+        baseline_records = load_ledger(args.baseline)
+    except LedgerError as exc:
+        print(f"baseline ledger unreadable: {exc}", file=sys.stderr)
+        return 1
+    failures = check(baseline_records, records,
+                     slope_tolerance=args.slope_tolerance)
+    for msg in failures:
+        print(f"NONCONFORMANT: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

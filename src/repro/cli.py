@@ -30,6 +30,11 @@ Regression workflow -- freeze a run, compare a later one against it::
     ... change something ...
     python -m repro --n 2e9 --batch-size 2e8 --report after.json
     python -m repro diff before.json after.json --fail-on-regression
+
+Conformance workflow -- sweep a grid, confront the lower-bound model::
+
+    python -m repro sweep --grid small --ledger ledger.jsonl
+    python -m repro conformance --ledger ledger.jsonl --html dash.html
 """
 
 from __future__ import annotations
@@ -46,7 +51,8 @@ from repro.workloads import generate
 
 __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_critical_path_parser", "build_whatif_parser",
-           "build_diff_parser"]
+           "build_diff_parser", "build_sweep_parser",
+           "build_conformance_parser"]
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -89,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every approach plus the CPU reference")
     p.add_argument("--gantt", action="store_true",
                    help="print an ASCII timeline of the run")
+    p.add_argument("--json", action="store_true",
+                   help="print the run (or --compare table) as canonical "
+                        "JSON instead of text")
     return p
 
 
@@ -102,6 +111,9 @@ def build_metrics_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="wall-clock the real numpy kernels "
                         "(functional runs; never changes the timeline)")
+    p.add_argument("--json", action="store_true",
+                   help="print the metrics document as canonical JSON "
+                        "instead of tables")
     return p
 
 
@@ -162,6 +174,54 @@ def build_diff_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    from repro.obs.sweep import GRIDS
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort sweep",
+        description="Run a named (approach x n x streams x platform) "
+                    "grid and persist every run as one canonical JSONL "
+                    "line -- the sweep ledger (byte-stable: a same-seed "
+                    "sweep writes identical bytes).")
+    p.add_argument("--grid", default="small", choices=sorted(GRIDS),
+                   help="named grid to run (default: small)")
+    p.add_argument("--ledger", metavar="PATH",
+                   default="sweep-ledger.jsonl",
+                   help="JSONL ledger to write (default: "
+                        "sweep-ledger.jsonl)")
+    p.add_argument("--model-n", type=float, default=None,
+                   help="override the lower-bound model's calibration "
+                        "size (default: the grid's own)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the per-run progress lines")
+    return p
+
+
+def build_conformance_parser() -> argparse.ArgumentParser:
+    from repro.obs.conformance import REL_TOLERANCE, Z_THRESHOLD
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort conformance",
+        description="Confront a sweep ledger with the Sec. IV-G "
+                    "lower-bound model: per-group fitted slopes with R2 "
+                    "vs. the paper's, per-run residual attribution, and "
+                    "anomaly flags.  Optionally renders the "
+                    "self-contained HTML dashboard.")
+    p.add_argument("--ledger", metavar="PATH", required=True,
+                   help="JSONL sweep ledger written by `repro sweep`")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="also write the self-contained HTML dashboard")
+    p.add_argument("--json", action="store_true",
+                   help="print the conformance summary as canonical JSON")
+    p.add_argument("--z-threshold", type=float, default=Z_THRESHOLD,
+                   help=f"anomaly z-score threshold (default "
+                        f"{Z_THRESHOLD:g})")
+    p.add_argument("--tolerance", type=float, default=REL_TOLERANCE,
+                   help="anomaly relative-deviation threshold (default "
+                        f"{REL_TOLERANCE:g})")
+    p.add_argument("--fail-on-anomaly", action="store_true",
+                   help="exit 1 when any run is flagged anomalous")
+    return p
+
+
 def _make_sorter(args) -> HeterogeneousSorter:
     platform = get_platform(args.platform)
     return HeterogeneousSorter(
@@ -179,9 +239,15 @@ def _run_one(args, out) -> int:
         data = generate(args.functional, args.distribution,
                         seed=args.seed)
         res = sorter.sort(data, approach=args.approach)
-        out.write("output validated: sorted permutation of the input\n")
     else:
         res = sorter.sort(n=int(args.n), approach=args.approach)
+    if args.json:
+        from repro.obs import canonical_json
+        out.write(canonical_json(res.to_dict()) + "\n")
+        _maybe_write_trace(args, res, out)
+        return 0
+    if args.functional is not None:
+        out.write("output validated: sorted permutation of the input\n")
     out.write(res.summary() + "\n")
     if args.gantt:
         out.write(render_gantt(res.trace) + "\n")
@@ -215,6 +281,7 @@ def _run_critical_path(argv, out) -> int:
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):
         parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
     from repro.obs import critical_path_report
     res = _run_sort(args)
     graph = res.causal_graph()
@@ -274,6 +341,7 @@ def _run_whatif(argv, out) -> int:
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):
         parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
     from repro.obs import sensitivity_report, whatif_report
     scale = _parse_scales(args.scale, parser.error)
     res = _run_sort(args)
@@ -315,8 +383,15 @@ def _run_diff(argv, out) -> int:
     parser = build_diff_parser()
     args = parser.parse_args(argv)
     from repro.obs import diff_reports, load_report, render_diff
-    a = load_report(args.report_a)
-    b = load_report(args.report_b)
+    try:
+        a = load_report(args.report_a)
+        b = load_report(args.report_b)
+    except OSError as exc:
+        out.write(f"repro diff: cannot read report: {exc}\n")
+        return 2
+    except json.JSONDecodeError as exc:
+        out.write(f"repro diff: report is not valid JSON: {exc}\n")
+        return 2
     diff = diff_reports(a, b, tolerance=args.tolerance)
     if args.json:
         out.write(json.dumps(diff, indent=2, sort_keys=True) + "\n")
@@ -328,11 +403,82 @@ def _run_diff(argv, out) -> int:
     return 0
 
 
+def _run_sweep_cmd(argv, out) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    from repro.obs.sweep import (GRIDS, run_sweep, sweep_points,
+                                 write_ledger)
+    points = sweep_points(args.grid)
+    model_n = (int(args.model_n) if args.model_n is not None
+               else GRIDS[args.grid][1])
+    progress = None if args.quiet else \
+        (lambda line: out.write(line + "\n"))
+    records = run_sweep(points, model_n=model_n, progress=progress)
+    write_ledger(records, args.ledger)
+    out.write(f"wrote {len(records)} ledger lines to {args.ledger}\n")
+    return 0
+
+
+def _run_conformance_cmd(argv, out) -> int:
+    args = build_conformance_parser().parse_args(argv)
+    from repro.errors import LedgerError
+    from repro.obs import canonical_json, conformance_summary, load_ledger
+    try:
+        records = load_ledger(args.ledger)
+    except (OSError, LedgerError) as exc:
+        out.write(f"repro conformance: cannot load ledger: {exc}\n")
+        return 2
+    summary = conformance_summary(records, z_threshold=args.z_threshold,
+                                  rel_tolerance=args.tolerance)
+    if args.json:
+        out.write(canonical_json(summary) + "\n")
+    else:
+        rows = []
+        for key, g in summary["groups"].items():
+            paper = (f"{g['paper_slope'] * 1e9:.3f}"
+                     if g["paper_slope"] else "-")
+            rows.append([key, g["n_runs"],
+                         f"{g['fitted_slope'] * 1e9:.3f}",
+                         f"{g['fitted_intercept'] * 1e3:.2f}",
+                         f"{g['r2']:.5f}",
+                         f"{g['model_slope'] * 1e9:.3f}", paper,
+                         len(g["anomalies"])])
+        out.write(render_table(
+            ["group", "runs", "fit [ns/el]", "icpt [ms]", "R^2",
+             "model [ns/el]", "paper [ns/el]", "anomalies"], rows,
+            title=f"conformance: {summary['n_runs']} runs, "
+                  f"{summary['n_groups']} groups, mean model/measured "
+                  f"{summary['mean_slowdown']:.3f}") + "\n")
+        for a in summary["anomalies"]:
+            out.write(f"  ANOMALY {a['run_id']} ({a['group']}): measured "
+                      f"{a['measured_s']:.4f} s vs fit "
+                      f"{a['expected_s']:.4f} s "
+                      f"({a['deviation_s']:+.4f} s, z={a['z']:+.2f}, "
+                      f"{'/'.join(a['flags'])})\n")
+    if args.html:
+        from repro.reporting import write_dashboard
+        write_dashboard(records, summary, args.html)
+        out.write(f"wrote dashboard to {args.html}\n")
+    if args.fail_on_anomaly and summary["n_anomalies"] > 0:
+        out.write(f"FAIL: {summary['n_anomalies']} anomalous run(s)\n")
+        return 1
+    return 0
+
+
+def _reject_json_report(parser, args) -> None:
+    """One-line, non-zero rejection of --json together with --report
+    (one run, one machine-readable output -- they would race on who
+    owns the canonical document)."""
+    if getattr(args, "json", False) and getattr(args, "report", None):
+        parser.error("--json and --report are mutually exclusive; "
+                     "--json prints the document, --report writes it")
+
+
 def _run_metrics(argv, out) -> int:
-    args = build_metrics_parser().parse_args(argv)
+    parser = build_metrics_parser()
+    args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):
-        build_metrics_parser().error("pass exactly one of --n or "
-                                     "--functional")
+        parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
     sorter = _make_sorter(args)
     profiling = args.profile and args.functional is not None
     if profiling:
@@ -350,6 +496,10 @@ def _run_metrics(argv, out) -> int:
         if profiling:
             from repro.obs import disable_profiling
             disable_profiling()
+    if args.json:
+        from repro.obs import canonical_json
+        out.write(canonical_json(res.metrics) + "\n")
+        return 0
     out.write(res.summary() + "\n\n")
     out.write(render_metrics_table(res.metrics) + "\n")
     if profiling:
@@ -370,7 +520,8 @@ def _run_compare(args, out) -> int:
     platform = get_platform(args.platform)
     n = int(args.n)
     ref = cpu_reference_sort(platform, n=n)
-    rows = [["cpu reference", f"{ref.elapsed:.3f}", "1.00"]]
+    runs = [{"approach": "cpu reference", "elapsed_s": ref.elapsed,
+             "speedup": 1.0}]
     for approach in ("blinemulti", "pipedata", "pipemerge"):
         for threads in ((1, args.memcpy_threads)
                         if args.memcpy_threads > 1 else (1,)):
@@ -380,8 +531,16 @@ def _run_compare(args, out) -> int:
                 platform, n_gpus=args.gpus, config=sorter).sort(
                 n=n, approach=approach)
             tag = approach + ("+parmemcpy" if threads > 1 else "")
-            rows.append([tag, f"{res.elapsed:.3f}",
-                         f"{ref.elapsed / res.elapsed:.2f}"])
+            runs.append({"approach": tag, "elapsed_s": res.elapsed,
+                         "speedup": ref.elapsed / res.elapsed})
+    if args.json:
+        from repro.obs import canonical_json
+        doc = {"schema": "repro.compare/v1", "platform": platform.name,
+               "n": n, "n_gpus": args.gpus, "runs": runs}
+        out.write(canonical_json(doc) + "\n")
+        return 0
+    rows = [[r["approach"], f"{r['elapsed_s']:.3f}",
+             f"{r['speedup']:.2f}"] for r in runs]
     out.write(render_table(["approach", "time [s]", "speedup"], rows,
                            title=f"{platform.name}, n={n:.2e}") + "\n")
     return 0
@@ -399,12 +558,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_whatif(argv[1:], out)
     if argv and argv[0] == "diff":
         return _run_diff(argv[1:], out)
-    args = build_parser().parse_args(argv)
+    if argv and argv[0] == "sweep":
+        return _run_sweep_cmd(argv[1:], out)
+    if argv and argv[0] == "conformance":
+        return _run_conformance_cmd(argv[1:], out)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):
-        build_parser().error("pass exactly one of --n or --functional")
+        parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
     if args.compare:
         if args.n is None:
-            build_parser().error("--compare needs --n")
+            parser.error("--compare needs --n")
         return _run_compare(args, out)
     return _run_one(args, out)
 

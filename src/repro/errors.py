@@ -45,3 +45,12 @@ class ValidationError(ReproError):
 
 class CalibrationError(ReproError):
     """A cost-model constant is out of its documented validity range."""
+
+
+class AccountingError(ReproError):
+    """A model accounting was applied to a run it cannot describe (e.g.
+    the serial Sec. IV-E component accounting on an overlapped run)."""
+
+
+class LedgerError(ReproError):
+    """A sweep ledger file is malformed or has an unknown schema."""

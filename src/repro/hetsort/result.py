@@ -99,6 +99,14 @@ class SortResult:
         return critical_path_report(self.causal_graph())
 
     @property
+    def conformance(self) -> dict | None:
+        """The run's model-conformance record (predicted vs. measured
+        makespan, critical-path residual attribution), if
+        :func:`repro.obs.conformance.attach_conformance` has run --
+        sweeps attach one to every run.  None otherwise."""
+        return self.metrics.get("conformance")
+
+    @property
     def throughput(self) -> float:
         """Sorted elements per second, end to end."""
         if self.plan is not None:

@@ -2,11 +2,13 @@
 missing-overhead accounting."""
 
 from repro.model.endtoend import (PAPER_FIG7_SECONDS, EndToEndAccounting,
+                                  accounting_from_result,
                                   end_to_end_accounting)
 from repro.model.lowerbound import (LowerBoundModel,
                                     measure_bline_throughput, paper_slopes)
 
 __all__ = [
     "LowerBoundModel", "measure_bline_throughput", "paper_slopes",
-    "EndToEndAccounting", "end_to_end_accounting", "PAPER_FIG7_SECONDS",
+    "EndToEndAccounting", "end_to_end_accounting",
+    "accounting_from_result", "PAPER_FIG7_SECONDS",
 ]

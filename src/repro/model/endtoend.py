@@ -8,19 +8,30 @@ copies (``MCpy``), pinned allocation, and per-copy synchronisation.
 :func:`end_to_end_accounting` runs a BLINE sort and splits its timeline
 both ways, reproducing Fig. 7 (component bars) and Fig. 8 (related-work
 total vs. full total as n grows).
+
+The decomposition only makes sense for *serial* (blocking) runs: it sums
+component durations, so on a pipelined run where transfers overlap the
+GPU sort the "related-work total" can exceed the true elapsed time and
+the missing overhead would come out negative.  That is not a measurement
+-- it is a category error, and :attr:`EndToEndAccounting.missing_overhead`
+raises :class:`~repro.errors.AccountingError` (naming the approach)
+instead of silently producing nonsense.  Use
+:func:`accounting_from_result` to build the accounting from an existing
+run; it carries the approach name into the guard.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import AccountingError
 from repro.hetsort.result import SortResult
 from repro.hetsort.sorter import HeterogeneousSorter
 from repro.hw.spec import PlatformSpec
 from repro.sim import CAT
 
 __all__ = ["EndToEndAccounting", "end_to_end_accounting",
-           "PAPER_FIG7_SECONDS"]
+           "accounting_from_result", "PAPER_FIG7_SECONDS"]
 
 #: The related work's Fig. 8 "CUB" bar values the paper compares against
 #: (6 GB of key/value pairs on a Titan X; times estimated from their plot):
@@ -28,6 +39,10 @@ PAPER_FIG7_SECONDS = {
     "HtoD_ours": 0.536, "DtoH_ours": 0.484,
     "HtoD_related": 0.542, "DtoH_related": 0.477,
 }
+
+#: Slack for the non-negativity guard: a serial run's components never
+#: exceed its elapsed time by more than event-queue rounding.
+_NEGATIVE_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,8 @@ class EndToEndAccounting:
     pinned_alloc: float
     sync: float
     full_elapsed: float
+    #: Which approach produced the timeline (guards the decomposition).
+    approach: str = "bline"
 
     @property
     def related_work_total(self) -> float:
@@ -50,8 +67,21 @@ class EndToEndAccounting:
 
     @property
     def missing_overhead(self) -> float:
-        """What [5]'s accounting leaves out (Fig. 8's shaded gap)."""
-        return self.full_elapsed - self.related_work_total
+        """What [5]'s accounting leaves out (Fig. 8's shaded gap).
+
+        Raises :class:`AccountingError` when the gap would be negative:
+        the run overlapped its transfers with the GPU sort, so summing
+        serial component durations over-counts and the Sec. IV-E
+        decomposition does not apply to it.
+        """
+        gap = self.full_elapsed - self.related_work_total
+        if gap < -_NEGATIVE_EPS:
+            raise AccountingError(
+                f"missing_overhead would be negative ({gap:.6f} s) for "
+                f"approach {self.approach!r}: its components overlap, so "
+                "the serial Sec. IV-E accounting does not apply -- derive "
+                "it from a blocking (bline/blinemulti) run instead")
+        return max(0.0, gap)
 
     def rows(self) -> list[tuple[str, float]]:
         """(component, seconds) rows in Fig. 7 order."""
@@ -67,16 +97,16 @@ class EndToEndAccounting:
         ]
 
 
-def end_to_end_accounting(platform: PlatformSpec, n: int,
-                          pinned_elements: int = 10 ** 6
-                          ) -> EndToEndAccounting:
-    """Run BLINE (n_b = 1, pinned staging, blocking) at size ``n`` and
-    decompose its response time both ways (the Fig. 7 / Fig. 8
-    methodology)."""
-    sorter = HeterogeneousSorter(platform, approach="bline",
-                                 pinned_elements=pinned_elements)
-    res: SortResult = sorter.sort(n=n, approach="bline")
+def accounting_from_result(res: SortResult) -> EndToEndAccounting:
+    """Decompose an existing run's timeline (any approach).
+
+    The :attr:`~EndToEndAccounting.missing_overhead` guard will reject
+    overlapped runs by name -- building the accounting itself always
+    succeeds, so callers can still read the raw components.
+    """
     t = res.trace
+    n = res.plan.n if res.plan is not None else \
+        (len(res.output) if res.output is not None else 0)
     return EndToEndAccounting(
         n=n,
         htod=t.total(CAT.HTOD),
@@ -86,4 +116,17 @@ def end_to_end_accounting(platform: PlatformSpec, n: int,
         pinned_alloc=t.total(CAT.PINNED_ALLOC),
         sync=t.total(CAT.SYNC),
         full_elapsed=res.elapsed,
+        approach=res.approach,
     )
+
+
+def end_to_end_accounting(platform: PlatformSpec, n: int,
+                          pinned_elements: int = 10 ** 6
+                          ) -> EndToEndAccounting:
+    """Run BLINE (n_b = 1, pinned staging, blocking) at size ``n`` and
+    decompose its response time both ways (the Fig. 7 / Fig. 8
+    methodology)."""
+    sorter = HeterogeneousSorter(platform, approach="bline",
+                                 pinned_elements=pinned_elements)
+    res: SortResult = sorter.sort(n=n, approach="bline")
+    return accounting_from_result(res)

@@ -19,6 +19,13 @@ quantities:
   shift-based what-if rescheduling (``k = 1`` is an exact fixed point);
 * :mod:`repro.obs.diff` -- structural trace diffing (run reports, report
   diffs, the CI regression gate's verdict logic);
+* :mod:`repro.obs.sweep` -- the sweep harness: run an (approach x n x
+  streams x platform) grid and persist every run as one canonical JSONL
+  ledger line (byte-stable for a deterministic sweep);
+* :mod:`repro.obs.conformance` -- model-vs-measured conformance: the
+  lower-bound prediction per run, critical-path residual attribution
+  (exact by construction), per-group fitted slopes with R² vs. the
+  paper's, and anomaly flags;
 * :mod:`repro.obs.profile` -- wall-clock profiling of the *real* numpy
   kernels behind a zero-overhead-when-disabled toggle (never affects the
   simulated timeline or the sorted output).
@@ -27,10 +34,13 @@ quantities:
 from repro.obs.causal import (CausalGraphError, SpanGraph,
                               critical_path_report, sensitivity_report,
                               whatif_report)
+from repro.obs.conformance import (attach_conformance, conformance_record,
+                                   conformance_summary, fit_line,
+                                   group_conformance, residual_attribution)
 from repro.obs.counters import CounterSeries, MetricsRecorder
-from repro.obs.diff import (check_regression, diff_reports, load_report,
-                            render_diff, report_from_trace, run_report,
-                            write_report)
+from repro.obs.diff import (canonical_json, check_regression, diff_reports,
+                            load_report, render_diff, report_from_trace,
+                            run_report, write_report)
 from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
                                critical_path_lower_bound, detect_bubbles,
                                lane_metrics, link_throughput,
@@ -38,6 +48,8 @@ from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
 from repro.obs.profile import (disable_profiling, enable_profiling,
                                profiled, profiling_enabled, profiling_stats,
                                reset_profiling)
+from repro.obs.sweep import (GRIDS, ledger_record, load_ledger, run_sweep,
+                             sweep_points, write_ledger)
 
 __all__ = [
     "CounterSeries", "MetricsRecorder",
@@ -47,7 +59,11 @@ __all__ = [
     "SpanGraph", "CausalGraphError", "critical_path_report",
     "whatif_report", "sensitivity_report",
     "run_report", "report_from_trace", "diff_reports", "check_regression",
-    "render_diff", "write_report", "load_report",
+    "render_diff", "write_report", "load_report", "canonical_json",
+    "GRIDS", "sweep_points", "run_sweep", "ledger_record",
+    "write_ledger", "load_ledger",
+    "residual_attribution", "conformance_record", "attach_conformance",
+    "fit_line", "group_conformance", "conformance_summary",
     "profiled", "enable_profiling", "disable_profiling",
     "profiling_enabled", "profiling_stats", "reset_profiling",
 ]

@@ -26,7 +26,8 @@ from repro.obs.causal import SpanGraph, critical_path_report
 from repro.sim.trace import Trace
 
 __all__ = ["run_report", "report_from_trace", "write_report", "load_report",
-           "diff_reports", "check_regression", "render_diff"]
+           "diff_reports", "check_regression", "render_diff",
+           "canonical_json"]
 
 REPORT_SCHEMA = "repro.report/v1"
 DIFF_SCHEMA = "repro.diff/v1"
@@ -92,14 +93,24 @@ def run_report(result, label: str = "") -> dict:
                              context=context)
 
 
-def write_report(report: dict, path) -> None:
-    """Write a report (or any diff/gate document) as canonical JSON.
+def canonical_json(doc, indent: int | None = 2) -> str:
+    """The one serializer every machine-readable artifact shares.
 
     ``sort_keys`` plus a fixed separator style makes the bytes a pure
     function of the content -- two identical runs produce identical
-    files."""
+    output.  ``indent=None`` emits the compact single-line form used for
+    sweep-ledger JSONL lines; the default pretty form is what ``--json``
+    flags and ``--report`` files print."""
+    if indent is None:
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def write_report(report: dict, path) -> None:
+    """Write a report (or any diff/gate document) as canonical JSON
+    (see :func:`canonical_json`)."""
     with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write(canonical_json(report))
         fh.write("\n")
 
 

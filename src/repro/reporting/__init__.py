@@ -1,8 +1,9 @@
-"""Text tables, figure series, and ASCII Gantt timelines for the
-benchmark harness and examples."""
+"""Text tables, figure series, ASCII Gantt timelines, and the
+self-contained HTML conformance dashboard."""
 
 from repro.reporting.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.reporting.gantt import render_gantt
+from repro.reporting.html import render_dashboard, write_dashboard
 from repro.reporting.series import FigureSeries, crossover, speedup_series
 from repro.reporting.table import (format_count, format_seconds,
                                    render_metrics_table, render_table)
@@ -12,4 +13,5 @@ __all__ = [
     "render_metrics_table",
     "FigureSeries", "speedup_series", "crossover",
     "render_gantt", "to_chrome_trace", "write_chrome_trace",
+    "render_dashboard", "write_dashboard",
 ]

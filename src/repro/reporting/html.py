@@ -1,0 +1,595 @@
+"""Self-contained HTML dashboard for a sweep ledger (inline SVG, no
+external dependencies).
+
+:func:`render_dashboard` turns ledger records plus their
+:func:`repro.obs.conformance.conformance_summary` into one HTML file a
+browser can open offline:
+
+* stat tiles (runs, groups, anomalies, mean model/measured);
+* a Fig. 11-style measured-vs-model scatter per (platform, n_gpus,
+  approach) group, with the fitted line, the lower-bound model line and
+  -- where the paper reports one -- the paper's slope as a reference;
+* a Fig. 8-style missing-overhead chart (related-work accounting vs.
+  full end-to-end, gap shaded);
+* residual-by-category stacked bars (each run's model-vs-measured gap,
+  attributed along the causal critical path -- segments sum exactly to
+  the gap);
+* an anomaly table linking to per-run critical-path details, and a full
+  ledger table as the accessible table-view twin of every chart.
+
+Charts follow a small fixed spec: thin marks, hairline solid gridlines,
+a legend for multi-series panels, hover tooltips (enhance, never gate --
+every value is also in the tables), text in ink tokens rather than
+series colors, and a dark mode selected via ``prefers-color-scheme``.
+The categorical palette and its slot order are CVD-validated; values are
+documented in the palette table below.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import typing as _t
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+# Categorical palette (validated slot order; light / dark pairs).
+_SERIES_LIGHT = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                 "#e87ba4", "#008300", "#4a3aa7", "#e34948"]
+_SERIES_DARK = ["#3987e5", "#d95926", "#199e70", "#c98500",
+                "#d55181", "#008300", "#9085e9", "#e66767"]
+
+#: Fixed category -> palette-slot order for the residual stacks (the
+#: stack order is also the adjacency the palette was validated for).
+_STACK_CATEGORIES = ["GPUSort", "HtoD", "DtoH", "MCpy", "Sync",
+                     "PinnedAlloc", "(wait)"]
+
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --good: #0ca30c; --critical: #d03b3b;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+  background: var(--page); color: var(--ink-1);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --good: #0ca30c; --critical: #d03b3b;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .sub { color: var(--ink-2); margin: 0 0 16px; }
+.viz-root .note { color: var(--ink-3); font-size: 12px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 10px 16px; min-width: 120px; }
+.tile .label { font-size: 12px; color: var(--ink-2); }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .value.bad { color: var(--critical); }
+.tile .value.ok { color: var(--good); }
+.cards { display: flex; flex-wrap: wrap; gap: 16px; }
+.card { background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 12px 14px; }
+.card h3 { font-size: 13px; margin: 0 0 2px; }
+.card .sub { font-size: 12px; margin: 0 0 6px; }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; font-size: 12px;
+          color: var(--ink-2); margin: 6px 0; align-items: center; }
+.legend .key { display: inline-flex; align-items: center; gap: 5px; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 2px;
+                  display: inline-block; }
+.legend .linekey { width: 14px; height: 2px; display: inline-block; }
+table.viz { border-collapse: collapse; background: var(--surface-1);
+            border: 1px solid var(--border); border-radius: 8px;
+            font-size: 13px; }
+table.viz th, table.viz td { padding: 5px 10px; text-align: right;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+table.viz th { color: var(--ink-2); font-weight: 600; }
+table.viz td.l, table.viz th.l { text-align: left;
+  font-variant-numeric: normal; }
+.chip { display: inline-flex; align-items: center; gap: 4px;
+        font-size: 12px; font-weight: 600; }
+.chip.bad { color: var(--critical); }
+.chip.ok { color: var(--good); }
+.runs details { margin: 4px 0; }
+.runs summary { cursor: pointer; color: var(--ink-2); }
+svg text { fill: var(--ink-3); font: 11px system-ui, sans-serif; }
+svg text.lab { fill: var(--ink-2); }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+#tip { position: fixed; pointer-events: none; display: none;
+  background: var(--surface-1); color: var(--ink-1);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; white-space: pre-line;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.18); z-index: 10; max-width: 320px; }
+[data-tip] { cursor: default; }
+"""
+
+_TIP_JS = """
+(function () {
+  var tip = document.getElementById('tip');
+  function show(el, x, y) {
+    tip.textContent = el.getAttribute('data-tip');
+    tip.style.display = 'block';
+    var pad = 14, w = tip.offsetWidth, h = tip.offsetHeight;
+    var left = Math.min(x + pad, window.innerWidth - w - 6);
+    var top = y + pad + h > window.innerHeight ? y - h - 6 : y + pad;
+    tip.style.left = left + 'px'; tip.style.top = top + 'px';
+  }
+  function hide() { tip.style.display = 'none'; }
+  document.querySelectorAll('[data-tip]').forEach(function (el) {
+    el.addEventListener('pointermove', function (ev) {
+      show(el, ev.clientX, ev.clientY);
+    });
+    el.addEventListener('pointerleave', hide);
+    el.addEventListener('focus', function () {
+      var r = el.getBoundingClientRect();
+      show(el, r.left + r.width / 2, r.top);
+    });
+    el.addEventListener('blur', hide);
+  });
+})();
+"""
+
+
+def _esc(s) -> str:
+    return _html.escape(str(s), quote=True)
+
+
+def _fmt_n(n: float) -> str:
+    for unit, div in (("B", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(n) >= div:
+            v = n / div
+            return (f"{v:.0f}{unit}" if float(v).is_integer()
+                    else f"{v:.3g}{unit}")
+    return f"{n:g}"
+
+
+def _fmt_s(t: float) -> str:
+    if abs(t) >= 1:
+        return f"{t:.3f} s"
+    return f"{t * 1e3:.2f} ms"
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 4) -> list[float]:
+    """<= n+2 round tick positions covering [lo, hi] (1/2/5 ladder)."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(1, n)
+    mag = 10 ** __import__("math").floor(__import__("math").log10(raw))
+    step = next((m * mag for m in (1, 2, 5, 10) if m * mag >= raw),
+                10 * mag)
+    t = __import__("math").ceil(lo / step) * step
+    out = []
+    while t <= hi + 1e-12 * span:
+        out.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return out or [lo]
+
+
+class _Scale:
+    """Linear data -> pixel mapping for one axis."""
+
+    def __init__(self, lo: float, hi: float, a: float, b: float) -> None:
+        self.lo, self.hi, self.a, self.b = lo, hi, a, b
+
+    def __call__(self, v: float) -> float:
+        if self.hi <= self.lo:
+            return self.a
+        f = (v - self.lo) / (self.hi - self.lo)
+        return self.a + f * (self.b - self.a)
+
+
+def _frame(sx: _Scale, sy: _Scale, *, x_time: bool = False,
+           y_time: bool = True) -> list[str]:
+    """Gridlines, axes and tick labels shared by every panel."""
+    out = []
+    for t in _nice_ticks(sy.lo, sy.hi):
+        y = sy(t)
+        out.append(f'<line class="grid" x1="{sx.a:.1f}" y1="{y:.1f}" '
+                   f'x2="{sx.b:.1f}" y2="{y:.1f}"/>')
+        lab = _fmt_s(t) if y_time else _fmt_n(t)
+        out.append(f'<text x="{sx.a - 6:.1f}" y="{y + 3.5:.1f}" '
+                   f'text-anchor="end">{lab}</text>')
+    for t in _nice_ticks(sx.lo, sx.hi):
+        x = sx(t)
+        lab = _fmt_s(t) if x_time else _fmt_n(t)
+        out.append(f'<text x="{x:.1f}" y="{sy.a + 16:.1f}" '
+                   f'text-anchor="middle">{lab}</text>')
+    out.append(f'<line class="axis" x1="{sx.a:.1f}" y1="{sy.a:.1f}" '
+               f'x2="{sx.b:.1f}" y2="{sy.a:.1f}"/>')
+    out.append(f'<line class="axis" x1="{sx.a:.1f}" y1="{sy.a:.1f}" '
+               f'x2="{sx.a:.1f}" y2="{sy.b:.1f}"/>')
+    return out
+
+
+def _svg(width: int, height: int, body: _t.Iterable[str],
+         label: str) -> str:
+    return (f'<svg role="img" aria-label="{_esc(label)}" '
+            f'width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            + "".join(body) + "</svg>")
+
+
+def _poly(points: list[tuple[float, float]]) -> str:
+    return " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+
+
+# ---------------------------------------------------------------------------
+# Panels
+# ---------------------------------------------------------------------------
+
+def _scatter_panel(key: str, group: dict, records: list[dict]) -> str:
+    """Fig. 11-style measured vs. model scatter for one fit group."""
+    from repro.obs.conformance import group_key
+    recs = sorted((r for r in records if group_key(r) == key),
+                  key=lambda r: r["conformance"]["n"])
+    pts = [(r["conformance"]["n"], r["conformance"]["measured_s"], r)
+           for r in recs]
+    if not pts:
+        return ""
+    w, h, ml, mr, mt, mb = 380, 240, 64, 14, 14, 30
+    nmax = max(n for n, _, _ in pts) * 1.05
+    slope, icpt = group["fitted_slope"], group["fitted_intercept"]
+    model_slope = group["model_slope"]
+    paper_slope = group.get("paper_slope")
+    ymax = max([t for _, t, _ in pts]
+               + [icpt + slope * nmax, model_slope * nmax]
+               + ([paper_slope * nmax] if paper_slope else [])) * 1.08
+    sx = _Scale(0, nmax, ml, w - mr)
+    sy = _Scale(0, ymax, h - mb, mt)
+    body = _frame(sx, sy)
+    # Reference/overlay lines: paper (muted), model (slot 3), fit (slot 2).
+    if paper_slope:
+        body.append(f'<line x1="{sx(0):.1f}" y1="{sy(0):.1f}" '
+                    f'x2="{sx(nmax):.1f}" y2="{sy(paper_slope * nmax):.1f}"'
+                    f' stroke="var(--ink-3)" stroke-width="1.5"/>')
+    body.append(f'<line x1="{sx(0):.1f}" y1="{sy(0):.1f}" '
+                f'x2="{sx(nmax):.1f}" y2="{sy(model_slope * nmax):.1f}" '
+                f'stroke="var(--s3)" stroke-width="2" '
+                f'stroke-linecap="round"/>')
+    body.append(f'<line x1="{sx(0):.1f}" y1="{sy(icpt):.1f}" '
+                f'x2="{sx(nmax):.1f}" y2="{sy(icpt + slope * nmax):.1f}" '
+                f'stroke="var(--s2)" stroke-width="2" '
+                f'stroke-linecap="round"/>')
+    anom_ids = {a["run_id"] for a in group["anomalies"]}
+    for n, t, rec in pts:
+        c = rec["conformance"]
+        tip = (f"{rec['run_id']}\nmeasured {_fmt_s(t)}\n"
+               f"model {_fmt_s(c['predicted_s'])}\n"
+               f"gap {_fmt_s(c['gap_s'])}  "
+               f"model/measured {c['slowdown']:.3f}")
+        ring = ('stroke="var(--critical)" stroke-width="2"'
+                if rec["run_id"] in anom_ids
+                else 'stroke="var(--surface-1)" stroke-width="2"')
+        body.append(
+            f'<circle cx="{sx(n):.1f}" cy="{sy(t):.1f}" r="4.5" '
+            f'fill="var(--s1)" {ring} tabindex="0" '
+            f'data-tip="{_esc(tip)}">'
+            f'<title>{_esc(rec["run_id"])}</title></circle>')
+    paper_txt = (f" &middot; paper slope {paper_slope * 1e9:.3f} ns/el"
+                 if paper_slope else "")
+    sub = (f"fit {slope * 1e9:.3f} ns/el, R&sup2; {group['r2']:.4f} "
+           f"&middot; model {model_slope * 1e9:.3f} ns/el{paper_txt}")
+    return (f'<div class="card"><h3>{_esc(key)}</h3>'
+            f'<p class="sub">{sub}</p>'
+            + _svg(w, h, body, f"measured vs model, {key}")
+            + "</div>")
+
+
+def _fig8_panel(records: list[dict]) -> str:
+    """Missing-overhead growth: full end-to-end vs. related-work total,
+    gap shaded (the Fig. 8 methodology) for the first blocking group
+    with enough sizes."""
+    from repro.obs.conformance import group_key
+    groups: dict[str, list[dict]] = {}
+    for r in records:
+        if r["point"]["approach"] in ("bline", "blinemulti"):
+            groups.setdefault(group_key(r), []).append(r)
+    key = next((k for k in sorted(groups) if len(groups[k]) >= 2), None)
+    if key is None:
+        return ""
+    recs = sorted(groups[key], key=lambda r: r["point"]["n"])
+    xs = [r["point"]["n"] for r in recs]
+    full = [r["measured"]["elapsed_s"] for r in recs]
+    rel = [r["measured"]["related_work_s"] for r in recs]
+    w, h, ml, mr, mt, mb = 520, 250, 64, 14, 14, 30
+    sx = _Scale(0, max(xs) * 1.05, ml, w - mr)
+    sy = _Scale(0, max(full) * 1.1, h - mb, mt)
+    body = _frame(sx, sy)
+    band = ([(sx(n), sy(t)) for n, t in zip(xs, full)]
+            + [(sx(n), sy(t)) for n, t in zip(reversed(xs), reversed(rel))])
+    body.append(f'<polygon points="{_poly(band)}" fill="var(--s1)" '
+                f'opacity="0.10"/>')
+    for series, slot in ((full, 1), (rel, 2)):
+        line = [(sx(n), sy(t)) for n, t in zip(xs, series)]
+        body.append(f'<polyline points="{_poly(line)}" fill="none" '
+                    f'stroke="var(--s{slot})" stroke-width="2" '
+                    f'stroke-linejoin="round" stroke-linecap="round"/>')
+    for r, n, f_t, r_t in zip(recs, xs, full, rel):
+        gap = r["measured"]["missing_overhead_s"]
+        tip = (f"{r['run_id']}\nfull end-to-end {_fmt_s(f_t)}\n"
+               f"related-work total {_fmt_s(r_t)}\n"
+               f"missing overhead {_fmt_s(gap)} "
+               f"({gap / f_t:.0%} of the run)" if f_t > 0 else r["run_id"])
+        for t, slot in ((f_t, 1), (r_t, 2)):
+            body.append(
+                f'<circle cx="{sx(n):.1f}" cy="{sy(t):.1f}" r="4" '
+                f'fill="var(--s{slot})" stroke="var(--surface-1)" '
+                f'stroke-width="2" tabindex="0" data-tip="{_esc(tip)}"/>')
+    mid_i = len(xs) // 2
+    gy = (sy(full[mid_i]) + sy(rel[mid_i])) / 2
+    body.append(f'<text class="lab" x="{sx(xs[mid_i]) + 8:.1f}" '
+                f'y="{gy:.1f}">missing overhead</text>')
+    legend = ('<div class="legend">'
+              '<span class="key"><span class="linekey" '
+              'style="background:var(--s1)"></span>full end-to-end</span>'
+              '<span class="key"><span class="linekey" '
+              'style="background:var(--s2)"></span>related-work accounting '
+              '(HtoD + DtoH + GPUSort)</span></div>')
+    return (f'<div class="card"><h3>Missing overhead (Fig. 8) '
+            f'&mdash; {_esc(key)}</h3>{legend}'
+            + _svg(w, h, body, "missing overhead growth") + "</div>")
+
+
+def _residual_panel(records: list[dict]) -> str:
+    """Stacked per-run residual bars: the model-vs-measured gap split by
+    category along the critical path (segments sum exactly to the gap)."""
+    cats = list(_STACK_CATEGORIES)
+    extra = sorted({c for r in records
+                    for c in r["conformance"]["residuals"]
+                    if c not in cats})
+    cats += extra
+    cats = cats[:8]            # palette slots; overflow folds below
+    runs = list(records)
+    bw, gap_px = 22, 14
+    w = max(320, 70 + len(runs) * (bw + gap_px))
+    h, ml, mt, mb = 260, 64, 14, 64
+    lo = min(0.0, min(sum(v for v in r["conformance"]["residuals"]
+                          .values() if v < 0) for r in runs))
+    hi = max(0.0, max(sum(v for v in r["conformance"]["residuals"]
+                          .values() if v > 0) for r in runs))
+    sy = _Scale(lo, hi * 1.05 if hi else 1.0, h - mb, mt)
+    body = []
+    for t in _nice_ticks(sy.lo, sy.hi):
+        y = sy(t)
+        body.append(f'<line class="grid" x1="{ml}" y1="{y:.1f}" '
+                    f'x2="{w - 10}" y2="{y:.1f}"/>')
+        body.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" '
+                    f'text-anchor="end">{_fmt_s(t)}</text>')
+    y0 = sy(0.0)
+    body.append(f'<line class="axis" x1="{ml}" y1="{y0:.1f}" '
+                f'x2="{w - 10}" y2="{y0:.1f}"/>')
+    for i, rec in enumerate(runs):
+        x = ml + 10 + i * (bw + gap_px)
+        res = rec["conformance"]["residuals"]
+        folded = dict.fromkeys(cats, 0.0)
+        for c, v in res.items():
+            folded[c if c in cats else cats[-1]] = \
+                folded.get(c if c in cats else cats[-1], 0.0) + v
+        up = down = 0.0
+        for ci, cat in enumerate(cats):
+            v = folded.get(cat, 0.0)
+            if v == 0.0:
+                continue
+            if v > 0:
+                y_top, y_bot = sy(up + v), sy(up)
+                up += v
+            else:
+                y_top, y_bot = sy(down), sy(down + v)
+                down += v
+            hh = max(0.0, y_bot - y_top)
+            inset = 1 if hh > 3 else 0
+            tip = (f"{rec['run_id']}\n{cat}: {_fmt_s(v)} of "
+                   f"{_fmt_s(rec['conformance']['gap_s'])} gap")
+            body.append(
+                f'<rect x="{x}" y="{y_top + inset:.1f}" width="{bw}" '
+                f'height="{max(0.5, hh - 2 * inset):.1f}" rx="1.5" '
+                f'fill="var(--s{ci + 1})" tabindex="0" '
+                f'data-tip="{_esc(tip)}"/>')
+        label = f"{rec['point']['approach']} {_fmt_n(rec['point']['n'])}"
+        body.append(
+            f'<text x="{x + bw / 2:.1f}" y="{h - mb + 14}" '
+            f'text-anchor="end" transform="rotate(-35 {x + bw / 2:.1f} '
+            f'{h - mb + 14})">{_esc(label)}</text>')
+    legend = '<div class="legend">' + "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:var(--s{i + 1})"></span>{_esc(c)}</span>'
+        for i, c in enumerate(cats)) + "</div>"
+    return ('<div class="card"><h3>Model-vs-measured gap by category'
+            '</h3><p class="sub">each bar is one run&rsquo;s gap to the '
+            'lower-bound model, attributed along the causal critical '
+            'path; segments sum exactly to the gap</p>'
+            + legend + _svg(w, h, body, "residuals by category")
+            + "</div>")
+
+
+def _anomaly_table(summary: dict) -> str:
+    anomalies = summary.get("anomalies", [])
+    if not anomalies:
+        return ('<p><span class="chip ok">&#10003; no anomalies</span> '
+                '<span class="note">every run within '
+                f'{summary.get("rel_tolerance", 0):.0%} of its group '
+                'fit (z-threshold '
+                f'{summary.get("z_threshold", 0):g})</span></p>')
+    rows = []
+    for a in anomalies:
+        rid = _esc(a["run_id"])
+        rows.append(
+            "<tr>"
+            f'<td class="l"><a href="#run-{rid}">{rid}</a></td>'
+            f'<td class="l">{_esc(a["group"])}</td>'
+            f'<td>{_fmt_n(a["n"])}</td>'
+            f'<td>{_fmt_s(a["measured_s"])}</td>'
+            f'<td>{_fmt_s(a["expected_s"])}</td>'
+            f'<td>{a["deviation_s"] / a["expected_s"] * 100:+.1f}%</td>'
+            f'<td>{a["z"]:+.2f}</td>'
+            f'<td class="l"><span class="chip bad">&#9888; '
+            f'{_esc(", ".join(a["flags"]))}</span></td></tr>')
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">run</th><th class="l">group</th><th>n</th>'
+            '<th>measured</th><th>fit expects</th><th>deviation</th>'
+            '<th>z</th><th class="l">flags</th></tr></thead><tbody>'
+            + "".join(rows) + "</tbody></table>")
+
+
+def _ledger_table(records: list[dict]) -> str:
+    from repro.obs.conformance import group_key
+    rows = []
+    for r in records:
+        c = r["conformance"]
+        rid = _esc(r["run_id"])
+        rows.append(
+            "<tr>"
+            f'<td class="l"><a href="#run-{rid}">{rid}</a></td>'
+            f'<td class="l">{_esc(group_key(r))}</td>'
+            f'<td>{_fmt_n(r["point"]["n"])}</td>'
+            f'<td>{_fmt_s(c["measured_s"])}</td>'
+            f'<td>{_fmt_s(c["predicted_s"])}</td>'
+            f'<td>{_fmt_s(c["gap_s"])}</td>'
+            f'<td>{c["slowdown"]:.3f}</td>'
+            f'<td>{_fmt_s(r["measured"]["missing_overhead_s"])}</td>'
+            "</tr>")
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">run</th><th class="l">group</th><th>n</th>'
+            '<th>measured</th><th>model</th><th>gap</th>'
+            '<th>model/measured</th><th>missing overhead</th>'
+            '</tr></thead><tbody>' + "".join(rows) + "</tbody></table>")
+
+
+def _run_details(records: list[dict]) -> str:
+    blocks = []
+    for r in records:
+        rid = _esc(r["run_id"])
+        cp = r["report"]["critical_path"]
+        res = r["conformance"]["residuals"]
+        cp_rows = "".join(
+            f'<tr><td class="l">{_esc(c)}</td><td>{_fmt_s(v)}</td>'
+            f'<td>{_fmt_s(res.get(c, 0.0))}</td></tr>'
+            for c, v in cp["by_category"].items())
+        blocks.append(
+            f'<details id="run-{rid}"><summary>{rid} &mdash; critical '
+            f'path {cp["n_spans"]} spans, wait {_fmt_s(cp["wait"])}'
+            '</summary>'
+            '<table class="viz"><thead><tr><th class="l">category</th>'
+            '<th>on critical path</th><th>gap attribution</th></tr>'
+            f'</thead><tbody>{cp_rows}</tbody></table></details>')
+    return '<div class="runs">' + "".join(blocks) + "</div>"
+
+
+def _paper_band_note(summary: dict) -> str:
+    bands = summary.get("paper_bands", {})
+    slope_band = bands.get("fig11_slope_rel", {})
+    fig7 = bands.get("fig7_transfer_rel", {})
+    parts = [
+        "documented reproduction bands: "
+        + ", ".join(f"Fig. 11 slope ({g} GPU) &plusmn;{tol:.0%}"
+                    for g, tol in sorted(slope_band.items()))
+        + "; "
+        + ", ".join(f"Fig. 7 {k.split('_')[0]} &plusmn;{tol:.0%}"
+                    for k, tol in sorted(fig7.items()))
+    ]
+    for key, g in summary.get("groups", {}).items():
+        if g.get("model_vs_paper"):
+            parts.append(f"{_esc(key)}: model slope is "
+                         f"{g['model_vs_paper']:.3f}&times; the "
+                         "paper&rsquo;s")
+    return ('<p class="note">' + " &middot; ".join(parts) +
+            " (asserted by tests/model/test_paper_band.py)</p>")
+
+
+# ---------------------------------------------------------------------------
+# The document
+# ---------------------------------------------------------------------------
+
+def render_dashboard(records: _t.Sequence[dict], summary: dict) -> str:
+    """The complete, self-contained dashboard HTML for a sweep ledger
+    (``records``) and its conformance ``summary``."""
+    records = list(records)
+    n_anom = summary.get("n_anomalies", 0)
+    anom_cls = "bad" if n_anom else "ok"
+    worst_rel_gap = max(
+        (abs(r["conformance"]["gap_s"]) / r["conformance"]["measured_s"]
+         for r in records if r["conformance"]["measured_s"] > 0),
+        default=0.0)
+    tiles = [
+        ("runs", f"{summary.get('n_runs', len(records))}", ""),
+        ("fit groups", f"{summary.get('n_groups', 0)}", ""),
+        ("anomalies", f"{n_anom}", anom_cls),
+        ("mean model/measured",
+         f"{summary.get('mean_slowdown', 0.0):.3f}", ""),
+        ("worst gap vs measured", f"{worst_rel_gap:.0%}", ""),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(lab)}</div>'
+        f'<div class="value {cls}">{val}</div></div>'
+        for lab, val, cls in tiles)
+    scatter = "".join(
+        _scatter_panel(key, grp, records)
+        for key, grp in summary.get("groups", {}).items())
+    scatter_legend = (
+        '<div class="legend">'
+        '<span class="key"><span class="swatch" '
+        'style="background:var(--s1);border-radius:50%"></span>'
+        'measured runs</span>'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--s2)"></span>fitted line</span>'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--s3)"></span>lower-bound model</span>'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--ink-3)"></span>paper slope '
+        '(PLATFORM2)</span>'
+        '<span class="key"><span class="swatch" '
+        'style="background:var(--s1);border:2px solid var(--critical);'
+        'border-radius:50%"></span>anomalous run</span></div>')
+    fig8 = _fig8_panel(records)
+    doc = f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Model-conformance dashboard</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>{_CSS}</style></head>
+<body class="viz-root">
+<h1>Model-conformance dashboard</h1>
+<p class="sub">lower-bound model vs. measured makespans across the sweep
+ledger (Sec. IV-G / Fig. 11 methodology); gap attribution along the
+causal critical path</p>
+<div class="tiles">{tile_html}</div>
+<h2>Measured vs. model (Fig. 11)</h2>
+{scatter_legend}
+<div class="cards">{scatter}</div>
+{'<h2>Missing overhead (Fig. 8)</h2><div class="cards">' + fig8 +
+ '</div>' if fig8 else ''}
+<h2>Gap attribution</h2>
+<div class="cards">{_residual_panel(records)}</div>
+<h2>Anomalies</h2>
+{_anomaly_table(summary)}
+<h2>Sweep ledger</h2>
+{_ledger_table(records)}
+<h2>Per-run critical paths</h2>
+{_run_details(records)}
+{_paper_band_note(summary)}
+<div id="tip" role="status"></div>
+<script>{_TIP_JS}</script>
+</body></html>
+"""
+    return doc
+
+
+def write_dashboard(records: _t.Sequence[dict], summary: dict,
+                    path) -> None:
+    """Render and write the dashboard to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_dashboard(records, summary))

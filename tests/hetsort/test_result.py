@@ -81,3 +81,15 @@ def test_to_dict_serialisable(result):
     assert doc["plan"]["n_batches"] == 4
     assert doc["elapsed_s"] == result.elapsed
     assert doc["breakdown_s"] == result.breakdown
+
+
+def test_conformance_property(result):
+    from repro.hw.platforms import PLATFORM1 as _p1
+    from repro.model.lowerbound import measure_bline_throughput
+    from repro.obs import attach_conformance
+    assert result.conformance is None
+    model = measure_bline_throughput(_p1, n=4_000_000)
+    record = attach_conformance(result, model)
+    assert result.conformance is record
+    assert result.metrics["conformance"] is record
+    assert record["measured_s"] == result.trace.makespan()

@@ -68,3 +68,42 @@ def test_rows_structure(acct):
     rows = dict(acct.rows())
     assert rows["Related-work end-to-end"] < rows["Full end-to-end (BLine)"]
     assert set(rows) >= {"HtoD", "DtoH", "GPUSort", "MCpy (omitted)"}
+
+
+# ---------------------------------------------------------------------------
+# The negative-gap guard (accounting on overlapped runs)
+# ---------------------------------------------------------------------------
+
+def test_accounting_from_result_matches_bline_runner():
+    from repro.model.endtoend import accounting_from_result
+    from repro.hetsort.sorter import HeterogeneousSorter
+    sorter = HeterogeneousSorter(PLATFORM1, approach="bline",
+                                 pinned_elements=10 ** 6)
+    res = sorter.sort(n=int(2e8))
+    via_result = accounting_from_result(res)
+    direct = end_to_end_accounting(PLATFORM1, n=int(2e8))
+    assert via_result == direct
+    assert via_result.approach == "bline"
+    assert via_result.missing_overhead > 0
+
+
+def test_overlapped_run_raises_naming_the_approach():
+    """Sec. IV-E sums serial component durations; on a pipelined run the
+    components overlap, the sum exceeds the elapsed time, and the
+    missing overhead would come out negative.  That is a category error
+    and must raise -- naming the offending approach."""
+    from repro.errors import AccountingError
+    from repro.hetsort.sorter import HeterogeneousSorter
+    from repro.hw.platforms import PLATFORM2
+    from repro.model.endtoend import accounting_from_result
+    sorter = HeterogeneousSorter(PLATFORM2, n_gpus=2, approach="pipedata",
+                                 n_streams=2, batch_size=int(5e7),
+                                 pinned_elements=10 ** 6,
+                                 memcpy_threads=8)
+    res = sorter.sort(n=int(4e8))
+    acct = accounting_from_result(res)           # building always works
+    assert acct.related_work_total > acct.full_elapsed
+    with pytest.raises(AccountingError) as exc:
+        _ = acct.missing_overhead
+    assert "pipedata" in str(exc.value)
+    assert "does not apply" in str(exc.value)

@@ -1,0 +1,55 @@
+"""Differential tests against the paper's reported numbers.
+
+The reproduction claims the simulated accounting lands inside the
+documented :data:`repro.obs.conformance.PAPER_BANDS`; these tests are
+the claim's enforcement (and the dashboard prints the bands so readers
+can see how much slack is asserted).
+"""
+
+import pytest
+
+from repro.hw.platforms import get_platform
+from repro.model.endtoend import PAPER_FIG7_SECONDS, end_to_end_accounting
+from repro.model.lowerbound import measure_bline_throughput, paper_slopes
+from repro.obs.conformance import PAPER_BANDS
+
+
+@pytest.fixture(scope="module")
+def fig7_accounting():
+    # The Fig. 7 methodology: BLINE at 6.4 GB of doubles, p_s = 1e6.
+    return end_to_end_accounting(get_platform("PLATFORM1"),
+                                 n=int(8e8), pinned_elements=10 ** 6)
+
+
+@pytest.mark.parametrize("key,attr", [("HtoD_ours", "htod"),
+                                      ("DtoH_ours", "dtoh")])
+def test_fig7_transfers_within_band(fig7_accounting, key, attr):
+    simulated = getattr(fig7_accounting, attr)
+    paper = PAPER_FIG7_SECONDS[key]
+    band = PAPER_BANDS["fig7_transfer_rel"][key]
+    rel = abs(simulated - paper) / paper
+    assert rel <= band, (
+        f"{key}: simulated {simulated:.4f}s vs paper {paper:.4f}s is "
+        f"{rel:.1%} off, outside the documented +/-{band:.0%} band")
+
+
+@pytest.mark.parametrize("n_gpus", [1, 2])
+def test_fig11_slopes_within_band(n_gpus):
+    """The capacity-derived lower-bound slope on PLATFORM2 stays inside
+    the documented band around the paper's Fig. 11 value."""
+    model = measure_bline_throughput(get_platform("PLATFORM2"),
+                                     n_gpus=n_gpus)
+    paper = paper_slopes()[n_gpus]
+    band = PAPER_BANDS["fig11_slope_rel"][n_gpus]
+    rel = abs(model.slope - paper) / paper
+    assert rel <= band, (
+        f"{n_gpus} GPU slope {model.slope:.4e} vs paper {paper:.4e} is "
+        f"{rel:.1%} off, outside the documented +/-{band:.0%} band")
+
+
+def test_bands_are_documented_in_summary():
+    """The bands the tests enforce are the bands the dashboard prints --
+    one source of truth."""
+    from repro.obs.conformance import conformance_summary
+    summary = conformance_summary([])
+    assert summary["paper_bands"] == PAPER_BANDS

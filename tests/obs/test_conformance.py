@@ -1,0 +1,189 @@
+"""Conformance tests: exact residual attribution, fits, anomaly flags,
+and the whatif(k=1) identity property."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.causal import WAIT, whatif_report
+from repro.obs.conformance import (conformance_record, conformance_summary,
+                                   fit_line, group_conformance, group_key,
+                                   residual_attribution)
+from repro.obs.diff import canonical_json, run_report
+from repro.obs.sweep import run_sweep, sweep_points
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_sweep(sweep_points("tiny"), model_n=4_000_000)
+
+
+@pytest.fixture(scope="module")
+def one_run():
+    from repro.hw.platforms import get_platform
+    from repro.model.lowerbound import measure_bline_throughput
+    from repro.obs.sweep import run_point
+    pt = sweep_points("tiny")[1]          # the pipelined point
+    model = measure_bline_throughput(get_platform(pt["platform"]),
+                                     n_gpus=pt["n_gpus"], n=4_000_000)
+    return run_point(pt), model
+
+
+# ---------------------------------------------------------------------------
+# Residual attribution
+# ---------------------------------------------------------------------------
+
+def _plain_sum(residuals: dict) -> float:
+    """Left-to-right addition in key order -- what ``sum(values())``
+    does after a canonical-JSON round trip."""
+    s = 0.0
+    for v in residuals.values():
+        s += v
+    return s
+
+
+def test_residuals_sum_exactly_to_gap(records):
+    for rec in records:
+        c = rec["conformance"]
+        assert _plain_sum(c["residuals"]) == c["gap_s"]
+
+
+def test_residuals_survive_json_round_trip(records):
+    for rec in records:
+        c = json.loads(canonical_json(rec, indent=None))["conformance"]
+        assert _plain_sum(c["residuals"]) == c["gap_s"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(predicted=st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False))
+def test_residual_sum_exact_for_any_prediction(one_run, predicted):
+    res, _ = one_run
+    report = run_report(res)
+    out = residual_attribution(report, predicted)
+    assert _plain_sum(out) == report["makespan_s"] - predicted
+
+
+def test_residual_attribution_covers_lead_in():
+    """A report whose critical path starts after t=0 attributes the
+    lead-in to the WAIT pseudo-category."""
+    report = {"makespan_s": 10.0,
+              "critical_path": {"duration": 8.0,
+                                "by_category": {"GPUSort": 8.0}}}
+    out = residual_attribution(report, 5.0)
+    assert set(out) == {"GPUSort", WAIT}
+    assert out[WAIT] == pytest.approx(5.0 * 2.0 / 10.0)
+    assert _plain_sum(out) == 5.0
+
+
+# ---------------------------------------------------------------------------
+# Fits and anomaly flags
+# ---------------------------------------------------------------------------
+
+def test_fit_line_recovers_affine():
+    pts = [(n, 0.002 + 3e-9 * n) for n in
+           (1e6, 2e6, 4e6, 8e6)]
+    intercept, slope, r2 = fit_line(pts)
+    assert intercept == pytest.approx(0.002, rel=1e-9)
+    assert slope == pytest.approx(3e-9, rel=1e-9)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_fit_line_degenerate_cases():
+    assert fit_line([]) == (0.0, 0.0, 1.0)
+    assert fit_line([(2e6, 4.0)]) == (0.0, 2e-6, 1.0)
+    icpt, slope, r2 = fit_line([(1e6, 3.0), (1e6, 5.0)])
+    assert (icpt, slope, r2) == (4.0, 0.0, 1.0)
+
+
+def _synthetic(n, measured, run_id="r", platform="PLATFORM1", n_gpus=1):
+    return {
+        "run_id": f"{run_id}-n{n}",
+        "point": {"platform": platform, "approach": "pipedata",
+                  "n": n, "n_gpus": n_gpus, "n_streams": 2,
+                  "batch_size": None, "pinned_elements": 50_000,
+                  "memcpy_threads": 1},
+        "conformance": {"n": n, "measured_s": measured,
+                        "gap_s": 0.0, "slowdown": 1.0, "residuals": {},
+                        "measured": measured,
+                        "model": {"platform": platform, "n_gpus": n_gpus,
+                                  "slope": 1e-8, "calibration_n": n}},
+    }
+
+
+def test_clean_group_has_no_anomalies(records):
+    groups = group_conformance(records)
+    assert all(not g["anomalies"] for g in groups.values())
+    assert all(g["r2"] == pytest.approx(1.0) for g in groups.values())
+
+
+def test_injected_outlier_is_flagged():
+    recs = [_synthetic(int(k * 1e6), 0.01 * k) for k in range(1, 6)]
+    recs.append(_synthetic(int(6e6), 0.60, run_id="outlier"))
+    groups = group_conformance(recs)
+    (group,) = groups.values()
+    flagged = {a["run_id"]: a for a in group["anomalies"]}
+    assert "outlier-n6000000" in flagged
+    assert "relative" in flagged["outlier-n6000000"]["flags"]
+
+
+def test_paper_slope_only_on_platform2():
+    recs = [_synthetic(int(k * 1e6), 0.01 * k, platform="PLATFORM2")
+            for k in range(1, 4)]
+    groups = group_conformance(recs)
+    (g,) = groups.values()
+    assert g["paper_slope"] is not None
+    assert g["fitted_vs_paper"] == pytest.approx(
+        g["fitted_slope"] / g["paper_slope"])
+    p1 = group_conformance([_synthetic(int(1e6), 0.01)])
+    assert next(iter(p1.values()))["paper_slope"] is None
+
+
+def test_summary_document(records):
+    summary = conformance_summary(records)
+    assert summary["schema"] == "repro.conformance_summary/v1"
+    assert summary["n_runs"] == len(records)
+    assert summary["n_groups"] == len({group_key(r) for r in records})
+    assert summary["n_anomalies"] == len(summary["anomalies"])
+    assert 0.0 < summary["mean_slowdown"] <= 1.5
+    assert "fig11_slope_rel" in summary["paper_bands"]
+
+
+# ---------------------------------------------------------------------------
+# The whatif(k=1) identity property
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(cats=st.sets(st.sampled_from(
+    ["GPUSort", "HtoD", "DtoH", "MCpy", "Sync"]), min_size=1))
+def test_whatif_identity_preserves_conformance(one_run, cats):
+    """Re-scheduling the causal DAG with every factor at 1.0 is a bit-
+    exact fixed point, so the conformance record built from the whatif
+    prediction is the run's own record: same measured makespan, same
+    gap, same residual split."""
+    res, model = one_run
+    graph = res.causal_graph()
+    wr = whatif_report(graph, {c: 1.0 for c in cats})
+    assert wr["predicted_makespan"] == wr["measured_makespan"]
+    report = run_report(res)
+    assert wr["predicted_makespan"] == report["makespan_s"]
+    # The fitted-model identity: a run whose measured time equals the
+    # whatif(k=1) prediction lands exactly on its own conformance
+    # record -- gap and residuals unchanged.
+    c0 = conformance_record(report, model)
+    report_whatif = dict(report, makespan_s=wr["predicted_makespan"])
+    c1 = conformance_record(report_whatif, model)
+    assert c1["measured_s"] == c0["measured_s"]
+    assert c1["gap_s"] == c0["gap_s"]
+    assert c1["residuals"] == c0["residuals"]
+
+
+def test_slowdown_is_papers_metric(records):
+    for rec in records:
+        c = rec["conformance"]
+        assert c["slowdown"] == pytest.approx(
+            c["predicted_s"] / c["measured_s"])
+        assert not math.isinf(c["slowdown"])

@@ -1,0 +1,93 @@
+"""Dashboard tests: structure, escaping, anomaly rendering, file I/O."""
+
+import copy
+
+import pytest
+
+from repro.obs.conformance import conformance_summary
+from repro.obs.sweep import run_sweep, sweep_points
+from repro.reporting import render_dashboard, write_dashboard
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_sweep(sweep_points("tiny"), model_n=4_000_000)
+
+
+@pytest.fixture(scope="module")
+def summary(records):
+    return conformance_summary(records)
+
+
+def test_dashboard_is_self_contained(records, summary):
+    doc = render_dashboard(records, summary)
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "<svg" in doc
+    assert "http://" not in doc and "https://" not in doc  # no CDN deps
+    assert "prefers-color-scheme" in doc                   # dark mode
+
+
+def test_dashboard_panels_present(records, summary):
+    doc = render_dashboard(records, summary)
+    assert "Measured vs. model (Fig. 11)" in doc
+    assert "Gap attribution" in doc
+    assert "Sweep ledger" in doc
+    assert "Per-run critical paths" in doc
+    for rec in records:
+        assert f'id="run-{rec["run_id"]}"' in doc   # anchors exist
+        assert f'#run-{rec["run_id"]}' in doc       # and are linked to
+
+
+def test_fig8_panel_needs_two_blocking_sizes(records, summary):
+    # tiny has one bline point -> no Fig. 8 panel; ci has three.
+    assert "Missing overhead (Fig. 8)" not in \
+        render_dashboard(records, summary)
+    ci = run_sweep(sweep_points("ci"), model_n=4_000_000)
+    doc = render_dashboard(ci, conformance_summary(ci))
+    assert "Missing overhead (Fig. 8)" in doc
+    assert "related-work accounting" in doc
+
+
+def test_clean_run_shows_no_anomaly_table(records, summary):
+    doc = render_dashboard(records, summary)
+    assert "no anomalies" in doc
+
+
+def test_anomaly_rows_render_with_links(records, summary):
+    rigged = copy.deepcopy(summary)
+    rigged["anomalies"] = [{
+        "run_id": records[0]["run_id"], "group": "PLATFORM1|g1|bline",
+        "n": 1_000_000, "measured_s": 0.5, "expected_s": 0.1,
+        "deviation_s": 0.4, "rel": 4.0, "z": 3.5,
+        "flags": ["relative", "zscore"],
+    }]
+    rigged["n_anomalies"] = 1
+    doc = render_dashboard(records, rigged)
+    assert f'href="#run-{records[0]["run_id"]}"' in doc
+    assert "relative, zscore" in doc
+    assert "chip bad" in doc
+
+
+def test_interpolated_strings_are_escaped(records, summary):
+    evil = copy.deepcopy(records)
+    evil[0]["run_id"] = '<script>alert(1)</script>'
+    evil[0]["report"]["critical_path"]["by_category"] = {
+        '<img src=x onerror=y>': 1.0}
+    doc = render_dashboard(evil, summary)
+    assert "<script>alert(1)</script>" not in doc
+    assert "<img src=x" not in doc
+    assert "&lt;script&gt;" in doc
+
+
+def test_paper_band_note_rendered(records, summary):
+    doc = render_dashboard(records, summary)
+    assert "reproduction bands" in doc
+    assert "test_paper_band" in doc
+
+
+def test_write_dashboard(tmp_path, records, summary):
+    path = tmp_path / "dash.html"
+    write_dashboard(records, summary, path)
+    text = path.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert text == render_dashboard(records, summary)

@@ -158,3 +158,129 @@ def test_diff_detects_regression(tmp_path):
     assert "REGRESSION" in text
     # Without the flag the diff still prints but exits 0.
     assert run_cli("diff", str(a), str(b))[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable output (--json) and its conflicts
+# ---------------------------------------------------------------------------
+
+def test_run_json_output():
+    import json
+    code, text = run_cli("--n", "1e6", "--batch-size", "2.5e5",
+                         "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["approach"] == "pipemerge"
+    assert doc["elapsed_s"] > 0
+
+
+def test_compare_json_output():
+    import json
+    code, text = run_cli("--n", "4e8", "--batch-size", "1e8",
+                         "--compare", "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["schema"] == "repro.compare/v1"
+    assert doc["runs"][0]["approach"] == "cpu reference"
+    assert len(doc["runs"]) >= 4
+
+
+def test_metrics_json_output():
+    import json
+    code, text = run_cli("metrics", "--n", "1e6", "--batch-size",
+                         "2.5e5", "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert "overlap_efficiency" in doc or "lanes" in doc
+
+
+def test_json_is_canonical():
+    """Both --json surfaces share one serializer: sorted keys, stable
+    bytes run-to-run."""
+    args = ("metrics", "--n", "1e6", "--batch-size", "2.5e5",
+            "--pinned", "5e4", "--json")
+    assert run_cli(*args)[1] == run_cli(*args)[1]
+
+
+@pytest.mark.parametrize("argv", [
+    ("--n", "1e6", "--json", "--report", "r.json"),
+    ("metrics", "--n", "1e6", "--json", "--report", "r.json"),
+    ("critical-path", "--n", "1e6", "--json", "--report", "r.json"),
+    ("whatif", "--n", "1e6", "--json", "--report", "r.json"),
+])
+def test_json_and_report_conflict(argv):
+    with pytest.raises(SystemExit) as exc:
+        main(list(argv))
+    assert exc.value.code != 0
+
+
+# ---------------------------------------------------------------------------
+# Error paths exit non-zero with a one-line message
+# ---------------------------------------------------------------------------
+
+def test_diff_missing_report_file():
+    code, text = run_cli("diff", "/nonexistent/a.json",
+                         "/nonexistent/b.json")
+    assert code != 0
+    assert len(text.strip().splitlines()) == 1
+    assert "cannot read report" in text
+
+
+def test_diff_malformed_report_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    code, text = run_cli("diff", str(bad), str(bad))
+    assert code != 0
+    assert len(text.strip().splitlines()) == 1
+    assert "not valid JSON" in text
+
+
+def test_conformance_missing_ledger():
+    code, text = run_cli("conformance", "--ledger", "/nonexistent.jsonl")
+    assert code != 0
+    assert len(text.strip().splitlines()) == 1
+    assert "cannot load ledger" in text
+
+
+def test_sweep_unknown_grid_rejected():
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--grid", "gigantic"])
+    assert exc.value.code != 0
+
+
+# ---------------------------------------------------------------------------
+# Sweep -> conformance -> dashboard end to end
+# ---------------------------------------------------------------------------
+
+def test_sweep_conformance_dashboard_workflow(tmp_path):
+    import json
+    ledger = tmp_path / "ledger.jsonl"
+    html = tmp_path / "dash.html"
+    code, text = run_cli("sweep", "--grid", "tiny",
+                         "--ledger", str(ledger))
+    assert code == 0
+    assert "wrote 2 ledger lines" in text
+    lines = [json.loads(l) for l in ledger.read_text().splitlines()]
+    assert all(l["schema"] == "repro.sweep/v1" for l in lines)
+
+    code, text = run_cli("conformance", "--ledger", str(ledger),
+                         "--html", str(html), "--fail-on-anomaly")
+    assert code == 0
+    assert "conformance:" in text
+    assert html.read_text().startswith("<!DOCTYPE html>")
+
+    code, text = run_cli("conformance", "--ledger", str(ledger),
+                         "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["schema"] == "repro.conformance_summary/v1"
+    assert doc["n_runs"] == 2
+
+
+def test_sweep_ledger_byte_stable(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    assert run_cli("sweep", "--grid", "tiny", "--ledger", str(a),
+                   "--quiet")[0] == 0
+    assert run_cli("sweep", "--grid", "tiny", "--ledger", str(b),
+                   "--quiet")[0] == 0
+    assert a.read_bytes() == b.read_bytes()
