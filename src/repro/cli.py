@@ -35,6 +35,11 @@ Conformance workflow -- sweep a grid, confront the lower-bound model::
 
     python -m repro sweep --grid small --ledger ledger.jsonl
     python -m repro conformance --ledger ledger.jsonl --html dash.html
+
+Live telemetry -- watch a run as it executes, keep the event log::
+
+    python -m repro --n 2e9 --batch-size 2e8 --live --events run.events.jsonl
+    python -m repro watch run.events.jsonl
 """
 
 from __future__ import annotations
@@ -52,7 +57,7 @@ from repro.workloads import generate
 __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_critical_path_parser", "build_whatif_parser",
            "build_diff_parser", "build_sweep_parser",
-           "build_conformance_parser"]
+           "build_conformance_parser", "build_watch_parser"]
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -98,6 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the run (or --compare table) as canonical "
                         "JSON instead of text")
+    p.add_argument("--live", action="store_true",
+                   help="render live progress while the run executes "
+                        "(progress bars on a TTY, periodic plain lines "
+                        "otherwise)")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="write the run's repro.events/v1 JSONL event log "
+                        "(replayable; input to `repro watch`)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="emit a watchdog warning event if the simulated "
+                        "run passes S seconds")
     return p
 
 
@@ -222,6 +237,74 @@ def build_conformance_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_watch_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort watch",
+        description="Replay a repro.events/v1 JSONL event log (written "
+                    "with `repro ... --events`): validate it, print "
+                    "periodic progress lines in simulated time, and end "
+                    "with the final aggregated snapshot.")
+    p.add_argument("events", help="JSONL event log to watch")
+    p.add_argument("--interval", type=float, default=0.25, metavar="S",
+                   help="simulated seconds between progress lines "
+                        "(default 0.25)")
+    p.add_argument("--json", action="store_true",
+                   help="print only the final aggregated snapshot as "
+                        "canonical JSON")
+    return p
+
+
+def _run_watch(argv, out) -> int:
+    args = build_watch_parser().parse_args(argv)
+    from repro.errors import EventLogError
+    from repro.obs import (LiveAggregator, canonical_json, read_events,
+                           validate_events)
+    from repro.reporting import render_plain_line, render_snapshot
+    try:
+        _, events = read_events(args.events)
+        validate_events(events)
+    except OSError as exc:
+        out.write(f"repro watch: cannot read event log: {exc}\n")
+        return 2
+    except EventLogError as exc:
+        out.write(f"repro watch: invalid event log: {exc}\n")
+        return 2
+    agg = LiveAggregator()
+    next_t = args.interval
+    for ev in events:
+        agg.emit(ev)
+        if not args.json and ev.t >= next_t:
+            out.write(render_plain_line(agg.snapshot()) + "\n")
+            while next_t <= ev.t:
+                next_t += args.interval
+    if args.json:
+        out.write(canonical_json(agg.snapshot()) + "\n")
+    else:
+        out.write(render_snapshot(agg.snapshot()) + "\n")
+    return 0
+
+
+def _build_sinks(args, out) -> list:
+    """Streaming-telemetry sinks for the default run mode (--live /
+    --events / --deadline); empty when none was requested."""
+    if not (args.live or args.events or args.deadline is not None):
+        return []
+    from repro.obs import JsonlSink, TtySink, WatchdogSink
+    sinks: list = [WatchdogSink(deadline_s=args.deadline)]
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    if args.live:
+        from repro.model.lowerbound import measure_bline_throughput
+        model = measure_bline_throughput(get_platform(args.platform),
+                                         n_gpus=args.gpus)
+        # ~20 plain progress lines over the model-predicted duration, so
+        # non-TTY output is useful at any run scale.
+        n = int(args.n) if args.n is not None else args.functional
+        sinks.append(TtySink(out=out, model_slope=model.slope,
+                             plain_interval_s=model.seconds(n) / 20))
+    return sinks
+
+
 def _make_sorter(args) -> HeterogeneousSorter:
     platform = get_platform(args.platform)
     return HeterogeneousSorter(
@@ -235,16 +318,20 @@ def _make_sorter(args) -> HeterogeneousSorter:
 
 def _run_one(args, out) -> int:
     sorter = _make_sorter(args)
+    sinks = _build_sinks(args, out)
     if args.functional is not None:
         data = generate(args.functional, args.distribution,
                         seed=args.seed)
-        res = sorter.sort(data, approach=args.approach)
+        res = sorter.sort(data, approach=args.approach, sinks=sinks)
     else:
-        res = sorter.sort(n=int(args.n), approach=args.approach)
+        res = sorter.sort(n=int(args.n), approach=args.approach,
+                          sinks=sinks)
     if args.json:
         from repro.obs import canonical_json
         out.write(canonical_json(res.to_dict()) + "\n")
         _maybe_write_trace(args, res, out)
+        if args.events:
+            out.write(f"wrote event log to {args.events}\n")
         return 0
     if args.functional is not None:
         out.write("output validated: sorted permutation of the input\n")
@@ -252,6 +339,8 @@ def _run_one(args, out) -> int:
     if args.gantt:
         out.write(render_gantt(res.trace) + "\n")
     _maybe_write_trace(args, res, out)
+    if args.events:
+        out.write(f"wrote event log to {args.events}\n")
     return 0
 
 
@@ -562,6 +651,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_sweep_cmd(argv[1:], out)
     if argv and argv[0] == "conformance":
         return _run_conformance_cmd(argv[1:], out)
+    if argv and argv[0] == "watch":
+        return _run_watch(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):

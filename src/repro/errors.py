@@ -54,3 +54,9 @@ class AccountingError(ReproError):
 
 class LedgerError(ReproError):
     """A sweep ledger file is malformed or has an unknown schema."""
+
+
+class EventLogError(ReproError):
+    """A ``repro.events/v1`` telemetry event log is malformed (bad
+    schema header, non-monotonic sequence, or an incomplete span
+    stream that cannot be replayed into a trace)."""

@@ -38,6 +38,7 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     stream = ctx.rt.create_stream(gpu)
     lane = f"host.gpu{gpu}"
     ctx.obs.incr("workers.active")
+    ctx.phase("worker.start", approach="bline", gpu=gpu, batches=1)
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
@@ -59,7 +60,10 @@ def _gpu_worker(ctx: RunContext, gpu: int):
         # Single GPU: the batch landed directly in B; count it anyway so
         # `batches.completed` reaches n_batches for every approach.
         ctx.obs.incr("batches.completed")
+        ctx.phase("run.sorted", batch=batch.index, gpu=gpu,
+                  elements=batch.size, producer=getattr(last, "id", None))
     ctx.obs.incr("workers.active", -1)
+    ctx.phase("worker.done", approach="bline", gpu=gpu)
 
 
 def run_bline(ctx: RunContext):

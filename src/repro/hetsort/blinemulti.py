@@ -28,6 +28,8 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     stream = ctx.rt.create_stream(gpu)
     lane = f"host.gpu{gpu}"
     ctx.obs.incr("workers.active")
+    ctx.phase("worker.start", approach="blinemulti", gpu=gpu,
+              batches=len(batches))
     if ctx.config.staging == Staging.PINNED:
         pin_in, pin_out, dev = yield from alloc_worker_buffers(
             ctx, gpu, tag=f"g{gpu}")
@@ -55,6 +57,7 @@ def _gpu_worker(ctx: RunContext, gpu: int):
             prev = (last,)
         ctx.rt.free(dev)
     ctx.obs.incr("workers.active", -1)
+    ctx.phase("worker.done", approach="blinemulti", gpu=gpu)
 
 
 def run_blinemulti(ctx: RunContext):

@@ -97,6 +97,19 @@ class RunContext:
         self.sorted_runs.probe = self.obs.probe(
             "sorted_runs.pending", lambda store: len(store))
 
+        #: Streaming telemetry: an optional
+        #: :class:`~repro.obs.events.EventBus` (wired by
+        #: :func:`repro.obs.events.connect_context` when the caller
+        #: passed sinks).  ``None`` keeps every :meth:`phase` call a
+        #: single truthiness check.
+        self.bus = None
+
+    def phase(self, name: str, **data) -> None:
+        """Publish a pipeline phase-transition event (no-op without a
+        bus; never touches the simulated timeline)."""
+        if self.bus is not None:
+            self.bus.phase(name, **data)
+
     # -- derived knobs -------------------------------------------------------
 
     @property
@@ -133,5 +146,7 @@ class RunContext:
         run = SortedRun(size=batch.size, w_offset=batch.offset,
                         producer_id=pid)
         self.obs.incr("batches.completed")
+        self.phase("run.sorted", batch=batch.index, gpu=batch.gpu,
+                   elements=batch.size, producer=pid)
         self.sorted_runs.put(run)
         return run

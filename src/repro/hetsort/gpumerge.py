@@ -99,6 +99,8 @@ def run_gpumerge(ctx: RunContext):
     level = 0
     ctx.obs.sample("gpumerge.runs_remaining", len(runs))
     while len(runs) > 1:
+        ctx.phase("merge.started", kind="gpu", level=level,
+                  runs=len(runs))
         nxt: list[SortedRun] = []
         procs = []
         for i in range(0, len(runs) - 1, 2):
@@ -115,6 +117,8 @@ def run_gpumerge(ctx: RunContext):
         runs = nxt
         level += 1
         ctx.obs.sample("gpumerge.runs_remaining", len(runs))
+        ctx.phase("merge.done", kind="gpu", level=level - 1,
+                  runs=len(runs))
     ctx.meta["gpu_merge_levels"] = level
 
     # The single remaining run becomes B (a parallel host copy).

@@ -28,6 +28,8 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
     if not batches:
         return
     ctx.obs.incr("workers.active")
+    ctx.phase("worker.start", approach="pipedata", gpu=gpu, stream=slot,
+              batches=len(batches))
     stream = ctx.rt.create_stream(gpu)
     pin_in, pin_out, dev = yield from alloc_worker_buffers(
         ctx, gpu, tag=f"g{gpu}s{slot}")
@@ -39,6 +41,7 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
     yield from stream.synchronize(deps=prev)
     free_worker_buffers(ctx, pin_in, pin_out, dev)
     ctx.obs.incr("workers.active", -1)
+    ctx.phase("worker.done", approach="pipedata", gpu=gpu, stream=slot)
 
 
 def spawn_stream_workers(ctx: RunContext) -> list:

@@ -22,10 +22,13 @@ def run_pipemerge(ctx: RunContext):
     """Process: the PIPEMERGE approach (includes PIPEDATA's transfer
     pipelining)."""
     workers = spawn_stream_workers(ctx)
+    ctx.phase("scheduler.start", approach="pipemerge",
+              quota=ctx.plan.pairwise_merges)
     scheduler = ctx.env.process(pair_merge_scheduler(ctx),
                                 name="pipemerge.scheduler")
     yield ctx.env.all_of(workers)
     merged = yield scheduler   # scheduler returns the pair-merged runs
     ctx.meta["pairwise_merged"] = len(merged)
     ctx.obs.sample("pipeline.pair_merges", len(merged))
+    ctx.phase("scheduler.done", approach="pipemerge", merged=len(merged))
     yield from final_multiway(ctx, extra_runs=merged)

@@ -74,13 +74,21 @@ class HeterogeneousSorter:
 
     def sort(self, data: np.ndarray | None = None, n: int | None = None,
              approach: str | None = None, validate: bool = True,
-             **overrides) -> SortResult:
+             sinks: _t.Sequence = (), **overrides) -> SortResult:
         """Run one heterogeneous sort.
 
         Exactly one of ``data`` (functional mode: a float64 array that is
         really sorted) or ``n`` (timing-only mode: paper-scale inputs)
         must be given.  ``approach`` and any other config field may be
         overridden per call.
+
+        ``sinks`` optionally attaches streaming-telemetry subscribers
+        (:class:`~repro.obs.events.Sink`) for the run's event bus --
+        spans, queue depths, counters and phase transitions are
+        published live.  Sinks are passive observers: attaching any
+        combination never changes the simulated timeline, the sorted
+        output or the canonical run report (pinned by the determinism
+        tests).
         """
         if (data is None) == (n is None):
             raise PlanError("pass exactly one of `data` or `n`")
@@ -97,9 +105,29 @@ class HeterogeneousSorter:
         plan = make_plan(n_elems, self.platform, cfg, n_gpus=self.n_gpus)
         ctx = RunContext(env, machine, rt, plan, cfg, data=data)
 
+        bus = None
+        if sinks:
+            from repro.obs.events import EV, EventBus, connect_context
+            bus = EventBus(clock=lambda: env.now)
+            for sink in sinks:
+                bus.attach(sink)
+            connect_context(bus, ctx)
+            bus.emit(EV.RUN_START, platform=self.platform.name,
+                     approach=cfg.approach, n=plan.n,
+                     n_batches=plan.n_batches, batch_size=plan.batch_size,
+                     n_gpus=plan.n_gpus, n_streams=plan.n_streams,
+                     functional=ctx.functional)
+
         runner = APPROACH_RUNNERS[cfg.approach]
         proc = env.process(runner(ctx), name=cfg.approach)
         env.run(proc)
+
+        if bus is not None:
+            from repro.obs.events import EV
+            bus.emit(EV.RUN_END, elapsed_s=env.now,
+                     makespan_s=machine.trace.makespan(),
+                     n_spans=len(machine.trace.spans))
+            bus.close()
 
         output = ctx.B.data
         if validate and data is not None:

@@ -92,9 +92,15 @@ def staged_blocking_batch(ctx: RunContext, batch: Batch,
                                     MemcpyKind.HOST_TO_DEVICE,
                                     dst_off=b_off * ELEM, lane=lane,
                                     deps=(staged,))
+        ctx.phase("chunk.htod", batch=batch.index, gpu=batch.gpu,
+                  elements=size)
         prev = (htod,)
+    ctx.phase("batch.staged", batch=batch.index, gpu=batch.gpu,
+              elements=batch.size)
     done = yield from rt.sort_async(dev, batch.size, stream, deps=prev)
     sort_span = yield done  # blocking semantics: host waits for the sort
+    ctx.phase("batch.sorted", batch=batch.index, gpu=batch.gpu,
+              elements=batch.size)
     prev = (sort_span,)
     last = sort_span
     for a_off, b_off, size in ctx.plan.chunks(batch):
@@ -126,8 +132,12 @@ def pageable_blocking_batch(ctx: RunContext, batch: Batch,
                                 MemcpyKind.HOST_TO_DEVICE,
                                 src_off=batch.offset_bytes, lane=lane,
                                 deps=deps)
+    ctx.phase("chunk.htod", batch=batch.index, gpu=batch.gpu,
+              elements=batch.size)
     done = yield from rt.sort_async(dev, batch.size, stream, deps=(htod,))
     sort_span = yield done
+    ctx.phase("batch.sorted", batch=batch.index, gpu=batch.gpu,
+              elements=batch.size)
     dtoh = yield from rt.memcpy(out, dev, batch.nbytes,
                                 MemcpyKind.DEVICE_TO_HOST,
                                 dst_off=batch.offset_bytes, lane=lane,
@@ -173,7 +183,11 @@ def async_stream_batch(ctx: RunContext, batch: Batch,
                                         MemcpyKind.HOST_TO_DEVICE, stream,
                                         dst_off=b_off * ELEM, deps=(staged,))
         sync = yield from stream.synchronize(deps=(staged,))
+        ctx.phase("chunk.htod", batch=batch.index, gpu=batch.gpu,
+                  elements=size)
         prev = (sync if sync is not None else ev.value,)
+    ctx.phase("batch.staged", batch=batch.index, gpu=batch.gpu,
+              elements=batch.size)
     yield from rt.sort_async(dev, batch.size, stream, deps=prev)
     # No explicit sync: the DtoH below queues behind the sort in-stream.
     last = prev[0]
@@ -216,6 +230,8 @@ def pair_merge_scheduler(ctx: RunContext):
         first = yield ctx.sorted_runs.get()
         second = yield ctx.sorted_runs.get()
         out = SortedRun(size=first.size + second.size, from_pair=True)
+        ctx.phase("merge.started", kind="pair", index=len(merged),
+                  elements=out.size)
 
         def work(first=first, second=second, out=out):
             if ctx.functional:
@@ -229,6 +245,8 @@ def pair_merge_scheduler(ctx: RunContext):
         out.producer_id = span.id
         merged.append(out)
         ctx.obs.incr("pair_merges.completed")
+        ctx.phase("merge.done", kind="pair", index=len(merged) - 1,
+                  elements=out.size)
     return merged
 
 
@@ -255,6 +273,8 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
     # buffer-handoff edges W -> merge of the span DAG.
     producers = tuple(r.producer_id for r in runs if r.producer_id is not None)
 
+    ctx.phase("merge.started", kind="multiway", k=len(runs),
+              elements=total)
     if len(runs) == 1:
         run = runs[0]
 
@@ -265,6 +285,7 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
         yield from ctx.machine.host_memcpy(
             total * ELEM, threads=ctx.merge_threads, label="W->B",
             lane="cpu.merge", work=copy_work, deps=producers)
+        ctx.phase("merge.done", kind="multiway", k=1, elements=total)
         return
 
     def work():
@@ -275,3 +296,4 @@ def final_multiway(ctx: RunContext, extra_runs: _t.Sequence[SortedRun] = ()):
         total, k=len(runs), threads=ctx.merge_threads,
         label=f"multiway(k={len(runs)})", lane="cpu.merge",
         category=CAT.MERGE, work=work, deps=producers)
+    ctx.phase("merge.done", kind="multiway", k=len(runs), elements=total)

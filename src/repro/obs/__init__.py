@@ -28,7 +28,14 @@ quantities:
   paper's, and anomaly flags;
 * :mod:`repro.obs.profile` -- wall-clock profiling of the *real* numpy
   kernels behind a zero-overhead-when-disabled toggle (never affects the
-  simulated timeline or the sorted output).
+  simulated timeline or the sorted output);
+* :mod:`repro.obs.events` / :mod:`repro.obs.sinks` -- the typed
+  publish/subscribe telemetry bus and its shipped sinks: byte-stable
+  ``repro.events/v1`` JSONL structured logs (replayable back into a
+  trace), rolling live aggregation with ETA, a throttled terminal
+  renderer (``repro run --live`` / ``repro watch``), and a stall/
+  deadline watchdog.  Sinks are passive: attaching or detaching any of
+  them never perturbs the simulated timeline or the canonical report.
 """
 
 from repro.obs.causal import (CausalGraphError, SpanGraph,
@@ -41,13 +48,21 @@ from repro.obs.counters import CounterSeries, MetricsRecorder
 from repro.obs.diff import (canonical_json, check_regression, diff_reports,
                             load_report, render_diff, report_from_trace,
                             run_report, write_report)
+from repro.obs.events import (EV, EVENTS_SCHEMA, EventBus, Sink,
+                              TelemetryEvent, connect_context,
+                              connect_machine)
 from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
                                critical_path_lower_bound, detect_bubbles,
                                lane_metrics, link_throughput,
                                overlap_efficiency)
-from repro.obs.profile import (disable_profiling, enable_profiling,
-                               profiled, profiling_enabled, profiling_stats,
+from repro.obs.profile import (KernelStats, disable_profiling,
+                               enable_profiling, profiled,
+                               profiling_enabled, profiling_stats,
                                reset_profiling)
+from repro.obs.profile import snapshot as profiling_snapshot
+from repro.obs.sinks import (JsonlSink, LiveAggregator, TtySink,
+                             WatchdogSink, read_events, replay_events,
+                             validate_event_log, validate_events)
 from repro.obs.sweep import (GRIDS, ledger_record, load_ledger, run_sweep,
                              sweep_points, write_ledger)
 
@@ -66,4 +81,10 @@ __all__ = [
     "fit_line", "group_conformance", "conformance_summary",
     "profiled", "enable_profiling", "disable_profiling",
     "profiling_enabled", "profiling_stats", "reset_profiling",
+    "KernelStats", "profiling_snapshot",
+    "EV", "EVENTS_SCHEMA", "TelemetryEvent", "Sink", "EventBus",
+    "connect_machine", "connect_context",
+    "JsonlSink", "LiveAggregator", "TtySink", "WatchdogSink",
+    "read_events", "replay_events", "validate_events",
+    "validate_event_log",
 ]

@@ -92,6 +92,11 @@ class MetricsRecorder:
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.series: dict[str, CounterSeries] = {}
         self._totals: dict[str, float] = {}
+        #: Streaming telemetry: optional
+        #: :class:`~repro.obs.events.EventBus` that every recorded
+        #: sample is also published to as a ``counter`` event (so the
+        #: JSONL event log can reconstruct the series exactly).
+        self.bus = None
 
     def series_for(self, name: str, unit: str = "") -> CounterSeries:
         """The series called ``name``, created on first use."""
@@ -105,12 +110,16 @@ class MetricsRecorder:
     def sample(self, name: str, value: float, unit: str = "") -> None:
         """Record a gauge sample at the current simulated time."""
         self.series_for(name, unit=unit).add(self.clock(), float(value))
+        if self.bus is not None:
+            self.bus.counter(name, float(value), unit=unit)
 
     def incr(self, name: str, delta: float = 1.0, unit: str = "") -> None:
         """Advance a monotonically accumulating counter by ``delta``."""
         total = self._totals.get(name, 0.0) + delta
         self._totals[name] = total
         self.series_for(name, unit=unit).add(self.clock(), total)
+        if self.bus is not None:
+            self.bus.counter(name, total, unit=unit)
 
     def probe(self, name: str, getter: _t.Callable[[_t.Any], float]
               ) -> _t.Callable[[_t.Any], None]:

@@ -1,0 +1,223 @@
+"""The streaming telemetry bus: typed publish/subscribe events emitted
+*while* a heterogeneous sort runs.
+
+Everything built by the earlier observability layers (metrics, causal
+tracing, conformance) is post-hoc -- nothing is visible until the run
+finishes.  The :class:`EventBus` closes that blind spot: instrumented
+emission points inside the simulator publish typed
+:class:`TelemetryEvent` s as they happen --
+
+* ``span``    -- every :meth:`repro.sim.trace.Trace.record` call;
+* ``queue``   -- every :class:`~repro.sim.resources.Resource` /
+  :class:`~repro.sim.resources.Store` state change (queue depths,
+  units in use);
+* ``counter`` -- every :class:`~repro.obs.counters.MetricsRecorder`
+  sample;
+* ``phase``   -- pipeline phase transitions published by the approach
+  runners (batch staged, chunk HtoD'd, run sorted, merge started);
+* ``run.start`` / ``run.end`` -- run lifecycle with the plan context;
+* ``warning`` -- stall / deadline diagnostics published by the
+  :class:`~repro.obs.sinks.WatchdogSink`.
+
+Subscribers implement the :class:`Sink` protocol
+(:mod:`repro.obs.sinks` ships a byte-stable JSONL structured log, a
+rolling aggregator with ETA, a throttled TTY renderer and a stall /
+deadline watchdog).
+
+**The neutrality invariant.**  Emission is strictly passive: no bus or
+sink may schedule simulation events, request resources, or otherwise
+touch the :class:`~repro.sim.engine.Environment`.  Attaching or
+detaching any sink therefore never perturbs the simulated timeline or
+the canonical run report -- the determinism tests pin this byte for
+byte.  With no bus attached every emission point is a single ``is
+None`` check (the same zero-overhead-when-disabled contract the
+counter probes and kernel profiler follow).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+__all__ = ["EV", "TelemetryEvent", "Sink", "EventBus",
+           "connect_machine", "connect_context"]
+
+#: Schema identifier of the serialized event stream (see
+#: :class:`repro.obs.sinks.JsonlSink`).
+EVENTS_SCHEMA = "repro.events/v1"
+
+
+class EV:
+    """Canonical telemetry event kinds."""
+
+    RUN_START = "run.start"   #: run lifecycle: plan + config context
+    RUN_END = "run.end"       #: run lifecycle: elapsed / makespan
+    SPAN = "span"             #: a trace span was recorded
+    QUEUE = "queue"           #: a resource/store queue changed state
+    COUNTER = "counter"       #: a counter/gauge sample was recorded
+    PHASE = "phase"           #: a pipeline phase transition
+    WARNING = "warning"       #: watchdog diagnostics (stall, deadline)
+
+    ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One published telemetry event.
+
+    ``t`` is *simulated* seconds (the bus clock), ``seq`` the bus-wide
+    monotonic sequence number; together they give every event a stable,
+    deterministic identity -- the property the byte-stable JSONL log
+    relies on.
+    """
+
+    kind: str
+    t: float
+    seq: int
+    data: dict
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (one ``repro.events/v1`` line)."""
+        return {"kind": self.kind, "t": self.t, "seq": self.seq,
+                "data": self.data}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TelemetryEvent":
+        return cls(kind=doc["kind"], t=doc["t"], seq=doc["seq"],
+                   data=dict(doc.get("data", {})))
+
+
+class Sink:
+    """Base class for event-bus subscribers.
+
+    Subclasses override :meth:`emit`; the other hooks are optional.
+    Sinks are observers only -- they must never schedule simulation
+    events or mutate simulation state (the neutrality invariant).
+    """
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Receive one published event."""
+
+    def on_step(self, bus: "EventBus") -> None:
+        """Called after every engine step (``bus.steps`` counts them).
+
+        Engine steps are deliberately *not* published as events -- they
+        would dominate the log -- but step granularity is what the
+        watchdog's stall detection and the TTY renderer's refresh need.
+        """
+
+    def close(self) -> None:
+        """Flush and release any resources (end of run / end of watch)."""
+
+
+class EventBus:
+    """Typed publish/subscribe fan-out for telemetry events.
+
+    ``clock`` is a zero-argument callable returning the current
+    simulated time (normally ``lambda: env.now``); every published
+    event is stamped with it plus a monotonic sequence number.
+    """
+
+    def __init__(self, clock: _t.Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._sinks: list[Sink] = []
+        self._seq = 0
+        #: Engine steps observed so far (driven by the engine hook).
+        self.steps = 0
+
+    # -- subscription --------------------------------------------------------
+
+    def attach(self, sink: Sink) -> Sink:
+        """Subscribe ``sink``; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        """Unsubscribe a sink added with :meth:`attach`."""
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return tuple(self._sinks)
+
+    def close(self) -> None:
+        """Close every attached sink (in attachment order)."""
+        for sink in self._sinks:
+            sink.close()
+
+    # -- publishing ----------------------------------------------------------
+
+    def emit(self, kind: str, /, **data) -> TelemetryEvent:
+        """Publish one event to every sink; returns it."""
+        event = TelemetryEvent(kind=kind, t=self.clock(), seq=self._seq,
+                               data=data)
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    # Typed emission helpers -- one per instrumented emission point.
+
+    def span(self, span) -> None:
+        """A :class:`~repro.sim.trace.Span` was recorded (full record:
+        the JSONL log can be replayed back into a ``Trace``)."""
+        self.emit(EV.SPAN, id=span.id, category=span.category,
+                  label=span.label, start=span.start, end=span.end,
+                  lane=span.lane, nbytes=span.nbytes,
+                  elements=span.elements,
+                  meta=[list(kv) for kv in span.meta],
+                  deps=list(span.deps))
+
+    def queue(self, name: str, depth: int, **state) -> None:
+        """A resource/store queue changed (``depth`` = waiters/items)."""
+        self.emit(EV.QUEUE, name=name, depth=depth, **state)
+
+    def counter(self, name: str, value: float, unit: str = "") -> None:
+        """A counter/gauge sample was recorded."""
+        self.emit(EV.COUNTER, name=name, value=value, unit=unit)
+
+    def phase(self, name: str, **data) -> None:
+        """A pipeline phase transition (published by approach runners)."""
+        self.emit(EV.PHASE, name=name, **data)
+
+    def warning(self, code: str, message: str, **data) -> None:
+        """A watchdog diagnostic (stall, deadline overrun)."""
+        self.emit(EV.WARNING, code=code, message=message, **data)
+
+    # -- engine hook ---------------------------------------------------------
+
+    def _on_step(self, env) -> None:
+        """Called by :meth:`repro.sim.engine.Environment.step` after each
+        processed event; fans out to the sinks' ``on_step`` hooks."""
+        self.steps += 1
+        for sink in self._sinks:
+            sink.on_step(self)
+
+
+# ---------------------------------------------------------------------------
+# Wiring
+# ---------------------------------------------------------------------------
+
+def connect_machine(bus: EventBus, machine) -> None:
+    """Wire ``bus`` into every emission point of a
+    :class:`~repro.hw.machine.Machine`: the engine step hook, the trace,
+    the core pool and each GPU's kernel/copy engines."""
+    machine.env.bus = bus
+    machine.trace.bus = bus
+    machine.cores.bus = bus
+    for gpu in machine.gpus:
+        gpu.kernel_engine.bus = bus
+        for engine in gpu.copy_engines.values():
+            engine.bus = bus
+    if machine.recorder is not None:
+        machine.recorder.bus = bus
+
+
+def connect_context(bus: EventBus, ctx) -> None:
+    """Wire ``bus`` into a :class:`~repro.hetsort.context.RunContext`:
+    the machine (see :func:`connect_machine`), the run's counter
+    recorder, and the sorted-run hand-off queue."""
+    connect_machine(bus, ctx.machine)
+    ctx.obs.bus = bus
+    ctx.sorted_runs.bus = bus
+    ctx.bus = bus

@@ -15,14 +15,15 @@ measurements never touch the :class:`~repro.sim.engine.Environment`).
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import time
 import typing as _t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "KernelStats", "profiled", "enable_profiling", "disable_profiling",
-    "profiling_enabled", "profiling_stats", "reset_profiling",
+    "profiling_enabled", "profiling_stats", "reset_profiling", "snapshot",
 ]
 
 _ENABLED = False
@@ -31,19 +32,25 @@ _STATS: dict[str, "KernelStats"] = {}
 
 @dataclass
 class KernelStats:
-    """Accumulated wall-clock statistics for one kernel name."""
+    """Accumulated wall-clock statistics for one kernel name.
+
+    Every field is strict JSON: ``min_s`` of an empty accumulator is
+    ``0.0``, never ``inf`` (which :func:`json.dumps` would serialize as
+    the non-standard ``Infinity`` literal).
+    """
 
     name: str
     calls: int = 0
     total_s: float = 0.0
-    min_s: float = field(default=float("inf"))
+    min_s: float = 0.0
     max_s: float = 0.0
     elements: int = 0
 
     def record(self, seconds: float, elements: int = 0) -> None:
         self.calls += 1
+        self.min_s = (seconds if self.calls == 1
+                      else min(self.min_s, seconds))
         self.total_s += seconds
-        self.min_s = min(self.min_s, seconds)
         self.max_s = max(self.max_s, seconds)
         self.elements += elements
 
@@ -54,6 +61,16 @@ class KernelStats:
     @property
     def elements_per_s(self) -> float:
         return self.elements / self.total_s if self.total_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """Strict-JSON form (derived rates included)."""
+        return {
+            "name": self.name, "calls": self.calls,
+            "total_s": self.total_s, "min_s": self.min_s,
+            "max_s": self.max_s, "mean_s": self.mean_s,
+            "elements": self.elements,
+            "elements_per_s": self.elements_per_s,
+        }
 
 
 def enable_profiling() -> None:
@@ -78,8 +95,22 @@ def reset_profiling() -> None:
 
 
 def profiling_stats() -> dict[str, KernelStats]:
-    """Accumulated stats by kernel name (live view; copy to snapshot)."""
+    """Accumulated stats by kernel name (live view; see :func:`snapshot`
+    for a frozen copy)."""
     return _STATS
+
+
+def snapshot() -> dict[str, KernelStats]:
+    """A frozen, name-sorted copy of the accumulated stats.
+
+    Each entry is an independent :class:`KernelStats` copy: later kernel
+    calls (or :func:`reset_profiling`) never mutate a snapshot, so it is
+    safe to diff two snapshots or serialize one
+    (``{k: s.to_dict() for k, s in snapshot().items()}``) while
+    profiling continues.
+    """
+    return {name: dataclasses.replace(_STATS[name])
+            for name in sorted(_STATS)}
 
 
 def _record(name: str, seconds: float, elements: int) -> None:

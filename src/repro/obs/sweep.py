@@ -132,15 +132,19 @@ def sweep_points(grid: str) -> list[dict]:
     return [dict(pt, run_id=_run_id(pt)) for pt in build()]
 
 
-def run_point(pt: dict):
-    """Run one grid point; returns its SortResult."""
+def run_point(pt: dict, sinks: _t.Sequence = ()):
+    """Run one grid point; returns its SortResult.
+
+    ``sinks`` optionally attaches streaming-telemetry subscribers
+    (:class:`~repro.obs.events.Sink`) -- passive by contract, so a
+    sweep's ledger bytes are identical with or without them."""
     from repro.hetsort.sorter import HeterogeneousSorter
     from repro.hw.platforms import get_platform
     platform = get_platform(pt["platform"])
     config_kw = {k: pt[k] for k in _CONFIG_KEYS if pt.get(k) is not None}
     sorter = HeterogeneousSorter(platform, n_gpus=pt["n_gpus"],
                                  **config_kw)
-    return sorter.sort(n=pt["n"])
+    return sorter.sort(n=pt["n"], sinks=sinks)
 
 
 def ledger_record(result, pt: dict, model: "LowerBoundModel") -> dict:

@@ -1,0 +1,101 @@
+"""Render :class:`~repro.obs.sinks.LiveAggregator` snapshots as text.
+
+Two views of the same snapshot dict:
+
+* :func:`render_snapshot` -- a multi-line frame (progress bar, per-lane
+  utilization/throughput, queue depths, ETA) for
+  :class:`~repro.obs.sinks.TtySink`'s in-place redraw and the final
+  summary of ``repro watch``;
+* :func:`render_plain_line` -- one line per sample for non-TTY output
+  (CI logs, piped output).
+"""
+
+from __future__ import annotations
+
+from repro.reporting.table import format_count, format_seconds
+
+__all__ = ["render_snapshot", "render_plain_line", "render_bar"]
+
+
+def render_bar(fraction: float | None, width: int = 30) -> str:
+    """An ASCII progress bar; unknown fractions render as indeterminate."""
+    if fraction is None:
+        return "[" + "." * width + "]  ?"
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return ("[" + "#" * filled + "-" * (width - filled) +
+            f"] {fraction:4.0%}")
+
+
+def _format_rate(bytes_per_s: float) -> str:
+    if bytes_per_s >= 1e9:
+        return f"{bytes_per_s / 1e9:6.2f} GB/s"
+    if bytes_per_s >= 1e6:
+        return f"{bytes_per_s / 1e6:6.2f} MB/s"
+    return f"{bytes_per_s:6.0f} B/s"
+
+
+def render_snapshot(snap: dict, width: int = 72) -> str:
+    """The full live frame for one aggregator snapshot."""
+    run = snap.get("run", {})
+    prog = snap.get("progress", {})
+    lines = []
+    head = f"{run.get('approach', '?')} on {run.get('platform', '?')}"
+    if run.get("n"):
+        head += (f"  n={format_count(run['n'])}"
+                 f"  gpus={run.get('n_gpus', '?')}"
+                 f"  streams={run.get('n_streams', '?')}")
+    lines.append(head)
+
+    bar_w = max(10, width - 34)
+    frac = prog.get("fraction")
+    batches = prog.get("batches_completed", 0)
+    n_batches = prog.get("n_batches")
+    label = (f"batches {batches}/{n_batches}" if n_batches
+             else f"batches {batches}")
+    if prog.get("merge_started"):
+        label += " +merge"
+    lines.append(f"  {render_bar(frac, bar_w)}  {label}")
+
+    eta = snap.get("eta_s")
+    t_line = f"  t={format_seconds(snap.get('t', 0.0))}"
+    if snap.get("ended"):
+        t_line += f"  done in {format_seconds(snap.get('elapsed_s') or 0.0)}"
+    elif eta is not None:
+        t_line += f"  eta~{format_seconds(eta)}"
+    lines.append(t_line)
+
+    for name, lane in snap.get("lanes", {}).items():
+        lines.append(
+            f"  {name:<18s} {lane['utilization']:5.1%} busy  "
+            f"{_format_rate(lane['throughput_B_s'])}  "
+            f"{lane['spans']:5d} spans")
+
+    queues = snap.get("queues", {})
+    if queues:
+        depths = "  ".join(f"{n}={d}" for n, d in queues.items())
+        lines.append(f"  queues: {depths}")
+
+    if snap.get("warnings"):
+        lines.append(f"  ! {snap['warnings']} warning(s): "
+                     f"{snap.get('last_warning')}")
+    return "\n".join(lines)
+
+
+def render_plain_line(snap: dict) -> str:
+    """One compact progress line (the non-TTY / CI degradation)."""
+    prog = snap.get("progress", {})
+    frac = prog.get("fraction")
+    pct = f"{frac:4.0%}" if frac is not None else "   ?"
+    eta = snap.get("eta_s")
+    eta_s = f" eta~{format_seconds(eta)}" if eta is not None else ""
+    busiest = ""
+    lanes = snap.get("lanes", {})
+    if lanes:
+        name, lane = max(lanes.items(),
+                         key=lambda kv: kv[1]["utilization"])
+        busiest = f" busiest={name}@{lane['utilization']:.0%}"
+    warn = f" warnings={snap['warnings']}" if snap.get("warnings") else ""
+    return (f"live t={snap.get('t', 0.0):9.4f}s {pct} "
+            f"batches={prog.get('batches_completed', 0)}"
+            f"/{prog.get('n_batches') or '?'}{eta_s}{busiest}{warn}")

@@ -133,6 +133,13 @@ class Environment:
         self._seq = count()
         self.active_processes = 0
         self._monitors: list[_t.Callable[["Environment"], None]] = []
+        #: Streaming telemetry: an optional
+        #: :class:`~repro.obs.events.EventBus` notified after every
+        #: processed event (its sinks' ``on_step`` hooks drive watchdog
+        #: stall detection and display refresh).  ``None`` (the default)
+        #: costs one truthiness check per step; the bus is an observer
+        #: and must never schedule events.
+        self.bus = None
 
     # -- observability -------------------------------------------------------
 
@@ -236,6 +243,8 @@ class Environment:
         if self._monitors:
             for monitor in self._monitors:
                 monitor(self)
+        if self.bus is not None:
+            self.bus._on_step(self)
 
     def run(self, until: float | Event | None = None) -> _t.Any:
         """Run the simulation.

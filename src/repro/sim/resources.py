@@ -51,6 +51,11 @@ class Resource:
         #: state change (request queued, units granted, units released).
         #: Must not schedule events; ``None`` costs nothing.
         self.probe: _t.Callable[["Resource"], None] | None = None
+        #: Streaming telemetry: an optional
+        #: :class:`~repro.obs.events.EventBus` that queue-depth changes
+        #: are published to as ``queue`` events.  Like :attr:`probe`,
+        #: ``None`` costs nothing and publication is passive.
+        self.bus = None
         #: Causal tracing: the trace span (or span id) of the operation
         #: whose :meth:`release` most recently returned units.  A request
         #: that had to *wait* was unblocked by that release, so the waiter
@@ -98,6 +103,8 @@ class Resource:
         self._grant()
         if self.probe is not None:
             self.probe(self)
+        if self.bus is not None:
+            self._publish()
         return ev
 
     def release(self, units: int = 1, span: _t.Any = None) -> None:
@@ -119,6 +126,12 @@ class Resource:
         self._grant()
         if self.probe is not None:
             self.probe(self)
+        if self.bus is not None:
+            self._publish()
+
+    def _publish(self) -> None:
+        self.bus.queue(self.name, depth=len(self._waiting),
+                       in_use=self.in_use, capacity=self.capacity)
 
     def _grant(self) -> None:
         while self._waiting:
@@ -150,6 +163,10 @@ class Store:
         #: Observability probe: called as ``probe(self)`` after every put
         #: or (successful) get.  Must not schedule events.
         self.probe: _t.Callable[["Store"], None] | None = None
+        #: Streaming telemetry: optional
+        #: :class:`~repro.obs.events.EventBus` for ``queue`` events
+        #: (item depth and blocked getters after each put/get).
+        self.bus = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -167,6 +184,8 @@ class Store:
             self._items.append(item)
         if self.probe is not None:
             self.probe(self)
+        if self.bus is not None:
+            self._publish()
 
     def get(self) -> Event:
         """Return an event that fires with the next available item."""
@@ -177,6 +196,8 @@ class Store:
             self._getters.append(ev)
         if self.probe is not None:
             self.probe(self)
+        if self.bus is not None:
+            self._publish()
         return ev
 
     def try_get(self) -> tuple[bool, _t.Any]:
@@ -185,5 +206,11 @@ class Store:
             item = self._items.popleft()
             if self.probe is not None:
                 self.probe(self)
+            if self.bus is not None:
+                self._publish()
             return True, item
         return False, None
+
+    def _publish(self) -> None:
+        self.bus.queue(self.name, depth=len(self._items),
+                       getters=len(self._getters))

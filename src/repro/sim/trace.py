@@ -97,6 +97,12 @@ class Trace:
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+        #: Streaming telemetry: an optional
+        #: :class:`~repro.obs.events.EventBus` that every recorded span
+        #: is published to as a ``span`` event.  ``None`` (the default)
+        #: costs a single truthiness check per record; publication is
+        #: passive and never alters the trace.
+        self.bus = None
 
     def record(self, category: str, label: str, start: float, end: float,
                lane: str = "", nbytes: float = 0.0, elements: int = 0,
@@ -126,6 +132,8 @@ class Trace:
                     _normalize_meta(meta), id=sid,
                     deps=tuple(sorted(dep_ids)))
         self.spans.append(span)
+        if self.bus is not None:
+            self.bus.span(span)
         return span
 
     def span_by_id(self, span_id: int) -> Span:

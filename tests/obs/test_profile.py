@@ -89,3 +89,47 @@ def test_size_of_errors_are_swallowed():
     prof.enable_profiling()
     assert fn(1) == 2
     assert prof.profiling_stats()["boom"].elements == 0
+
+
+def test_stats_are_json_safe():
+    """Even an empty accumulator serializes as strict JSON -- no bare
+    ``inf`` in ``min_s``."""
+    import json
+
+    empty = prof.KernelStats("nothing")
+    doc = json.dumps(empty.to_dict(), allow_nan=False)   # raises on inf
+    assert json.loads(doc)["min_s"] == 0.0
+
+    prof.enable_profiling()
+    sort_floats(np.array([2.0, 1.0]))
+    s = prof.profiling_stats()["radix.sort_floats"]
+    loaded = json.loads(json.dumps(s.to_dict(), allow_nan=False))
+    assert loaded["calls"] == 1
+    assert 0.0 <= loaded["min_s"] <= loaded["max_s"]
+    assert loaded["mean_s"] == pytest.approx(s.mean_s)
+
+
+def test_min_s_tracks_the_fastest_call():
+    s = prof.KernelStats("k")
+    s.record(0.5)
+    assert s.min_s == 0.5                 # first call seeds the minimum
+    s.record(0.2)
+    s.record(0.9)
+    assert s.min_s == 0.2
+    assert s.max_s == 0.9
+
+
+def test_snapshot_is_frozen_and_sorted():
+    prof.enable_profiling()
+    sort_floats(np.array([2.0, 1.0]))
+    snap = prof.snapshot()
+    assert list(snap) == sorted(snap)
+    frozen = snap["radix.sort_floats"]
+    assert frozen == prof.profiling_stats()["radix.sort_floats"]
+    assert frozen is not prof.profiling_stats()["radix.sort_floats"]
+
+    sort_floats(np.array([4.0, 3.0, 0.0]))       # later calls...
+    assert frozen.calls == 1                     # ...never mutate it
+    assert prof.profiling_stats()["radix.sort_floats"].calls == 2
+    prof.reset_profiling()
+    assert frozen.calls == 1                     # reset doesn't either

@@ -284,3 +284,75 @@ def test_sweep_ledger_byte_stable(tmp_path):
     assert run_cli("sweep", "--grid", "tiny", "--ledger", str(b),
                    "--quiet")[0] == 0
     assert a.read_bytes() == b.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Live telemetry: --live / --events / watch
+# ---------------------------------------------------------------------------
+
+def test_run_with_events_log(tmp_path):
+    from repro.obs import validate_event_log
+    log = tmp_path / "run.events.jsonl"
+    code, text = run_cli("--n", "1e6", "--batch-size", "2.5e5",
+                         "--pinned", "5e4", "--events", str(log))
+    assert code == 0
+    assert "wrote event log" in text
+    summary = validate_event_log(log)
+    assert summary["counts"]["run.start"] == 1
+    assert summary["counts"]["run.end"] == 1
+    assert summary["counts"]["span"] > 0
+
+
+def test_run_live_non_tty():
+    code, text = run_cli("--n", "1e9", "--approach", "pipedata",
+                         "--batch-size", "2.5e8", "--live")
+    assert code == 0
+    assert any(ln.startswith("live ") for ln in text.splitlines())
+    assert "pipedata on PLATFORM1" in text   # the final frame
+    assert "batches 4/4" in text
+
+
+def test_run_deadline_warning(tmp_path):
+    from repro.obs import EV, read_events
+    log = tmp_path / "run.events.jsonl"
+    code, _ = run_cli("--n", "1e6", "--batch-size", "2.5e5",
+                      "--pinned", "5e4", "--deadline", "1e-4",
+                      "--events", str(log))
+    assert code == 0
+    _, events = read_events(log)
+    assert any(e.kind == EV.WARNING and e.data["code"] == "deadline"
+               for e in events)
+
+
+def test_watch_subcommand(tmp_path):
+    log = tmp_path / "run.events.jsonl"
+    run_cli("--n", "1e9", "--approach", "pipedata",
+            "--batch-size", "2.5e8", "--events", str(log))
+    code, text = run_cli("watch", str(log))
+    assert code == 0
+    assert any(ln.startswith("live ") for ln in text.splitlines())
+    assert "pipedata on PLATFORM1" in text
+    assert "done in" in text
+
+
+def test_watch_json_snapshot(tmp_path):
+    import json
+    log = tmp_path / "run.events.jsonl"
+    run_cli("--n", "1e6", "--batch-size", "2.5e5", "--pinned", "5e4",
+            "--events", str(log))
+    code, text = run_cli("watch", str(log), "--json")
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["ended"] is True
+    assert doc["progress"]["fraction"] == 1.0
+
+
+def test_watch_rejects_bad_log(tmp_path):
+    code, text = run_cli("watch", str(tmp_path / "missing.jsonl"))
+    assert code == 2
+    assert "cannot read" in text
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"schema":"something/else"}\n')
+    code, text = run_cli("watch", str(bad))
+    assert code == 2
+    assert "invalid event log" in text
