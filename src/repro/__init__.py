@@ -20,13 +20,15 @@ Quick start::
 """
 
 from repro.errors import (CalibrationError, CudaError, CudaInvalidValue,
-                          CudaOutOfMemory, PlanError, ReproError,
+                          CudaOutOfMemory, FaultPlanError, GpuLostError,
+                          PlanError, ReproError, RetryExhaustedError,
                           SimulationError, ValidationError)
-from repro.hetsort import (Approach, HeterogeneousSorter, SortConfig,
-                           SortPlan, SortResult, Staging,
+from repro.hetsort import (Approach, HeterogeneousSorter, RetryPolicy,
+                           SortConfig, SortPlan, SortResult, Staging,
                            cpu_reference_sort, make_plan)
 from repro.hw import (PLATFORM1, PLATFORM2, PLATFORMS, Machine,
                       PlatformSpec, get_platform)
+from repro.sim import FaultPlan, FaultSpec
 
 __version__ = "1.0.0"
 
@@ -38,5 +40,7 @@ __all__ = [
     "Machine",
     "ReproError", "SimulationError", "CudaError", "CudaOutOfMemory",
     "CudaInvalidValue", "PlanError", "ValidationError", "CalibrationError",
+    "GpuLostError", "RetryExhaustedError", "FaultPlanError",
+    "FaultPlan", "FaultSpec", "RetryPolicy",
     "__version__",
 ]

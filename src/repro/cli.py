@@ -40,6 +40,12 @@ Live telemetry -- watch a run as it executes, keep the event log::
 
     python -m repro --n 2e9 --batch-size 2e8 --live --events run.events.jsonl
     python -m repro watch run.events.jsonl
+
+Chaos -- inject deterministic faults, verify the run still sorts::
+
+    python -m repro chaos --fault-seed 7 --approach pipemerge \
+        --plan-out plan.json --events chaos.events.jsonl
+    python -m repro --functional 200000 --faults plan.json
 """
 
 from __future__ import annotations
@@ -57,7 +63,8 @@ from repro.workloads import generate
 __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_critical_path_parser", "build_whatif_parser",
            "build_diff_parser", "build_sweep_parser",
-           "build_conformance_parser", "build_watch_parser"]
+           "build_conformance_parser", "build_watch_parser",
+           "build_chaos_parser"]
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -87,6 +94,10 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--report", metavar="PATH", default=None,
                    help="write the run report JSON (input to `repro diff` "
                         "and the regression gate)")
+    p.add_argument("--faults", metavar="PATH", default=None,
+                   help="attach a repro.faults/v1 fault plan (JSON, see "
+                        "`repro chaos`); injected faults are retried / "
+                        "degraded deterministically")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -254,6 +265,101 @@ def build_watch_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort chaos",
+        description="Run one *functional* sort under a deterministic "
+                    "fault plan (transient PCIe faults, allocation "
+                    "failures, device loss, bandwidth windows) and verify "
+                    "the output is still a sorted permutation.  Exit 0: "
+                    "survived (recovered/degraded); exit 3: the run "
+                    "failed with a typed error.  Same seed, same bytes.")
+    p.add_argument("--platform", default="PLATFORM1",
+                   help="PLATFORM1 (GP100) or PLATFORM2 (2x K40m)")
+    p.add_argument("--gpus", type=int, default=1, help="GPUs to use")
+    p.add_argument("--approach", default="pipemerge",
+                   choices=Approach.ALL)
+    p.add_argument("--functional", type=int, default=100_000, metavar="N",
+                   help="input elements to really sort (default 100000)")
+    p.add_argument("--distribution", default="uniform")
+    p.add_argument("--batch-size", type=float, default=None)
+    p.add_argument("--streams", type=int, default=2)
+    p.add_argument("--pinned", type=float, default=1e6)
+    p.add_argument("--memcpy-threads", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0,
+                   help="input-data seed")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="generate a random fault plan from this seed")
+    p.add_argument("--plan", metavar="PATH", default=None,
+                   help="load an explicit repro.faults/v1 plan instead")
+    p.add_argument("--plan-out", metavar="PATH", default=None,
+                   help="write the (generated) plan as canonical JSON")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="write the run's JSONL event log")
+    p.add_argument("--json", action="store_true",
+                   help="print the chaos verdict as canonical JSON")
+    return p
+
+
+def _run_chaos(argv, out) -> int:
+    parser = build_chaos_parser()
+    args = parser.parse_args(argv)
+    if (args.fault_seed is None) == (args.plan is None):
+        parser.error("pass exactly one of --fault-seed or --plan")
+    from repro.errors import FaultPlanError, ReproError
+    from repro.sim.faults import FaultPlan
+    if args.plan is not None:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except FaultPlanError as exc:
+            out.write(f"repro chaos: {exc}\n")
+            return 2
+    else:
+        plan = FaultPlan.random(args.fault_seed, n_gpus=args.gpus)
+    if args.plan_out:
+        plan.save(args.plan_out)
+        if not args.json:     # keep --json stdout pure JSON
+            out.write(f"wrote fault plan to {args.plan_out}\n")
+
+    sorter = _make_sorter(args)
+    sinks: list = []
+    if args.events:
+        from repro.obs import JsonlSink
+        sinks.append(JsonlSink(args.events))
+    data = generate(args.functional, args.distribution, seed=args.seed)
+    verdict = {"schema": "repro.chaos/v1", "plan": plan.to_dict(),
+               "approach": args.approach, "platform": args.platform,
+               "n": args.functional}
+    try:
+        res = sorter.sort(data, approach=args.approach, sinks=sinks,
+                          faults=plan)
+    except ReproError as exc:
+        verdict.update(survived=False, error=type(exc).__name__,
+                       message=str(exc))
+        if args.json:
+            from repro.obs import canonical_json
+            out.write(canonical_json(verdict) + "\n")
+        else:
+            out.write(f"chaos: run FAILED with {type(exc).__name__}: "
+                      f"{exc}\n")
+        return 3
+    verdict.update(survived=True, elapsed_s=res.elapsed,
+                   faults=res.meta.get("faults", {"fired": 0}),
+                   degrades=len(res.meta.get("degrades", [])))
+    if args.json:
+        from repro.obs import canonical_json
+        out.write(canonical_json(verdict) + "\n")
+        return 0
+    fired = verdict["faults"].get("fired", 0)
+    out.write(f"chaos: survived -- output verified sorted "
+              f"({fired} fault(s) fired, "
+              f"{verdict['degrades']} degradation(s), "
+              f"elapsed {res.elapsed:.6f} s)\n")
+    if args.events:
+        out.write(f"wrote event log to {args.events}\n")
+    return 0
+
+
 def _run_watch(argv, out) -> int:
     args = build_watch_parser().parse_args(argv)
     from repro.errors import EventLogError
@@ -305,6 +411,15 @@ def _build_sinks(args, out) -> list:
     return sinks
 
 
+def _load_faults(args):
+    """The --faults plan (or None).  A missing/foreign file raises
+    :class:`~repro.errors.FaultPlanError` (exit 2 at the call sites)."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.sim.faults import FaultPlan
+    return FaultPlan.load(args.faults)
+
+
 def _make_sorter(args) -> HeterogeneousSorter:
     platform = get_platform(args.platform)
     return HeterogeneousSorter(
@@ -319,13 +434,20 @@ def _make_sorter(args) -> HeterogeneousSorter:
 def _run_one(args, out) -> int:
     sorter = _make_sorter(args)
     sinks = _build_sinks(args, out)
+    from repro.errors import FaultPlanError
+    try:
+        faults = _load_faults(args)
+    except FaultPlanError as exc:
+        out.write(f"repro: {exc}\n")
+        return 2
     if args.functional is not None:
         data = generate(args.functional, args.distribution,
                         seed=args.seed)
-        res = sorter.sort(data, approach=args.approach, sinks=sinks)
+        res = sorter.sort(data, approach=args.approach, sinks=sinks,
+                          faults=faults)
     else:
         res = sorter.sort(n=int(args.n), approach=args.approach,
-                          sinks=sinks)
+                          sinks=sinks, faults=faults)
     if args.json:
         from repro.obs import canonical_json
         out.write(canonical_json(res.to_dict()) + "\n")
@@ -359,10 +481,11 @@ def _maybe_write_trace(args, res, out) -> None:
 def _run_sort(args):
     """Run one sort for the causal subcommands (timing or functional)."""
     sorter = _make_sorter(args)
+    faults = _load_faults(args)
     if args.functional is not None:
         data = generate(args.functional, args.distribution, seed=args.seed)
-        return sorter.sort(data, approach=args.approach)
-    return sorter.sort(n=int(args.n), approach=args.approach)
+        return sorter.sort(data, approach=args.approach, faults=faults)
+    return sorter.sort(n=int(args.n), approach=args.approach, faults=faults)
 
 
 def _run_critical_path(argv, out) -> int:
@@ -653,6 +776,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_conformance_cmd(argv[1:], out)
     if argv and argv[0] == "watch":
         return _run_watch(argv[1:], out)
+    if argv and argv[0] == "chaos":
+        return _run_chaos(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):

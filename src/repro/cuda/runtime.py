@@ -38,7 +38,7 @@ from repro.cuda.buffers import (DeviceBuffer, PageableBuffer, PinnedBuffer,
                                 copy_payload)
 from repro.cuda.enums import MemcpyKind
 from repro.cuda.stream import Stream
-from repro.errors import CudaInvalidValue
+from repro.errors import CudaInvalidValue, DeviceAllocFault
 from repro.hw.gpu import Direction
 from repro.hw.machine import Machine
 
@@ -103,8 +103,18 @@ class Runtime:
 
         (The call itself is modelled as free; its hidden pinned-staging
         cost is discussed but not separately measured by the paper.)
+
+        An injected ``alloc.device`` fault raises
+        :class:`~repro.errors.DeviceAllocFault` (a transient
+        ``CudaOutOfMemory``); the call is synchronous, so retry/backoff
+        happens at the caller (see
+        :func:`repro.hetsort.resilience.retry_call`).
         """
         self._check_gpu(gpu_index)
+        faults = self.machine.faults
+        if faults is not None and faults.on_device_alloc(gpu_index) is not None:
+            raise DeviceAllocFault(
+                f"injected cudaMalloc failure on gpu{gpu_index} ({name!r})")
         self.machine.gpus[gpu_index].alloc(nbytes)
         return DeviceBuffer(gpu_index, nbytes, data=data, name=name)
 

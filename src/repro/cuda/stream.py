@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro.errors import ReproError
 from repro.sim import CAT
 from repro.sim.engine import Environment
 from repro.sim.events import Event
@@ -47,14 +48,30 @@ class Stream:
         The completion event carries the factory's return value (the
         recorded span for runtime-issued copies and kernels), and
         :attr:`last_span` is updated with it.
+
+        A failing operation fails its completion event instead: the
+        error is delivered to whoever waits on it (typically the next
+        :meth:`synchronize`).  The event is defused so a fire-and-forget
+        op cannot abort the whole simulation, and a failed predecessor
+        does *not* poison later submissions -- they start once it
+        settles, preserving in-order timing, and succeed or fail on
+        their own (the recovery layer re-uses streams after a fallback).
         """
         done = Event(self.env)
         prev = self._tail
 
         def runner():
             if prev is not None and not prev.processed:
-                yield prev
-            value = yield from factory()
+                try:
+                    yield prev
+                except ReproError:
+                    pass
+            try:
+                value = yield from factory()
+            except ReproError as exc:
+                done.fail(exc)
+                done.defuse()
+                return
             if value is not None:
                 self.last_span = value
             done.succeed(value)
@@ -71,9 +88,16 @@ class Stream:
 
         Returns the recorded Sync span (``None`` when the platform models
         the call as free).  The span depends on the stream op it waited
-        for plus any explicit ``deps`` (host program order)."""
-        if self._tail is not None and not self._tail.processed:
-            yield self._tail
+        for plus any explicit ``deps`` (host program order).
+
+        A failed tail op raises its error here -- also when the failure
+        already settled before the synchronize was issued (the CUDA
+        "sticky stream error" surfacing at the next sync)."""
+        if self._tail is not None:
+            if not self._tail.processed:
+                yield self._tail
+            elif not self._tail._ok:
+                raise self._tail._value
         if self._sync_cost_s > 0:
             start = self.env.now
             yield self.env.timeout(self._sync_cost_s)

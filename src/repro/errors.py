@@ -33,6 +33,43 @@ class CudaInvalidValue(CudaError):
     buffers, mismatched devices, ...)."""
 
 
+class GpuLostError(CudaError):
+    """The device suffered a fatal, permanent failure (simulated ECC /
+    driver death): every subsequent allocation, kernel or transfer on it
+    fails, and operations already queued on its engines are failed."""
+
+
+class TransferFaultError(CudaError):
+    """An injected *transient* PCIe transfer failure (fault injection).
+    Retryable: the transfer may be re-issued after backoff."""
+
+
+class PinnedAllocFault(CudaOutOfMemory):
+    """An injected *transient* ``cudaMallocHost`` failure (fault
+    injection).  Retryable, unlike a genuine capacity exhaustion."""
+
+
+class DeviceAllocFault(CudaOutOfMemory):
+    """An injected *transient* ``cudaMalloc`` failure (fault injection).
+    Retryable, unlike a genuine capacity exhaustion."""
+
+
+#: Injected fault types a :class:`repro.hetsort.resilience.RetryPolicy`
+#: may retry.  Permanent failures (:class:`GpuLostError`) and genuine
+#: capacity exhaustion are deliberately not listed.
+TRANSIENT_FAULTS = (TransferFaultError, PinnedAllocFault, DeviceAllocFault)
+
+
+class RetryExhaustedError(ReproError):
+    """A bounded retry budget was exhausted without the operation ever
+    succeeding; ``__cause__`` carries the last injected fault."""
+
+
+class FaultPlanError(ReproError):
+    """A ``repro.faults/v1`` fault-plan document is malformed (unknown
+    schema, unknown fault kind, or invalid field values)."""
+
+
 class PlanError(ReproError):
     """The requested heterogeneous-sort configuration is infeasible (batch
     does not fit on the GPU, input not covered by batches, ...)."""

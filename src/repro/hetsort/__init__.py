@@ -5,6 +5,7 @@ PIPEMERGE approaches and the PARMEMCPY optimisation (Sec. III)."""
 from repro.hetsort.config import Approach, SortConfig, Staging
 from repro.hetsort.plan import (Batch, SortPlan, make_plan, max_batch_size,
                                 pairwise_quota)
+from repro.hetsort.resilience import RetryPolicy
 from repro.hetsort.result import SortResult
 from repro.hetsort.sorter import (APPROACH_RUNNERS, HeterogeneousSorter,
                                   cpu_reference_sort)
@@ -16,5 +17,5 @@ __all__ = [
     "Approach", "SortConfig", "Staging",
     "SortPlan", "Batch", "make_plan", "max_batch_size", "pairwise_quota",
     "SortResult", "check_sorted_permutation",
-    "autotune", "TuningResult",
+    "autotune", "TuningResult", "RetryPolicy",
 ]

@@ -21,8 +21,10 @@ import numpy as np
 from repro.cuda import ELEM
 from repro.hetsort.config import Staging
 from repro.hetsort.context import RunContext
+from repro.hetsort.resilience import (DEGRADED, cpu_fallback_batch,
+                                      drain_stream, free_surviving,
+                                      retry_call)
 from repro.hetsort.workers import (alloc_worker_buffers, final_multiway,
-                                   free_worker_buffers,
                                    pageable_blocking_batch,
                                    staged_blocking_batch)
 
@@ -30,7 +32,11 @@ __all__ = ["run_bline"]
 
 
 def _gpu_worker(ctx: RunContext, gpu: int):
-    """Process: sort this GPU's single batch with blocking calls."""
+    """Process: sort this GPU's single batch with blocking calls.
+
+    If the batch's GPU path is exhausted (retries spent or device lost)
+    the batch degrades to the CPU samplesort fallback; the run still
+    completes sorted."""
     batches = [b for b in ctx.plan.batches if b.gpu == gpu]
     assert len(batches) == 1, "BLINE plans one batch per GPU"
     batch = batches[0]
@@ -39,21 +45,32 @@ def _gpu_worker(ctx: RunContext, gpu: int):
     lane = f"host.gpu{gpu}"
     ctx.obs.incr("workers.active")
     ctx.phase("worker.start", approach="bline", gpu=gpu, batches=1)
-    if ctx.config.staging == Staging.PINNED:
-        pin_in, pin_out, dev = yield from alloc_worker_buffers(
-            ctx, gpu, tag=f"g{gpu}")
-        last = yield from staged_blocking_batch(
-            ctx, batch, pin_in, pin_out, dev, stream, out, lane,
-            deps=(pin_in.alloc_span, pin_out.alloc_span))
-        free_worker_buffers(ctx, pin_in, pin_out, dev)
-    else:
-        data = (np.empty(2 * batch.size, dtype=np.float64)
-                if ctx.functional else None)
-        dev = ctx.rt.malloc(2 * batch.size * ELEM, gpu_index=gpu,
-                            name=f"dev.g{gpu}", data=data)
-        last = yield from pageable_blocking_batch(ctx, batch, dev, stream,
-                                                 out, lane)
-        ctx.rt.free(dev)
+    pin_in = pin_out = dev = None
+    try:
+        if ctx.config.staging == Staging.PINNED:
+            pin_in, pin_out, dev = yield from alloc_worker_buffers(
+                ctx, gpu, tag=f"g{gpu}")
+            last = yield from staged_blocking_batch(
+                ctx, batch, pin_in, pin_out, dev, stream, out, lane,
+                deps=(pin_in.alloc_span, pin_out.alloc_span))
+        else:
+            data = (np.empty(2 * batch.size, dtype=np.float64)
+                    if ctx.functional else None)
+            dev = yield from retry_call(
+                ctx.machine,
+                lambda: ctx.rt.malloc(2 * batch.size * ELEM, gpu_index=gpu,
+                                      name=f"dev.g{gpu}", data=data),
+                what=f"cudaMalloc[dev.g{gpu}]", lane=lane)
+            last = yield from pageable_blocking_batch(ctx, batch, dev,
+                                                      stream, out, lane)
+    except DEGRADED as exc:
+        yield from drain_stream(stream)
+        ctx.degrade("cpu.fallback", approach="bline", batch=batch.index,
+                    gpu=gpu, error=type(exc).__name__)
+        last = yield from cpu_fallback_batch(ctx, batch, out,
+                                             reason=type(exc).__name__)
+    finally:
+        free_surviving(ctx, pin_in, pin_out, dev)
     if ctx.plan.n_gpus > 1:
         ctx.finish_run(batch, producer=last)
     else:

@@ -110,6 +110,17 @@ class RunContext:
         if self.bus is not None:
             self.bus.phase(name, **data)
 
+    def degrade(self, reason: str, **data) -> None:
+        """Record a graceful-degradation decision (CPU fallback, batch
+        replan onto survivors).  Counted in ``meta`` for post-hoc
+        assertions and published as a ``degrade.replan`` event when a
+        bus is attached; never touches the simulated timeline."""
+        self.meta.setdefault("degrades", []).append(
+            {"reason": reason, **data})
+        self.obs.incr("degrade.events")
+        if self.bus is not None:
+            self.bus.degrade(reason, **data)
+
     # -- derived knobs -------------------------------------------------------
 
     @property

@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.cuda import ELEM
 from repro.hetsort.context import RunContext, SortedRun
 from repro.hetsort.pipedata import spawn_stream_workers
+from repro.hetsort.resilience import DEGRADED
 from repro.hw.gpu import Direction
 from repro.kernels.mergepath import merge_two
 from repro.sim import CAT
@@ -84,6 +85,36 @@ def _gpu_pair_merge(ctx: RunContext, gpu_index: int, first: SortedRun,
         out.array = merge_two(first.data(ctx), second.data(ctx))
 
 
+def _resilient_pair_merge(ctx: RunContext, gpu_index: int | None,
+                          first: SortedRun, second: SortedRun,
+                          out: SortedRun, level: int, idx: int):
+    """Process: one merge-tree pair, degrading to a CPU pair merge when
+    no device can run it (``gpu_index is None``: every GPU already dead)
+    or the chosen device's path is exhausted mid-merge."""
+    if gpu_index is not None:
+        try:
+            yield from _gpu_pair_merge(ctx, gpu_index, first, second, out)
+            return
+        except DEGRADED as exc:
+            ctx.degrade("cpu.fallback", approach="gpumerge", level=level,
+                        pair=idx, gpu=gpu_index, error=type(exc).__name__)
+    else:
+        ctx.degrade("cpu.fallback", approach="gpumerge", level=level,
+                    pair=idx, gpu=None, error="GpuLostError")
+
+    def work():
+        if ctx.functional:
+            out.array = merge_two(first.data(ctx), second.data(ctx))
+
+    span = yield from ctx.machine.host_merge(
+        out.size, k=2, threads=ctx.pipeline_merge_threads,
+        label=f"fallback::pairmerge[L{level}.{idx}]", lane="cpu.fallback",
+        category=CAT.PAIRMERGE, work=work,
+        deps=(first.producer_id, second.producer_id))
+    out.producer_id = span.id
+    ctx.obs.incr("pair_merges.degraded")
+
+
 def run_gpumerge(ctx: RunContext):
     """Process: PIPEDATA batch sorting + a GPU-side binary merge tree."""
     workers = spawn_stream_workers(ctx)
@@ -99,6 +130,13 @@ def run_gpumerge(ctx: RunContext):
     level = 0
     ctx.obs.sample("gpumerge.runs_remaining", len(runs))
     while len(runs) > 1:
+        # Route each level's pairs over the devices still alive; with
+        # every GPU healthy this is the identical round-robin mapping.
+        alive = [g for g in range(ctx.plan.n_gpus)
+                 if not ctx.machine.gpus[g].lost]
+        if len(alive) < ctx.plan.n_gpus:
+            ctx.degrade("replan", approach="gpumerge", level=level,
+                        survivors=alive)
         ctx.phase("merge.started", kind="gpu", level=level,
                   runs=len(runs))
         nxt: list[SortedRun] = []
@@ -106,9 +144,10 @@ def run_gpumerge(ctx: RunContext):
         for i in range(0, len(runs) - 1, 2):
             first, second = runs[i], runs[i + 1]
             out = SortedRun(size=first.size + second.size, from_pair=True)
-            gpu_index = (i // 2) % ctx.plan.n_gpus
+            gpu_index = alive[(i // 2) % len(alive)] if alive else None
             procs.append(ctx.env.process(
-                _gpu_pair_merge(ctx, gpu_index, first, second, out),
+                _resilient_pair_merge(ctx, gpu_index, first, second, out,
+                                      level, i // 2),
                 name=f"gpumerge.L{level}.{i // 2}"))
             nxt.append(out)
         if len(runs) % 2:

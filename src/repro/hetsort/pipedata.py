@@ -15,15 +15,23 @@ The PARMEMCPY optimisation (Sec. III-D2) is the same control flow with
 
 from __future__ import annotations
 
+from repro.errors import GpuLostError
 from repro.hetsort.context import RunContext
+from repro.hetsort.resilience import (DEGRADED, cpu_fallback_batch,
+                                      drain_stream, free_surviving)
 from repro.hetsort.workers import (alloc_worker_buffers, async_stream_batch,
-                                   final_multiway, free_worker_buffers)
+                                   final_multiway)
 
 __all__ = ["run_pipedata", "spawn_stream_workers"]
 
 
 def _stream_worker(ctx: RunContext, gpu: int, slot: int):
-    """Process: one (gpu, stream) pipeline worker."""
+    """Process: one (gpu, stream) pipeline worker.
+
+    Batches whose GPU path is exhausted (retry budget spent, or the
+    device died) degrade individually to the CPU samplesort fallback;
+    the worker then continues with the next batch -- on the GPU if it is
+    still alive, on the CPU otherwise."""
     batches = ctx.plan.batches_for(gpu, slot)
     if not batches:
         return
@@ -31,15 +39,50 @@ def _stream_worker(ctx: RunContext, gpu: int, slot: int):
     ctx.phase("worker.start", approach="pipedata", gpu=gpu, stream=slot,
               batches=len(batches))
     stream = ctx.rt.create_stream(gpu)
-    pin_in, pin_out, dev = yield from alloc_worker_buffers(
-        ctx, gpu, tag=f"g{gpu}s{slot}")
-    prev: tuple = (pin_in.alloc_span, pin_out.alloc_span)
+    pin_in = pin_out = dev = None
+    prev: tuple = ()
+    gpu_ok = True
+    clean = True
+    why = "GpuLostError"
+    try:
+        pin_in, pin_out, dev = yield from alloc_worker_buffers(
+            ctx, gpu, tag=f"g{gpu}s{slot}")
+        prev = (pin_in.alloc_span, pin_out.alloc_span)
+    except DEGRADED as exc:
+        gpu_ok = False
+        clean = False
+        why = type(exc).__name__
+        ctx.degrade("worker.degraded", approach="pipedata", gpu=gpu,
+                    stream=slot, error=why)
     for batch in batches:
-        last = yield from async_stream_batch(ctx, batch, pin_in, pin_out,
-                                             dev, stream, deps=prev)
-        prev = (last,)   # the worker reuses its buffers batch after batch
-    yield from stream.synchronize(deps=prev)
-    free_worker_buffers(ctx, pin_in, pin_out, dev)
+        if gpu_ok:
+            try:
+                last = yield from async_stream_batch(
+                    ctx, batch, pin_in, pin_out, dev, stream, deps=prev)
+                prev = (last,)   # buffer reuse batch after batch
+                continue
+            except DEGRADED as exc:
+                yield from drain_stream(stream)
+                if isinstance(exc, GpuLostError):
+                    gpu_ok = False
+                clean = False
+                why = type(exc).__name__
+                prev = ()
+                ctx.degrade("cpu.fallback", approach="pipedata",
+                            batch=batch.index, gpu=gpu, stream=slot,
+                            error=why)
+        else:
+            ctx.degrade("cpu.fallback", approach="pipedata",
+                        batch=batch.index, gpu=gpu, stream=slot,
+                        error=why)
+        last = yield from cpu_fallback_batch(ctx, batch, ctx.W, reason=why,
+                                             deps=prev, finish=True)
+        prev = (last,)
+    if clean:
+        # Degraded workers skip the final sync: the tail op may hold the
+        # already-handled failure (CUDA's sticky stream error).
+        yield from stream.synchronize(deps=prev)
+    free_surviving(ctx, pin_in, pin_out, dev)
     ctx.obs.incr("workers.active", -1)
     ctx.phase("worker.done", approach="pipedata", gpu=gpu, stream=slot)
 

@@ -74,7 +74,8 @@ class HeterogeneousSorter:
 
     def sort(self, data: np.ndarray | None = None, n: int | None = None,
              approach: str | None = None, validate: bool = True,
-             sinks: _t.Sequence = (), **overrides) -> SortResult:
+             sinks: _t.Sequence = (), faults=None, retry=None,
+             **overrides) -> SortResult:
         """Run one heterogeneous sort.
 
         Exactly one of ``data`` (functional mode: a float64 array that is
@@ -89,6 +90,14 @@ class HeterogeneousSorter:
         combination never changes the simulated timeline, the sorted
         output or the canonical run report (pinned by the determinism
         tests).
+
+        ``faults`` optionally attaches a deterministic
+        :class:`~repro.sim.faults.FaultPlan`; injected faults are
+        retried, replanned or degraded to the CPU under ``retry`` (a
+        :class:`~repro.hetsort.resilience.RetryPolicy`, defaulting to
+        the standard one whenever a plan is attached).  An empty plan is
+        exactly equivalent to no plan (pinned byte-for-byte by the
+        fault-neutrality tests).
         """
         if (data is None) == (n is None):
             raise PlanError("pass exactly one of `data` or `n`")
@@ -105,6 +114,13 @@ class HeterogeneousSorter:
         plan = make_plan(n_elems, self.platform, cfg, n_gpus=self.n_gpus)
         ctx = RunContext(env, machine, rt, plan, cfg, data=data)
 
+        injector = None
+        if faults is not None:
+            from repro.hetsort.resilience import RetryPolicy
+            from repro.sim.faults import FaultInjector
+            injector = FaultInjector(faults).attach(machine)
+            machine.retry = retry if retry is not None else RetryPolicy()
+
         bus = None
         if sinks:
             from repro.obs.events import EV, EventBus, connect_context
@@ -119,8 +135,13 @@ class HeterogeneousSorter:
                      functional=ctx.functional)
 
         runner = APPROACH_RUNNERS[cfg.approach]
+        if injector is not None:
+            injector.start(env)
         proc = env.process(runner(ctx), name=cfg.approach)
         env.run(proc)
+
+        if injector is not None and injector.fired_total:
+            ctx.meta["faults"] = injector.summary()
 
         if bus is not None:
             from repro.obs.events import EV

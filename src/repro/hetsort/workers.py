@@ -13,6 +13,7 @@ from repro.cuda import ELEM, MemcpyKind, copy_payload
 from repro.cuda.buffers import Buffer, DeviceBuffer, PinnedBuffer
 from repro.hetsort.context import RunContext, SortedRun
 from repro.hetsort.plan import Batch
+from repro.hetsort.resilience import retry_call
 from repro.kernels.mergepath import merge_two
 from repro.kernels.multiway import multiway_merge
 from repro.sim import CAT
@@ -44,8 +45,12 @@ def alloc_worker_buffers(ctx: RunContext, gpu: int, tag: str):
     pinned_out = yield from ctx.rt.malloc_host(
         ps * ELEM, name=f"stage_out.{tag}", data=mk(ps),
         deps=(pinned_in.alloc_span,))
-    dev = ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu, name=f"dev.{tag}",
-                        data=mk(2 * bs))
+    dev = yield from retry_call(
+        ctx.machine,
+        lambda: ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu,
+                              name=f"dev.{tag}", data=mk(2 * bs)),
+        what=f"cudaMalloc[dev.{tag}]", lane=f"host.gpu{gpu}",
+        deps=(pinned_in.alloc_span, pinned_out.alloc_span))
     return pinned_in, pinned_out, dev
 
 

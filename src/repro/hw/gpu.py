@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.errors import CudaInvalidValue, CudaOutOfMemory
+from repro.errors import CudaInvalidValue, CudaOutOfMemory, GpuLostError
 from repro.hw.spec import GPUSpec
 from repro.sim import CAT, Resource, Trace
 from repro.sim.engine import Environment
@@ -48,6 +48,36 @@ class SimGPU:
         }
         self.mem_used = 0
         self.mem_high_water = 0
+        #: Fault injection: True once the device suffered a fatal error
+        #: (see :meth:`mark_lost`).  Never set on healthy runs.
+        self.lost = False
+
+    # -- fault injection --------------------------------------------------
+
+    def mark_lost(self, exc: BaseException | None = None) -> None:
+        """Simulate a fatal device failure (ECC error, driver death).
+
+        Subsequent allocations and kernels on this device raise
+        :class:`~repro.errors.GpuLostError`; requests already *queued* on
+        its engines are failed immediately so nothing blocks forever on a
+        dead device.  Operations holding an engine mid-flight complete:
+        the loss takes effect at operation boundaries.
+        """
+        if self.lost:
+            return
+        self.lost = True
+        if exc is None:
+            exc = GpuLostError(
+                f"gpu{self.index} ({self.spec.model}) was lost")
+        self.kernel_engine.fail_waiters(exc)
+        for engine in self.copy_engines.values():
+            engine.fail_waiters(exc)
+
+    def _check_alive(self, what: str) -> None:
+        if self.lost:
+            raise GpuLostError(
+                f"gpu{self.index} ({self.spec.model}) is lost; "
+                f"cannot {what}")
 
     # -- memory -----------------------------------------------------------
 
@@ -58,6 +88,7 @@ class SimGPU:
 
     def alloc(self, nbytes: int) -> None:
         """Account a device allocation (raises on OOM)."""
+        self._check_alive("cudaMalloc")
         if nbytes < 0:
             raise CudaInvalidValue(f"negative allocation {nbytes}")
         if nbytes > self.mem_free:
@@ -91,6 +122,7 @@ class SimGPU:
         different streams on the single compute engine is recorded as a
         causal edge from the kernel that freed it.
         """
+        self._check_alive("launch a sort kernel")
         grant = self.kernel_engine.request()
         waited = not grant.triggered
         yield grant

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.errors import CudaOutOfMemory, SimulationError
+from repro.errors import (CudaOutOfMemory, GpuLostError, PinnedAllocFault,
+                          RetryExhaustedError, SimulationError,
+                          TransferFaultError)
 from repro.hw.gpu import Direction, SimGPU
 from repro.hw.spec import PlatformSpec
 from repro.sim import CAT, FlowNetwork, Resource, Trace
@@ -64,6 +66,20 @@ class Machine:
         #: DMA transfers and core-pool pressure as counter time series.
         self.recorder = None
         self._inflight = {Direction.HTOD: 0, Direction.DTOH: 0}
+        #: Fault injection: an optional
+        #: :class:`~repro.sim.faults.FaultInjector` whose hooks the
+        #: instrumented primitives consult.  ``None`` (healthy runs)
+        #: costs one ``is None`` check per operation.
+        self.faults = None
+        #: Recovery: an optional
+        #: :class:`~repro.hetsort.resilience.RetryPolicy` (duck-typed:
+        #: ``max_attempts`` + ``backoff_s(attempt)``) governing bounded
+        #: retries of injected transient faults.
+        self.retry = None
+        #: Streaming telemetry: an optional
+        #: :class:`~repro.obs.events.EventBus` for ``retry.attempt``
+        #: events (wired by :func:`repro.obs.events.connect_machine`).
+        self.bus = None
 
     def attach_recorder(self, recorder) -> None:
         """Wire a :class:`~repro.obs.counters.MetricsRecorder` into the
@@ -210,9 +226,29 @@ class Machine:
 
         Costs the affine time of Sec. IV-E1 and counts against host DRAM.
         Returns the recorded span.
+
+        Injected transient failures (``alloc.pinned`` faults) are retried
+        here with the machine's retry policy -- each drawn fault charges
+        a backoff to the sim clock; exhausting the budget raises
+        :class:`~repro.errors.RetryExhaustedError`.  A genuine capacity
+        exhaustion is never retried.
         """
         if nbytes < 0:
             raise SimulationError(f"negative pinned allocation {nbytes}")
+        deps = tuple(deps)
+        if self.faults is not None:
+            attempt = 1
+            while self.faults.on_pinned_alloc() is not None:
+                exc = PinnedAllocFault(
+                    f"injected cudaMallocHost failure ({label})")
+                if self.retry is None or attempt >= self.retry.max_attempts:
+                    raise RetryExhaustedError(
+                        f"{label}: pinned allocation failed after "
+                        f"{attempt} attempt(s)") from exc
+                span = yield from self.retry_backoff(label, "host",
+                                                      attempt, deps)
+                deps = (span,)
+                attempt += 1
         if (self.pinned_bytes + self.host_reserved + nbytes
                 > self.platform.hostmem.capacity_bytes):
             raise CudaOutOfMemory(
@@ -249,6 +285,57 @@ class Machine:
                                  lane=lane, deps=self._causal(deps))
 
     # ------------------------------------------------------------------
+    # Fault injection / retries
+    # ------------------------------------------------------------------
+
+    def retry_backoff(self, what: str, lane: str, attempt: int,
+                       deps: _t.Sequence = ()):
+        """Process: one simulated exponential-backoff pause before a
+        retry.  Charged to the sim clock, recorded as a ``Retry`` span
+        (chained into the caller's causal deps) and published as a
+        ``retry.attempt`` event.  Returns the span."""
+        delay = self.retry.backoff_s(attempt)
+        start = self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        span = self.trace.record(CAT.RETRY, f"backoff[{what}]", start,
+                                 self.env.now, lane=lane,
+                                 meta={"attempt": attempt},
+                                 deps=self._causal(deps))
+        if self.bus is not None:
+            self.bus.retry(what=what, attempt=attempt, backoff_s=delay,
+                           lane=lane)
+        return span
+
+    def _transfer_faults(self, gpu: SimGPU, direction: str, what: str,
+                         lane: str, deps: tuple):
+        """Process: consume injected faults for one DMA transfer.
+
+        Each drawn transient fault fails the attempt *before* the copy
+        engine engages and charges the policy's backoff; device loss is
+        permanent and surfaces immediately.  Returns the (possibly
+        retry-extended) causal deps of the eventual real attempt.
+        """
+        attempt = 1
+        while True:
+            if gpu.lost:
+                raise GpuLostError(
+                    f"gpu{gpu.index} is lost; cannot start {what}")
+            spec = self.faults.on_transfer(gpu.index, direction)
+            if spec is None:
+                return deps
+            exc = TransferFaultError(
+                f"injected transient {direction} fault on gpu{gpu.index} "
+                f"({what})")
+            if self.retry is None or attempt >= self.retry.max_attempts:
+                raise RetryExhaustedError(
+                    f"{what} on gpu{gpu.index}: transfer failed after "
+                    f"{attempt} attempt(s)") from exc
+            span = yield from self.retry_backoff(what, lane, attempt, deps)
+            deps = (span,)
+            attempt += 1
+
+    # ------------------------------------------------------------------
     # PCIe transfers
     # ------------------------------------------------------------------
 
@@ -264,9 +351,19 @@ class Machine:
         (driver staging) and touch host DRAM twice per byte.  Returns the
         recorded span; serialisation on the copy engine is recorded as a
         causal edge from the transfer that freed the engine.
+
+        Injected transient faults (``pcie.transient``) fail the attempt
+        before the DMA engages and are retried with the machine's retry
+        policy; a lost device raises
+        :class:`~repro.errors.GpuLostError` immediately.
         """
         if direction not in Direction.ALL:
             raise SimulationError(f"bad transfer direction {direction!r}")
+        deps = tuple(deps)
+        if self.faults is not None:
+            deps = yield from self._transfer_faults(
+                gpu, direction, label or direction,
+                lane or f"gpu{gpu.index}.{direction}", deps)
         engine = gpu.copy_engines[direction]
         grant = engine.request()
         waited = not grant.triggered

@@ -17,7 +17,10 @@ emission points inside the simulator publish typed
   runners (batch staged, chunk HtoD'd, run sorted, merge started);
 * ``run.start`` / ``run.end`` -- run lifecycle with the plan context;
 * ``warning`` -- stall / deadline diagnostics published by the
-  :class:`~repro.obs.sinks.WatchdogSink`.
+  :class:`~repro.obs.sinks.WatchdogSink`;
+* ``fault.injected`` / ``retry.attempt`` / ``degrade.replan`` -- the
+  chaos layer (:mod:`repro.sim.faults` scheduling faults,
+  :mod:`repro.hetsort.resilience` recovering from them).
 
 Subscribers implement the :class:`Sink` protocol
 (:mod:`repro.obs.sinks` ships a byte-stable JSONL structured log, a
@@ -57,8 +60,12 @@ class EV:
     COUNTER = "counter"       #: a counter/gauge sample was recorded
     PHASE = "phase"           #: a pipeline phase transition
     WARNING = "warning"       #: watchdog diagnostics (stall, deadline)
+    FAULT = "fault.injected"  #: a scheduled fault fired (chaos plans)
+    RETRY = "retry.attempt"   #: a faulted operation backed off to retry
+    DEGRADE = "degrade.replan"  #: graceful degradation (fallback/replan)
 
-    ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING)
+    ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING,
+           FAULT, RETRY, DEGRADE)
 
 
 @dataclass(frozen=True)
@@ -184,6 +191,19 @@ class EventBus:
         """A watchdog diagnostic (stall, deadline overrun)."""
         self.emit(EV.WARNING, code=code, message=message, **data)
 
+    def fault(self, kind: str, **data) -> None:
+        """A scheduled fault fired (published by the
+        :class:`~repro.sim.faults.FaultInjector`)."""
+        self.emit(EV.FAULT, kind=kind, **data)
+
+    def retry(self, what: str, attempt: int, **data) -> None:
+        """A faulted operation backed off before retrying."""
+        self.emit(EV.RETRY, what=what, attempt=attempt, **data)
+
+    def degrade(self, reason: str, **data) -> None:
+        """A graceful-degradation decision (CPU fallback, replan)."""
+        self.emit(EV.DEGRADE, reason=reason, **data)
+
     # -- engine hook ---------------------------------------------------------
 
     def _on_step(self, env) -> None:
@@ -205,12 +225,15 @@ def connect_machine(bus: EventBus, machine) -> None:
     machine.env.bus = bus
     machine.trace.bus = bus
     machine.cores.bus = bus
+    machine.bus = bus
     for gpu in machine.gpus:
         gpu.kernel_engine.bus = bus
         for engine in gpu.copy_engines.values():
             engine.bus = bus
     if machine.recorder is not None:
         machine.recorder.bus = bus
+    if machine.faults is not None:
+        machine.faults.bus = bus
 
 
 def connect_context(bus: EventBus, ctx) -> None:

@@ -168,6 +168,16 @@ def validate_events(events: _t.Sequence[TelemetryEvent]) -> dict:
         elif ev.kind == EV.PHASE:
             if "name" not in ev.data:
                 raise EventLogError(f"event {i}: phase without name")
+        elif ev.kind == EV.FAULT:
+            if "kind" not in ev.data:
+                raise EventLogError(f"event {i}: fault without kind")
+        elif ev.kind == EV.RETRY:
+            if "what" not in ev.data or "attempt" not in ev.data:
+                raise EventLogError(
+                    f"event {i}: retry without what/attempt")
+        elif ev.kind == EV.DEGRADE:
+            if "reason" not in ev.data:
+                raise EventLogError(f"event {i}: degrade without reason")
     return {"schema": EVENTS_SCHEMA, "n_events": len(events),
             "t_end": last_t, "counts": counts}
 

@@ -15,6 +15,8 @@ interaction), it provides:
 from repro.sim.bandwidth import Flow, FlowNetwork, Link
 from repro.sim.engine import Environment, Process
 from repro.sim.events import Condition, Event, Timeout
+from repro.sim.faults import (FAULTS_SCHEMA, FaultInjector, FaultKind,
+                              FaultPlan, FaultSpec)
 from repro.sim.resources import Resource, Store
 from repro.sim.trace import CAT, Span, Trace
 
@@ -22,4 +24,5 @@ __all__ = [
     "Environment", "Process", "Event", "Timeout", "Condition",
     "Resource", "Store", "FlowNetwork", "Link", "Flow",
     "Trace", "Span", "CAT",
+    "FaultKind", "FaultSpec", "FaultPlan", "FaultInjector", "FAULTS_SCHEMA",
 ]

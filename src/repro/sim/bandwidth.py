@@ -157,6 +157,23 @@ class FlowNetwork:
         self._reallocate()
         return ev
 
+    def set_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity mid-run (fault injection: a degraded
+        PCIe link or host bus during a bandwidth-degradation window).
+
+        Active flows are first advanced at their old rates, then every
+        rate is recomputed max-min fair under the new capacity and the
+        next completion is rescheduled.
+        """
+        if link not in self._links:
+            raise SimulationError(f"{link!r} not part of this network")
+        if not (capacity > 0):
+            raise SimulationError(
+                f"link {link.name!r} capacity must be > 0, got {capacity!r}")
+        self._advance()
+        link.capacity = float(capacity)
+        self._reallocate()
+
     @property
     def active_flows(self) -> int:
         return len(self._flows)

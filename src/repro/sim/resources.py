@@ -129,6 +129,25 @@ class Resource:
         if self.bus is not None:
             self._publish()
 
+    def fail_waiters(self, exc: BaseException) -> None:
+        """Fail every *queued* request with ``exc``.
+
+        Used by fault injection when a device is lost: processes waiting
+        on one of its engines must receive the failure instead of
+        blocking forever.  Units already granted are unaffected (their
+        holders observe the failure through other channels).
+        """
+        if not self._waiting:
+            return
+        waiting, self._waiting = list(self._waiting), deque()
+        self._account()
+        for ev, _units in waiting:
+            ev.fail(exc)
+        if self.probe is not None:
+            self.probe(self)
+        if self.bus is not None:
+            self._publish()
+
     def _publish(self) -> None:
         self.bus.queue(self.name, depth=len(self._waiting),
                        in_use=self.in_use, capacity=self.capacity)

@@ -45,6 +45,7 @@ class CAT:
     PINNED_ALLOC = "PinnedAlloc"  #: cudaMallocHost cost
     SYNC = "Sync"            #: per-chunk asynchronous-copy synchronisation
     CPUSORT = "CPUSort"      #: CPU-only sort (reference implementation)
+    RETRY = "Retry"          #: simulated backoff before retrying a faulted op
     OTHER = "Other"
 
     #: Components counted by the related-work end-to-end time (Sec. IV-E).

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -25,3 +27,23 @@ def rng() -> np.random.Generator:
 def platform(request):
     """Parametrised over both evaluation platforms."""
     return {"PLATFORM1": PLATFORM1, "PLATFORM2": PLATFORM2}[request.param]
+
+
+@pytest.fixture
+def shrunk_platform():
+    """Factory: PLATFORM1 with artificially small memories (used by the
+    failure-injection and chaos tests to exhaust capacity quickly)."""
+
+    def make(gpu_mem_bytes=None, host_bytes=None):
+        p = PLATFORM1
+        gpus = p.gpus
+        if gpu_mem_bytes is not None:
+            gpus = tuple(dataclasses.replace(g, mem_bytes=gpu_mem_bytes)
+                         for g in gpus)
+        hostmem = p.hostmem
+        if host_bytes is not None:
+            hostmem = dataclasses.replace(hostmem,
+                                          capacity_bytes=host_bytes)
+        return dataclasses.replace(p, gpus=gpus, hostmem=hostmem)
+
+    return make

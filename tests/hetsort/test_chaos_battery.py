@@ -1,0 +1,99 @@
+"""The chaos battery: seed-driven random FaultPlans across every
+approach and both platforms.  The contract under fault injection is
+*never silently wrong* -- each run either completes with a verified
+sorted permutation (possibly degraded) or dies with a typed
+:class:`~repro.errors.ReproError`; and the event stream stays valid,
+with fault/retry/degrade events matching the run's accounting."""
+
+import io
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ReproError  # noqa: E402
+from repro.hetsort import APPROACH_RUNNERS, HeterogeneousSorter  # noqa: E402
+from repro.hetsort.validate import check_sorted_permutation  # noqa: E402
+from repro.hw.platforms import PLATFORM1, PLATFORM2  # noqa: E402
+from repro.obs.events import EV, Sink  # noqa: E402
+from repro.obs.sinks import JsonlSink, validate_events  # noqa: E402
+from repro.sim.faults import FaultPlan  # noqa: E402
+
+APPROACHES = sorted(APPROACH_RUNNERS)
+
+N = 60_000
+BATCH = 20_000
+PINNED = 5_000
+
+
+class CollectSink(Sink):
+    """In-memory sink: keeps the TelemetryEvent objects for validation."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+def chaos_run(seed, approach, multi):
+    """One battery run; returns (result_or_None, exc_or_None, events)."""
+    platform, n_gpus = (PLATFORM2, 2) if multi else (PLATFORM1, 1)
+    plan = FaultPlan.random(seed, n_gpus=n_gpus)
+    data = np.random.default_rng(seed).random(N)
+    s = HeterogeneousSorter(platform, n_gpus=n_gpus, batch_size=BATCH,
+                            pinned_elements=PINNED)
+    sink = CollectSink()
+    try:
+        res = s.sort(data, approach=approach, faults=plan, sinks=(sink,))
+    except ReproError as exc:
+        return None, exc, sink.events
+    return res, None, sink.events
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       approach=st.sampled_from(APPROACHES),
+       multi=st.booleans())
+def test_chaos_is_never_silently_wrong(seed, approach, multi):
+    res, exc, events = chaos_run(seed, approach, multi)
+    counts = validate_events(events)["counts"]
+    if exc is not None:
+        # A typed, loud failure is an acceptable outcome -- but only the
+        # typed kind, and the partial event stream must still be valid.
+        assert isinstance(exc, ReproError)
+        return
+    # Survival means a verified sorted permutation of the input.
+    check_sorted_permutation(np.random.default_rng(seed).random(N),
+                             res.output)
+    # Accounting matches the event stream bidirectionally.
+    fired = res.meta.get("faults", {}).get("fired", 0)
+    assert counts[EV.FAULT] == fired
+    degrades = res.meta.get("degrades", [])
+    assert counts[EV.DEGRADE] == len(degrades)
+    if degrades:
+        assert {d["reason"] for d in degrades} == \
+            {e.data["reason"] for e in events if e.kind == EV.DEGRADE}
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_same_seed_chaos_is_byte_identical_across_approaches(approach):
+    """Pinned-seed reproducibility for every approach: two runs of the
+    same plan write byte-identical event logs."""
+    logs = []
+    for _ in range(2):
+        plan = FaultPlan.random(7, n_gpus=2)
+        data = np.random.default_rng(7).random(N)
+        s = HeterogeneousSorter(PLATFORM2, n_gpus=2, batch_size=BATCH,
+                                pinned_elements=PINNED)
+        buf = io.StringIO()
+        try:
+            s.sort(data, approach=approach, faults=plan,
+                   sinks=(JsonlSink(buf),))
+        except ReproError as exc:
+            buf.write(f"# died: {type(exc).__name__}\n")
+        logs.append(buf.getvalue())
+    assert logs[0] == logs[1]
+    assert logs[0]    # non-empty: the header line at minimum

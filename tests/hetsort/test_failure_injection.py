@@ -1,8 +1,14 @@
 """Failure-injection tests: the pipeline must fail loudly and precisely
 when resources are exhausted or invariants are violated -- never produce
-a wrong answer silently."""
+a wrong answer silently.
 
-import dataclasses
+These cover *genuine* failures (capacity exhaustion, broken kernels, bad
+inputs).  Deterministic *injected* faults and recovery live in
+``tests/sim/test_faults.py`` and ``tests/hetsort/test_resilience.py``;
+the FaultPlan-ported variants at the bottom of this file check that the
+two worlds stay distinct: a genuine CudaOutOfMemory is never retried,
+while an injected alloc fault of the same family is.
+"""
 
 import numpy as np
 import pytest
@@ -10,42 +16,29 @@ import pytest
 from repro.cuda import Runtime
 from repro.errors import (CudaInvalidValue, CudaOutOfMemory, PlanError,
                           ValidationError)
-from repro.hetsort import HeterogeneousSorter
+from repro.hetsort import HeterogeneousSorter, RetryPolicy
 from repro.hetsort.config import SortConfig
 from repro.hw.machine import Machine
 from repro.hw.platforms import PLATFORM1
-from repro.hw.spec import GIB
-from repro.sim.engine import Environment
+from repro.sim.faults import FaultPlan, FaultSpec
+from repro.sim.trace import CAT
 
 
-def shrunk_platform(gpu_mem_bytes=None, host_bytes=None):
-    """PLATFORM1 with artificially small memories."""
-    p = PLATFORM1
-    gpus = p.gpus
-    if gpu_mem_bytes is not None:
-        gpus = tuple(dataclasses.replace(g, mem_bytes=gpu_mem_bytes)
-                     for g in gpus)
-    hostmem = p.hostmem
-    if host_bytes is not None:
-        hostmem = dataclasses.replace(hostmem, capacity_bytes=host_bytes)
-    return dataclasses.replace(p, gpus=gpus, hostmem=hostmem)
-
-
-def test_batch_too_big_for_gpu_rejected_at_plan_time():
+def test_batch_too_big_for_gpu_rejected_at_plan_time(shrunk_platform):
     tiny = shrunk_platform(gpu_mem_bytes=1024 * 1024)  # 1 MiB GPU
     s = HeterogeneousSorter(tiny, batch_size=10 ** 6)
     with pytest.raises(PlanError, match="global memory"):
         s.sort(n=10 ** 7)
 
 
-def test_host_memory_exhausted_rejected_at_plan_time():
+def test_host_memory_exhausted_rejected_at_plan_time(shrunk_platform):
     tiny = shrunk_platform(host_bytes=1024 ** 2)
     s = HeterogeneousSorter(tiny, batch_size=1000)
     with pytest.raises(PlanError, match="3n"):
         s.sort(n=10 ** 6)
 
 
-def test_pinned_exhaustion_raises_at_runtime():
+def test_pinned_exhaustion_raises_at_runtime(shrunk_platform):
     """Pinned staging buffers count against host capacity at allocation
     time (not plan time): exhausts mid-run with CudaOutOfMemory."""
     # Host that fits 3n but not also the pinned staging buffers.
@@ -56,6 +49,35 @@ def test_pinned_exhaustion_raises_at_runtime():
                             pinned_elements=n // 8)
     with pytest.raises(CudaOutOfMemory, match="pinned"):
         s.sort(n=n, approach="pipedata")
+
+
+def test_genuine_oom_not_retried_even_with_retry_policy(shrunk_platform):
+    """A *real* capacity exhaustion is not a transient fault: attaching a
+    retry policy (via an empty FaultPlan) must not mask it or burn sim
+    time on backoff -- the run still dies with CudaOutOfMemory."""
+    n = 10 ** 6
+    tiny = shrunk_platform(host_bytes=3 * n * 8 + 1000)
+    s = HeterogeneousSorter(tiny, batch_size=n // 4,
+                            pinned_elements=n // 8)
+    with pytest.raises(CudaOutOfMemory, match="pinned"):
+        s.sort(n=n, approach="pipedata", faults=FaultPlan(),
+               retry=RetryPolicy(max_attempts=5))
+
+
+def test_injected_alloc_faults_are_retried_transparently():
+    """Injected pinned/device alloc faults of the same CudaOutOfMemory
+    family ARE transient: the run recovers and completes with no
+    degradation."""
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="alloc.pinned", times=1),
+        FaultSpec(kind="alloc.device", times=1),
+    ))
+    s = HeterogeneousSorter(PLATFORM1, batch_size=50_000,
+                            pinned_elements=10_000)
+    res = s.sort(n=200_000, approach="pipedata", faults=plan)
+    assert res.meta["faults"]["fired"] == 2
+    assert "degrades" not in res.meta
+    assert res.trace.count(CAT.RETRY) == 2
 
 
 def test_double_device_free_detected(env):

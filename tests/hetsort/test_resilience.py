@@ -1,0 +1,253 @@
+"""Recovery accounting and determinism guarantees of the resilience
+layer: retries/backoffs are first-class spans, the critical path still
+tiles the makespan under faults, conformance residuals still sum
+bit-for-bit on a degraded run, no-fault runs are byte-identical to
+fault-free ones, and same-seed chaos runs are byte-deterministic."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.hetsort import HeterogeneousSorter, RetryPolicy
+from repro.hetsort.resilience import DEGRADED
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.model.lowerbound import LowerBoundModel
+from repro.obs.causal import critical_path_report
+from repro.obs.conformance import conformance_record
+from repro.obs.diff import canonical_json, run_report
+from repro.obs.events import EV
+from repro.obs.sinks import JsonlSink, read_events, validate_events
+from repro.sim.faults import FaultPlan, FaultSpec
+from repro.sim.trace import CAT
+
+
+def sorter(platform=PLATFORM1, **kw):
+    kw.setdefault("batch_size", 50_000)
+    kw.setdefault("pinned_elements", 10_000)
+    return HeterogeneousSorter(platform, **kw)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    p = RetryPolicy(max_attempts=6, base_backoff_s=1e-4, multiplier=2.0,
+                    max_backoff_s=3e-4)
+    assert p.backoff_s(1) == pytest.approx(1e-4)
+    assert p.backoff_s(2) == pytest.approx(2e-4)
+    assert p.backoff_s(3) == pytest.approx(3e-4)   # capped
+    assert p.backoff_s(4) == pytest.approx(3e-4)
+
+
+@pytest.mark.parametrize("kw", [
+    {"max_attempts": 0},
+    {"base_backoff_s": -1.0},
+    {"max_backoff_s": -1.0},
+    {"multiplier": 0.5},
+])
+def test_retry_policy_validation(kw):
+    with pytest.raises(FaultPlanError):
+        RetryPolicy(**kw)
+
+
+def test_degraded_does_not_cover_genuine_errors():
+    from repro.errors import CudaOutOfMemory, GpuLostError, \
+        RetryExhaustedError
+    assert issubclass(RetryExhaustedError, DEGRADED)
+    assert issubclass(GpuLostError, DEGRADED)
+    assert not issubclass(CudaOutOfMemory, DEGRADED)
+
+
+# ---------------------------------------------------------------------------
+# Recovery accounting
+# ---------------------------------------------------------------------------
+
+
+def test_retries_appear_as_spans_and_events(tmp_path):
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="pcie.transient", times=2),))
+    log = tmp_path / "events.jsonl"
+    res = sorter().sort(n=200_000, approach="pipedata", faults=plan,
+                        sinks=(JsonlSink(log),))
+    assert res.meta["faults"] == {
+        "fired": 2, "by_kind": {"pcie.transient": 2}}
+    assert res.trace.count(CAT.RETRY) == 2
+    assert res.component(CAT.RETRY) > 0       # backoff charged to the clock
+
+    _, events = read_events(log)
+    counts = validate_events(events)["counts"]
+    assert counts[EV.FAULT] == 2
+    assert counts[EV.RETRY] == 2
+    retries = [e for e in events if e.kind == EV.RETRY]
+    # Two interleaved transfers may each draw one fault, so attempts are
+    # per-operation; every backoff is attempt >= 1 with a charged delay.
+    assert all(e.data["attempt"] >= 1 for e in retries)
+    assert all(e.data["backoff_s"] > 0 for e in retries)
+
+
+def test_critical_path_still_tiles_makespan_under_faults():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="pcie.transient", times=3),
+        FaultSpec(kind="alloc.pinned", times=1),
+        FaultSpec(kind="bandwidth.degrade", link="pcie.htod",
+                  at_s=0.002, duration_s=0.01, factor=0.3),))
+    res = sorter().sort(n=200_000, approach="pipedata", faults=plan)
+    cp = critical_path_report(res.causal_graph())
+    assert cp["duration"] + cp["lead_in"] == pytest.approx(cp["makespan"],
+                                                           rel=1e-12)
+    tiled = sum(cp["by_category"].values())
+    assert tiled == pytest.approx(cp["duration"], rel=1e-9)
+    assert CAT.RETRY in cp["by_category"] or res.trace.count(CAT.RETRY) > 0
+
+
+def test_conformance_residuals_sum_bit_for_bit_on_degraded_run():
+    # Exhaust the retry budget so batches degrade to the CPU fallback,
+    # then check the conformance invariant on the degraded run.
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="pcie.transient", times=50),))
+    res = sorter().sort(n=200_000, approach="bline", faults=plan,
+                        retry=RetryPolicy(max_attempts=2))
+    assert res.meta["degrades"], "expected a degraded run"
+    report = run_report(res)
+    model = LowerBoundModel(platform_name=res.platform_name, n_gpus=1,
+                            slope=4.0e-9, calibration_n=10 ** 6)
+    record = conformance_record(report, model)
+    total = 0.0
+    for cat in sorted(record["residuals"]):
+        total += record["residuals"][cat]
+    assert total == record["gap_s"]           # bit-for-bit, not approx
+    assert math.isfinite(record["slowdown"])
+
+
+def test_degraded_run_is_still_verified_sorted(rng):
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="pcie.transient", times=50),))
+    data = rng.random(100_000)
+    res = sorter().sort(data, approach="bline", faults=plan,
+                        retry=RetryPolicy(max_attempts=2))
+    out = res.output
+    assert out is not None
+    assert all(out[i] <= out[i + 1] for i in range(len(out) - 1))
+    assert res.meta["degrades"]
+
+
+def test_device_alloc_exhaustion_degrades_to_cpu_fallback():
+    """retry_call: spending the budget on an injected cudaMalloc fault
+    raises RetryExhaustedError, which degrades the batch, not the run."""
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="alloc.device", times=10),))
+    res = sorter().sort(n=200_000, approach="bline", faults=plan,
+                        retry=RetryPolicy(max_attempts=2))
+    reasons = {d["reason"] for d in res.meta["degrades"]}
+    assert "cpu.fallback" in reasons
+    assert res.meta["faults"]["by_kind"] == {"alloc.device": 2}
+
+
+def test_pipedata_exhaustion_drains_inflight_stream():
+    """A degraded PIPEDATA worker settles its stream's in-flight tail
+    before falling back; the run completes with every batch accounted."""
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="pcie.transient", times=50),))
+    res = sorter().sort(n=200_000, approach="pipedata", faults=plan,
+                        retry=RetryPolicy(max_attempts=2))
+    assert res.meta["degrades"]
+    assert res.trace.count(CAT.CPUSORT) >= len(
+        [d for d in res.meta["degrades"] if d["reason"] == "cpu.fallback"])
+
+
+def test_gpu_loss_with_no_survivors_falls_back_to_cpu():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="gpu.lost", gpu=0, at_s=0.004),))
+    res = sorter().sort(n=400_000, approach="blinemulti", faults=plan)
+    reasons = [d["reason"] for d in res.meta["degrades"]]
+    assert "replan.no_survivors" in reasons
+    assert "cpu.fallback" in reasons
+
+
+def test_drain_stream_settles_an_unprocessed_tail(env):
+    """drain_stream waits out a still-running tail op and swallows a
+    failing one, leaving the stream reusable."""
+    from repro.cuda import Runtime
+    from repro.errors import RetryExhaustedError
+    from repro.hetsort.resilience import drain_stream
+    from repro.hw.machine import Machine
+    stream = Runtime(Machine(env, PLATFORM1)).create_stream(0)
+
+    def slow_op():
+        yield env.timeout(0.001)
+        return None
+
+    def failing_op():
+        yield env.timeout(0.001)
+        raise RetryExhaustedError("injected for the drain test")
+
+    def scenario():
+        stream.submit(slow_op, label="slow")
+        yield from drain_stream(stream)       # waits for the tail
+        assert stream.idle
+        stream.submit(failing_op, label="failing")
+        yield from drain_stream(stream)       # swallows the failure
+        assert stream.idle
+
+    env.run(env.process(scenario()))
+
+
+def test_replan_with_empty_queue_reports_survivor_state():
+    from collections import deque
+
+    from repro.hetsort.resilience import replan_batches
+    queues = {0: deque(), 1: deque()}
+    active = {0: True, 1: True}
+    # Nothing to move: the verdict is just "are there survivors".
+    assert replan_batches(None, "blinemulti", 1, queues, active) is True
+    active[0] = False
+    assert replan_batches(None, "blinemulti", 1, queues, active) is False
+
+
+def test_gpu_loss_replans_onto_survivor():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="gpu.lost", gpu=1, at_s=0.004),))
+    res = HeterogeneousSorter(
+        PLATFORM2, n_gpus=2, batch_size=50_000,
+        pinned_elements=10_000).sort(n=400_000, approach="blinemulti",
+                                     faults=plan)
+    reasons = {d["reason"] for d in res.meta["degrades"]}
+    assert reasons & {"replan", "worker.degraded", "cpu.fallback"}
+    assert res.meta["faults"]["by_kind"] == {"gpu.lost": 1}
+
+
+# ---------------------------------------------------------------------------
+# Byte-determinism guarantees
+# ---------------------------------------------------------------------------
+
+
+def run_with_log(path, *, faults=None, retry=None):
+    res = sorter().sort(n=200_000, approach="pipedata", faults=faults,
+                        retry=retry, sinks=(JsonlSink(path),))
+    return canonical_json(run_report(res)), path.read_text()
+
+
+def test_empty_fault_plan_is_byte_neutral(tmp_path):
+    """The fault-neutrality regression: an attached-but-empty FaultPlan
+    (plus sinks) leaves both the canonical run report and the event log
+    byte-for-byte identical to a run with no plan at all."""
+    base_report, base_log = run_with_log(tmp_path / "base.jsonl")
+    plan_report, plan_log = run_with_log(tmp_path / "plan.jsonl",
+                                         faults=FaultPlan(),
+                                         retry=RetryPolicy())
+    assert plan_report == base_report
+    assert plan_log == base_log
+
+
+def test_same_seed_chaos_runs_are_byte_identical(tmp_path):
+    plan = FaultPlan.random(42)
+    rep_a, log_a = run_with_log(tmp_path / "a.jsonl", faults=plan)
+    rep_b, log_b = run_with_log(tmp_path / "b.jsonl", faults=plan)
+    assert rep_a == rep_b
+    assert log_a == log_b
+    # ... and the faulted run differs from the healthy one.
+    rep_h, _ = run_with_log(tmp_path / "h.jsonl")
+    assert rep_a != rep_h
