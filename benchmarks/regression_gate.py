@@ -8,11 +8,27 @@ the code.  ``benchmarks/results/baseline.json`` freezes those reports;
 this script re-runs the scenarios and applies
 :func:`repro.obs.diff.check_regression` to each.
 
+The ``--engine`` mode is the **simulator-throughput gate**: it replays
+pinned event-processing scenarios (the sorter hot path and an
+allocator-dominated flow storm), reads events-processed and wall-clock
+from the :mod:`repro.obs.profile` hooks, and compares against
+``benchmarks/results/engine_baseline.json``.  Two checks per scenario:
+
+* ``events`` must match the frozen count **exactly** -- the event count
+  is a pure function of the deterministic simulation, so any drift is a
+  semantic change, not noise;
+* events/sec must stay above ``events_per_s * floor_factor`` -- a
+  conservative ratchet (CI machines vary; the factor absorbs that, while
+  still catching an order-of-magnitude hot-path regression).
+
 Usage::
 
-    python benchmarks/regression_gate.py                 # check
+    python benchmarks/regression_gate.py                 # trace-diff gate
     python benchmarks/regression_gate.py --update        # re-freeze
     python benchmarks/regression_gate.py --trace-dir out # + Perfetto JSONs
+    python benchmarks/regression_gate.py --engine        # throughput gate
+    python benchmarks/regression_gate.py --engine --update
+    python benchmarks/regression_gate.py --engine --profile-out p.json
 
 Exit status: 0 = all scenarios within tolerance, 1 = regression or
 structural drift (or a scenario missing from the baseline).
@@ -101,9 +117,132 @@ def check(baseline: dict, tolerance: float | None = None,
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Simulator-throughput gate (--engine)
+# ---------------------------------------------------------------------------
+
+ENGINE_BASELINE = os.path.join(_HERE, "results", "engine_baseline.json")
+ENGINE_SCHEMA = "repro.engine_baseline/v1"
+
+#: How far below the frozen events/sec the gate tolerates.  Wall-clock
+#: on shared CI runners swings by 2-3x; an order-of-magnitude hot-path
+#: regression still trips it.
+FLOOR_FACTOR = 0.25
+
+#: Best-of-N wall-clock sampling per scenario (plus one warm-up).
+ENGINE_REPS = 3
+
+
+def _engine_sorter_scenario():
+    """The sorter hot path: a mid-size PIPEDATA run on the multi-GPU
+    platform (the fig11 configuration, scaled for CI)."""
+    from repro.hw.platforms import get_platform
+    sorter = HeterogeneousSorter(get_platform("PLATFORM2"), n_gpus=2,
+                                 approach="pipedata", n_streams=2,
+                                 batch_size=1_000_000,
+                                 pinned_elements=100_000)
+    sorter.sort(n=80_000_000)
+
+
+def _engine_flow_stress_scenario():
+    """Allocator-dominated storm: hundreds of concurrent flows over
+    disjoint link components (the workload the incremental water-filling
+    recompute exists for)."""
+    from repro.sim.bandwidth import FlowNetwork
+    from repro.sim.engine import Environment
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [net.add_link(f"l{i}", 10e9) for i in range(32)]
+
+    def prog(i):
+        for _ in range(4):
+            yield net.transfer(1e8 + i * 1e5, links=[links[i % 32]])
+
+    for i in range(32 * 12):
+        env.process(prog(i), name=f"p{i}")
+    env.run()
+
+
+ENGINE_SCENARIOS = {
+    "pipedata_hotpath": _engine_sorter_scenario,
+    "flow_stress": _engine_flow_stress_scenario,
+}
+
+
+def measure_engine(profile_out: str | None = None) -> dict:
+    """Run every engine scenario under the profile hooks; returns
+    ``{name: {"events": int, "events_per_s": float, "wall_s": float}}``
+    (best-of-``ENGINE_REPS`` wall-clock, exact event counts)."""
+    from repro.obs import profile as prof
+    measured = {}
+    snapshots = {}
+    for name, scenario in ENGINE_SCENARIOS.items():
+        scenario()                    # warm-up, unprofiled
+        best = None
+        for _ in range(ENGINE_REPS):
+            prof.reset_profiling()
+            prof.enable_profiling()
+            try:
+                scenario()
+            finally:
+                prof.disable_profiling()
+            stats = prof.snapshot()["sim.engine.run"]
+            if best is None or stats.total_s < best.total_s:
+                best = stats
+                snapshots[name] = {k: s.to_dict()
+                                   for k, s in prof.snapshot().items()}
+        measured[name] = {
+            "events": best.elements,
+            "events_per_s": best.elements_per_s,
+            "wall_s": best.total_s,
+        }
+    if profile_out:
+        with open(profile_out, "w") as fh:
+            json.dump({"schema": "repro.engine_profile/v1",
+                       "scenarios": snapshots, "measured": measured},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"profile snapshot written: {profile_out}")
+    return measured
+
+
+def check_engine(baseline: dict, measured: dict) -> list[str]:
+    """Compare measured throughput against the frozen engine baseline;
+    returns failure messages."""
+    floor = baseline.get("floor_factor", FLOOR_FACTOR)
+    failures: list[str] = []
+    for name in ENGINE_SCENARIOS:
+        frozen = baseline.get("scenarios", {}).get(name)
+        cur = measured[name]
+        if frozen is None:
+            failures.append(f"{name}: missing from engine baseline "
+                            "(run with --engine --update)")
+            continue
+        min_rate = frozen["events_per_s"] * floor
+        ok = (cur["events"] == frozen["events"]
+              and cur["events_per_s"] >= min_rate)
+        status = "ok" if ok else "FAIL"
+        print(f"{name}: {status}  events {cur['events']} "
+              f"(frozen {frozen['events']})  "
+              f"{cur['events_per_s']:,.0f} ev/s "
+              f"(floor {min_rate:,.0f}, frozen "
+              f"{frozen['events_per_s']:,.0f})")
+        if cur["events"] != frozen["events"]:
+            failures.append(
+                f"{name}: event count drifted {frozen['events']} -> "
+                f"{cur['events']} (semantic change, not noise; re-freeze "
+                "with --engine --update only if intended)")
+        if cur["events_per_s"] < min_rate:
+            failures.append(
+                f"{name}: throughput {cur['events_per_s']:,.0f} ev/s "
+                f"below floor {min_rate:,.0f} "
+                f"({floor:.0%} of frozen {frozen['events_per_s']:,.0f})")
+    return failures
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    p.add_argument("--baseline", default=BASELINE,
+    p.add_argument("--baseline", default=None,
                    help="baseline JSON path")
     p.add_argument("--tolerance", type=float, default=None,
                    help="relative makespan growth to tolerate "
@@ -112,8 +251,40 @@ def main(argv=None) -> int:
                    help="re-run the scenarios and rewrite the baseline")
     p.add_argument("--trace-dir", default=None,
                    help="also write one Perfetto trace JSON per scenario")
+    p.add_argument("--engine", action="store_true",
+                   help="run the simulator-throughput gate instead of "
+                        "the trace-diff gate")
+    p.add_argument("--profile-out", default=None,
+                   help="(--engine) write the full profile snapshot "
+                        "JSON for artifact upload")
     args = p.parse_args(argv)
 
+    if args.engine:
+        baseline_path = args.baseline or ENGINE_BASELINE
+        measured = measure_engine(profile_out=args.profile_out)
+        if args.update:
+            doc = {"schema": ENGINE_SCHEMA, "floor_factor": FLOOR_FACTOR,
+                   "scenarios": measured}
+            os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+            with open(baseline_path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"engine baseline updated: {baseline_path} "
+                  f"({len(measured)} scenarios)")
+            return 0
+        if not os.path.exists(baseline_path):
+            print(f"no engine baseline at {baseline_path}; run with "
+                  "--engine --update first", file=sys.stderr)
+            return 1
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        failures = check_engine(baseline, measured)
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1 if failures else 0
+
+    if args.baseline is None:
+        args.baseline = BASELINE
     if args.update:
         doc = build_baseline(trace_dir=args.trace_dir)
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)

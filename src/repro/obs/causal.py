@@ -68,6 +68,11 @@ class SpanGraph:
 
     def __init__(self, spans: _t.Sequence[Span]) -> None:
         self.spans: list[Span] = list(spans)
+        # Lazy caches -- the span list is treated as immutable after
+        # construction, so window/adjacency/edge-count are computed once.
+        self._window: tuple[float, float] | None = None
+        self._children: list[list[int]] | None = None
+        self._edge_count: int | None = None
         self.validate()
 
     @classmethod
@@ -108,10 +113,18 @@ class SpanGraph:
     @property
     def window(self) -> tuple[float, float]:
         """``(t0, t1)`` of the whole trace."""
-        if not self.spans:
-            return 0.0, 0.0
-        return (min(s.start for s in self.spans),
-                max(s.end for s in self.spans))
+        if self._window is None:
+            if not self.spans:
+                self._window = (0.0, 0.0)
+            else:
+                t0 = t1 = None
+                for s in self.spans:
+                    if t0 is None or s.start < t0:
+                        t0 = s.start
+                    if t1 is None or s.end > t1:
+                        t1 = s.end
+                self._window = (t0, t1)
+        return self._window
 
     @property
     def makespan(self) -> float:
@@ -124,15 +137,22 @@ class SpanGraph:
 
     def children(self) -> list[list[int]]:
         """Forward adjacency: ``children()[p]`` lists ids depending on
-        ``p``."""
-        out: list[list[int]] = [[] for _ in self.spans]
-        for s in self.spans:
-            for d in s.deps:
-                out[d].append(s.id)
-        return out
+        ``p`` (computed once; do not mutate)."""
+        if self._children is None:
+            out: list[list[int]] = [[] for _ in self.spans]
+            edges = 0
+            for s in self.spans:
+                for d in s.deps:
+                    out[d].append(s.id)
+                edges += len(s.deps)
+            self._children = out
+            self._edge_count = edges
+        return self._children
 
     def edge_count(self) -> int:
-        return sum(len(s.deps) for s in self.spans)
+        if self._edge_count is None:
+            self._edge_count = sum(len(s.deps) for s in self.spans)
+        return self._edge_count
 
     # ------------------------------------------------------------------
     # Critical path

@@ -173,12 +173,21 @@ def conformance_record(report: dict, model: "LowerBoundModel") -> dict:
     }
 
 
-def attach_conformance(result, model: "LowerBoundModel") -> dict:
+def attach_conformance(result, model: "LowerBoundModel",
+                       report: dict | None = None) -> dict:
     """Compute a conformance record for a finished
     :class:`~repro.hetsort.result.SortResult` and export it onto
-    ``result.metrics["conformance"]`` (also returned)."""
-    from repro.obs.diff import run_report
-    record = conformance_record(run_report(result), model)
+    ``result.metrics["conformance"]`` (also returned).
+
+    ``report`` optionally supplies the run report when the caller has
+    already built one (building it walks the whole span DAG, so sharing
+    matters on large traces); only its measured/critical-path fields are
+    read, never the label.
+    """
+    if report is None:
+        from repro.obs.diff import run_report
+        report = run_report(result)
+    record = conformance_record(report, model)
     result.metrics["conformance"] = record
     return record
 

@@ -23,6 +23,8 @@ import json
 import typing as _t
 
 from repro.obs.causal import SpanGraph, critical_path_report
+from repro.obs.metrics import interval_length as _interval_length
+from repro.obs.metrics import merge_intervals as _merge_intervals
 from repro.sim.trace import Trace
 
 __all__ = ["run_report", "report_from_trace", "write_report", "load_report",
@@ -56,6 +58,12 @@ def report_from_trace(trace: Trace, elapsed: float | None = None,
     graph = SpanGraph.from_trace(trace)
     cp = critical_path_report(graph)
     makespan = trace.makespan()
+    # Group lane intervals in one pass; merging each group reproduces
+    # Trace.busy_time's floats exactly (same sort, same sweep) without
+    # re-scanning the whole span list once per lane.
+    lane_ivs: dict[str, list[tuple[float, float]]] = {}
+    for s in trace.spans:
+        lane_ivs.setdefault(s.lane, []).append((s.start, s.end))
     return {
         "schema": REPORT_SCHEMA,
         "label": label,
@@ -65,8 +73,8 @@ def report_from_trace(trace: Trace, elapsed: float | None = None,
         "n_spans": len(trace.spans),
         "n_edges": graph.edge_count(),
         "categories": {k: v for k, v in sorted(trace.breakdown().items())},
-        "lanes": {ln: trace.busy_time(lane=ln) for ln in
-                  sorted(trace.lanes())},
+        "lanes": {ln: _interval_length(_merge_intervals(lane_ivs[ln]))
+                  for ln in sorted(lane_ivs)},
         "span_index": _span_index(trace),
         "critical_path": {
             "duration": cp["duration"],

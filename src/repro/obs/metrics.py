@@ -257,21 +257,105 @@ def compute_metrics(trace: Trace, elapsed: float | None = None,
     * ``critical_path_s``, ``overlap_efficiency``, ``stretch``
     * ``counters`` -- live counter summaries (when recorded)
     """
-    makespan = trace.makespan()
+    # One pass over the trace groups everything the sections below need;
+    # each helper's algorithm is then applied to the grouped data, so the
+    # resulting floats are identical to calling the public functions
+    # individually (same multisets through the same operations) -- this
+    # just avoids ~15 full re-scans of a large trace.
+    spans = trace.spans
+    cat_ivs: dict[str, list[Interval]] = {}
+    lane_ivs: dict[str, list[Interval]] = {}
+    lane_count: dict[str, int] = {}
+    cat_dur: dict[str, float] = {}
+    cat_bytes: dict[str, float] = {}
+    cat_count: dict[str, int] = {}
+    min_start = float("inf")
+    max_end = float("-inf")
+    for s in spans:
+        iv = (s.start, s.end)
+        cat, lane = s.category, s.lane
+        bucket = cat_ivs.get(cat)
+        if bucket is None:
+            bucket = cat_ivs[cat] = []
+            cat_dur[cat] = 0.0
+            cat_bytes[cat] = 0.0
+            cat_count[cat] = 0
+        bucket.append(iv)
+        cat_dur[cat] += s.end - s.start
+        cat_bytes[cat] += s.nbytes
+        cat_count[cat] += 1
+        bucket = lane_ivs.get(lane)
+        if bucket is None:
+            bucket = lane_ivs[lane] = []
+            lane_count[lane] = 0
+        bucket.append(iv)
+        lane_count[lane] += 1
+        if s.start < min_start:
+            min_start = s.start
+        if s.end > max_end:
+            max_end = s.end
+
+    makespan = (max_end - min_start) if spans else 0.0
     elapsed = makespan if elapsed is None else float(elapsed)
-    matrix = category_overlap_matrix(trace)
+
+    merged_cat = {c: merge_intervals(ivs) for c, ivs in cat_ivs.items()}
+    merged_lane = {ln: merge_intervals(ivs) for ln, ivs in lane_ivs.items()}
+
+    categories = list(merged_cat)
+    matrix: dict[str, dict[str, float]] = {}
+    for a in categories:
+        row: dict[str, float] = {}
+        for b in categories:
+            if b in matrix:        # symmetry: reuse the transposed entry
+                row[b] = matrix[b][a]
+            elif a == b:
+                row[b] = interval_length(merged_cat[a])
+            else:
+                row[b] = interval_length(
+                    intersect_intervals(merged_cat[a], merged_cat[b]))
+        matrix[a] = row
     related = sum(matrix.get(c, {}).get(c, 0.0) for c in CAT.RELATED_WORK)
-    critical = critical_path_lower_bound(trace)
+
+    lanes: dict[str, dict] = {}
+    for lane, merged in merged_lane.items():
+        busy = interval_length(merged)
+        bubbles = [(pe, ns) for (_, pe), (ns, _) in zip(merged, merged[1:])
+                   if ns - pe > 0.0]
+        lanes[lane] = {
+            "busy_s": busy,
+            "idle_s": makespan - busy,
+            "utilization": (busy / makespan) if makespan > 0 else 0.0,
+            "spans": lane_count[lane],
+            "bubbles": len(bubbles),
+            "bubble_s": interval_length(bubbles),
+            "largest_bubble_s": max((e - s for s, e in bubbles),
+                                    default=0.0),
+        }
+
+    links: dict[str, dict[str, float]] = {}
+    for cat in LINK_CATEGORIES:
+        nbytes = cat_bytes.get(cat, 0.0)
+        if not nbytes and not cat_count.get(cat, 0):
+            continue
+        busy = interval_length(merged_cat.get(cat, []))
+        links[cat] = {
+            "bytes": nbytes,
+            "busy_s": busy,
+            "bytes_per_s": (nbytes / busy) if busy > 0 else 0.0,
+        }
+
+    critical = max((interval_length(m) for m in merged_lane.values()),
+                   default=0.0)
     metrics = {
         "makespan_s": makespan,
         "elapsed_s": elapsed,
-        "components": trace.breakdown(),
+        "components": dict(sorted(cat_dur.items(), key=lambda kv: -kv[1])),
         "component_busy": {c: matrix[c][c] for c in matrix},
         "overlap_matrix": matrix,
         "related_work_end_to_end_s": related,
         "missing_overhead_s": max(0.0, elapsed - related),
-        "lanes": lane_metrics(trace),
-        "links": link_throughput(trace),
+        "lanes": lanes,
+        "links": links,
         "critical_path_s": critical,
         "overlap_efficiency": (critical / makespan) if makespan > 0
         else 1.0,

@@ -150,8 +150,9 @@ def run_point(pt: dict, sinks: _t.Sequence = ()):
 def ledger_record(result, pt: dict, model: "LowerBoundModel") -> dict:
     """One canonical ledger line: point + measurements + report +
     conformance (also exported onto ``result.metrics``)."""
-    conf = attach_conformance(result, model)
     run_id = pt.get("run_id") or _run_id(pt)
+    report = run_report(result, label=run_id)
+    conf = attach_conformance(result, model, report=report)
     return {
         "schema": LEDGER_SCHEMA,
         "run_id": run_id,
@@ -165,7 +166,7 @@ def ledger_record(result, pt: dict, model: "LowerBoundModel") -> dict:
             "missing_overhead_s": result.missing_overhead,
             "throughput_el_per_s": result.throughput,
         },
-        "report": run_report(result, label=run_id),
+        "report": report,
         "conformance": conf,
     }
 

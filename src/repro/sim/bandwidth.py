@@ -15,6 +15,25 @@ and the allocation is recomputed, so contention effects (two GPUs sharing a
 PCIe root complex, parallel memcpy competing with merges for the memory bus)
 emerge from the model rather than being hand-coded per experiment.
 
+The recompute is *incremental*: flows are partitioned into link-connected
+components (two flows are connected when they share a link, transitively),
+and a join/leave/:meth:`FlowNetwork.set_capacity` only refills the
+components its links can reach -- flows in untouched components keep their
+rates bit-for-bit.  Filling is canonically **per component** so the
+incremental result is exactly (to the last ulp) what a from-scratch
+recompute produces; ``tests/sim/test_bandwidth_incremental_property.py``
+pins that equality against the :meth:`FlowNetwork._recompute_full`
+reference.  Two further hot-path refinements, both behind the same
+contract:
+
+* a *cap-load fast path*: when every flow in a component has a finite rate
+  cap and the summed cap-load leaves headroom on every link, all rates are
+  exactly the caps -- no filling rounds at all (the common case for this
+  repo's machine models, where every primitive is capped);
+* *snap-to-cap*: a flow frozen because it reached its cap gets ``rate =
+  cap`` exactly rather than ``cap - O(eps)`` of accumulated deltas, which
+  keeps the fast and slow paths bit-identical.
+
 This is the standard fluid approximation used in network simulators; the
 paper's phenomena that it captures directly:
 
@@ -41,12 +60,14 @@ _EPS_BYTES = 1e-6
 #: Rate slack for freezing decisions, in bytes/second.
 _EPS_RATE = 1e-9
 
+_INF = math.inf
+
 
 class Link:
     """A capacity-limited pipe (bytes/second)."""
 
     __slots__ = ("name", "capacity", "_busy_byte_time", "_last_update",
-                 "_current_rate")
+                 "_current_rate", "_left", "_wsum", "_mark", "_uf")
 
     def __init__(self, name: str, capacity: float) -> None:
         if not (capacity > 0):
@@ -56,6 +77,14 @@ class Link:
         self._busy_byte_time = 0.0   # integral of allocated rate over time
         self._last_update = 0.0
         self._current_rate = 0.0
+        # Scratch registers for the progressive-filling rounds (headroom
+        # left / weight sum of unfrozen flows); valid only inside _fill().
+        self._left = 0.0
+        self._wsum = 0.0
+        # Component-discovery scratch: generation mark and union-find
+        # parent; valid only inside _dirty_components().
+        self._mark = 0
+        self._uf: "Link" = self
 
     def _account(self, now: float) -> None:
         self._busy_byte_time += self._current_rate * (now - self._last_update)
@@ -77,15 +106,25 @@ class Flow:
     payload rate ``r`` consumes ``r * weight`` capacity on each link.  A
     weight > 1 models amplification (e.g. a pageable CUDA copy is staged by
     the driver and touches host DRAM twice per payload byte).
+
+    Progress is accumulated in one place -- :attr:`progressed`, the total
+    bytes moved so far -- and :attr:`remaining` is always derived from it
+    as ``max(0, nbytes - progressed)``.  A chain of per-interval
+    subtractions (the previous scheme) let rounding drift accumulate across
+    reallocation boundaries; a pathological capacity-flap sequence could
+    strand a flow with a tiny negative residual.  One accumulator keeps
+    ``progressed + remaining == nbytes`` exact and ``remaining``
+    non-negative by construction.
     """
 
-    __slots__ = ("nbytes", "remaining", "cap", "links", "rate", "event",
-                 "label", "start_time")
+    __slots__ = ("nbytes", "progressed", "remaining", "cap", "links", "rate",
+                 "event", "label", "start_time", "_mark")
 
     def __init__(self, nbytes: float, links: tuple[tuple[Link, float], ...],
                  cap: float, event: Event, label: str,
                  start_time: float) -> None:
         self.nbytes = float(nbytes)
+        self.progressed = 0.0
         self.remaining = float(nbytes)
         self.cap = float(cap)
         self.links = links
@@ -93,6 +132,7 @@ class Flow:
         self.event = event
         self.label = label
         self.start_time = start_time
+        self._mark = 0   # component-discovery scratch
 
 
 class FlowNetwork:
@@ -104,6 +144,7 @@ class FlowNetwork:
         self._flows: list[Flow] = []
         self._last_update = env.now
         self._wakeup: Event | None = None
+        self._gen = 0   # generation counter for component-discovery marks
         self.completed_flows = 0
 
     # -- construction ---------------------------------------------------------
@@ -119,7 +160,7 @@ class FlowNetwork:
 
     def transfer(self, nbytes: float,
                  links: _t.Sequence[Link | tuple[Link, float]],
-                 cap: float = math.inf, label: str = "flow") -> Event:
+                 cap: float = _INF, label: str = "flow") -> Event:
         """Start a flow of ``nbytes`` across ``links``; returns its
         completion event (value = the :class:`Flow`).
 
@@ -154,16 +195,17 @@ class FlowNetwork:
         self._advance()
         flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now)
         self._flows.append(flow)
-        self._reallocate()
+        # Only the component the new flow joins needs refilling.
+        self._update(seed_flows=(flow,))
         return ev
 
     def set_capacity(self, link: Link, capacity: float) -> None:
         """Change a link's capacity mid-run (fault injection: a degraded
         PCIe link or host bus during a bandwidth-degradation window).
 
-        Active flows are first advanced at their old rates, then every
-        rate is recomputed max-min fair under the new capacity and the
-        next completion is rescheduled.
+        Active flows are first advanced at their old rates, then the rates
+        of the link's connected component are recomputed max-min fair under
+        the new capacity and the next completion is rescheduled.
         """
         if link not in self._links:
             raise SimulationError(f"{link!r} not part of this network")
@@ -172,7 +214,7 @@ class FlowNetwork:
                 f"link {link.name!r} capacity must be > 0, got {capacity!r}")
         self._advance()
         link.capacity = float(capacity)
-        self._reallocate()
+        self._update(seed_links=(link,))
 
     @property
     def active_flows(self) -> int:
@@ -192,65 +234,251 @@ class FlowNetwork:
         dt = now - self._last_update
         if dt > 0:
             for flow in self._flows:
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                flow.progressed += flow.rate * dt
+                rem = flow.nbytes - flow.progressed
+                flow.remaining = rem if rem > 0.0 else 0.0
             for link in self._links:
                 link._account(now)
         self._last_update = now
 
-    def _reallocate(self) -> None:
-        """Recompute max-min fair rates and reschedule the next completion."""
+    @staticmethod
+    def _find(link: Link) -> Link:
+        """Union-find root of ``link`` (path-halving)."""
+        while link._uf is not link:
+            link._uf = link._uf._uf
+            link = link._uf
+        return link
+
+    def _dirty_components(self, seed_flows: _t.Sequence[Flow],
+                          seed_links: _t.Sequence[Link],
+                          ) -> tuple[list[list[Flow]], list[Link]]:
+        """The link-connected components reachable from the seeds.
+
+        Returns ``(components, touched_links)`` where each component is a
+        list of flows in insertion order (components ordered by their first
+        flow) and ``touched_links`` lists every link in the closure,
+        including seed links that currently carry no flow (their marks are
+        left at ``self._gen`` for the caller).  The partition is a pure
+        function of the current flow/link topology, so refilling a dirty
+        component here yields bit-identical rates to a from-scratch
+        recompute partitioning the whole network.
+
+        Discovery state lives in ``_mark`` generation counters on the
+        links and flows themselves -- no per-call sets or dicts, which
+        keeps the common join/leave path at a few microseconds.
+        """
+        gen = self._gen + 1
+        self._gen = gen
+        touched: list[Link] = []
+        for l in seed_links:
+            if l._mark != gen:
+                l._mark = gen
+                touched.append(l)
+        for f in seed_flows:
+            f._mark = gen
+            for l, _w in f.links:
+                if l._mark != gen:
+                    l._mark = gen
+                    touched.append(l)
+        # Fixpoint: grow the touched-link set through flows that straddle.
         flows = self._flows
-        # Progressive filling.
+        changed = True
+        while changed:
+            changed = False
+            for f in flows:
+                if f._mark == gen:
+                    continue
+                for l, _w in f.links:
+                    if l._mark == gen:
+                        f._mark = gen
+                        for l2, _w2 in f.links:
+                            if l2._mark != gen:
+                                l2._mark = gen
+                                touched.append(l2)
+                                changed = True
+                        break
+        dirty = [f for f in flows if f._mark == gen]
+
+        # Partition into actual components (the closure may span several
+        # disconnected ones, e.g. after two unrelated flows finish in the
+        # same wakeup).  Union-find over the touched links; linkless flows
+        # are singletons.
+        if len(dirty) <= 1:
+            return ([dirty] if dirty else []), touched
+        for l in touched:
+            l._uf = l
+        find = self._find
+        for f in dirty:
+            links = f.links
+            if len(links) > 1:
+                first = find(links[0][0])
+                for l, _w in links[1:]:
+                    root = find(l)
+                    if root is not first:
+                        root._uf = first
+        groups: dict[int, list[Flow]] = {}
+        components: list[list[Flow]] = []
+        singleton_key = 0
+        for f in dirty:
+            if f.links:
+                key = id(find(f.links[0][0]))
+            else:
+                singleton_key -= 1
+                key = singleton_key
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = groups[key] = []
+                components.append(bucket)
+            bucket.append(f)
+        return components, touched
+
+    @staticmethod
+    def _fill(flows: list[Flow]) -> None:
+        """Max-min fair progressive filling of ONE connected component.
+
+        A pure function of the component's flows (in insertion order) and
+        its links' capacities -- the incremental/full equivalence rests on
+        that purity.
+        """
+        if not flows:
+            return
+        links: list[Link] = []
+        seen: set[int] = set()
+        all_capped = True
+        for f in flows:
+            if f.cap == _INF:
+                all_capped = False
+            for l, _w in f.links:
+                if id(l) not in seen:
+                    seen.add(id(l))
+                    links.append(l)
+
+        if all_capped:
+            # Fast path: if the summed cap-load leaves headroom on every
+            # link, no link can freeze anybody and every rate is exactly
+            # its cap (identical to what the rounds below would produce,
+            # thanks to snap-to-cap).
+            for l in links:
+                l._left = l.capacity
+            for f in flows:
+                for l, w in f.links:
+                    l._left -= f.cap * w
+            if all(l._left > _EPS_RATE * l.capacity for l in links):
+                for f in flows:
+                    f.rate = f.cap
+                return
+
+        # Slow path: progressive filling rounds.
         for f in flows:
             f.rate = 0.0
-        left = {id(l): l.capacity for l in self._links}
-        unfrozen = list(flows)
+        for l in links:
+            l._left = l.capacity
+        unfrozen = flows
         while unfrozen:
-            delta = math.inf
+            delta = _INF
             for f in unfrozen:
-                delta = min(delta, f.cap - f.rate)
+                d = f.cap - f.rate
+                if d < delta:
+                    delta = d
             # Weighted progressive filling: raising every unfrozen flow's
             # payload rate by d consumes d * sum(weights) on each link.
-            wsum: dict[int, float] = {}
+            for l in links:
+                l._wsum = 0.0
             for f in unfrozen:
                 for l, w in f.links:
-                    wsum[id(l)] = wsum.get(id(l), 0.0) + w
-            for lid, ws in wsum.items():
-                delta = min(delta, left[lid] / ws)
+                    l._wsum += w
+            for l in links:
+                if l._wsum > 0.0:
+                    d = l._left / l._wsum
+                    if d < delta:
+                        delta = d
             if delta < 0:
                 delta = 0.0
-            if math.isinf(delta):  # pragma: no cover - guarded at transfer()
+            if delta == _INF:  # pragma: no cover - guarded at transfer()
                 raise SimulationError("unbounded flow rate")
             for f in unfrozen:
                 f.rate += delta
                 for l, w in f.links:
-                    left[id(l)] -= delta * w
+                    l._left -= delta * w
             still = []
             for f in unfrozen:
-                saturated_link = any(
-                    left[id(l)] <= _EPS_RATE * l.capacity
-                    for l, _w in f.links)
-                if f.rate >= f.cap - _EPS_RATE or saturated_link:
-                    continue  # frozen
+                if f.rate >= f.cap - _EPS_RATE:
+                    # Snap: a cap-frozen flow runs at its cap *exactly*,
+                    # not at cap - (accumulated round-off of the deltas).
+                    f.rate = f.cap
+                    continue
+                saturated = False
+                for l, _w in f.links:
+                    if l._left <= _EPS_RATE * l.capacity:
+                        saturated = True
+                        break
+                if saturated:
+                    continue  # frozen by a saturated link
                 still.append(f)
             if len(still) == len(unfrozen):  # pragma: no cover - defensive
                 break
             unfrozen = still
 
-        for link in self._links:
-            link._current_rate = self.instantaneous_rate(link)
+    def _update(self, seed_flows: _t.Sequence[Flow] = (),
+                seed_links: _t.Sequence[Link] = ()) -> None:
+        """Refill the components the seeds can reach, refresh the touched
+        links' aggregate rates, and reschedule the completion wakeup."""
+        components, touched = self._dirty_components(seed_flows, seed_links)
+        fill = self._fill
+        for component in components:
+            fill(component)
 
-        # Schedule a wake-up at the earliest completion.
+        # Aggregate link rates, accumulated in global flow order so the
+        # sum is bit-identical however many components were refilled.
+        # (A clean flow can never touch a dirty link -- it would have been
+        # pulled into the closure -- so summing dirty flows only is the
+        # same sequence of float adds as the full version's.)
+        gen = self._gen
+        for link in touched:
+            link._current_rate = 0.0
+        for f in self._flows:
+            rate = f.rate
+            for l, w in f.links:
+                if l._mark == gen:
+                    l._current_rate += rate * w
+
+        self._reschedule_wakeup()
+
+    def _recompute_full(self) -> None:
+        """From-scratch reference: refill *every* component and every
+        link's aggregate rate.
+
+        Semantically (and, by design, bit-for-bit) equivalent to the
+        incremental :meth:`_update`; the hypothesis battery in
+        ``tests/sim/test_bandwidth_incremental_property.py`` holds the two
+        to ulp equality over random join/leave/degrade sequences.
+        """
+        components, _ = self._dirty_components(self._flows, self._links)
+        for component in components:
+            self._fill(component)
+        for link in self._links:
+            link._current_rate = 0.0
+        for f in self._flows:
+            rate = f.rate
+            for l, w in f.links:
+                l._current_rate += rate * w
+        self._reschedule_wakeup()
+
+    def _reschedule_wakeup(self) -> None:
+        """Point the single wakeup event at the earliest completion."""
         if self._wakeup is not None:
             self.env.unschedule(self._wakeup)
             self._wakeup = None
+        flows = self._flows
         if not flows:
             return
-        horizon = math.inf
+        horizon = _INF
         for f in flows:
             if f.rate > 0:
-                horizon = min(horizon, f.remaining / f.rate)
-        if math.isinf(horizon):  # pragma: no cover - all rates zero
+                h = f.remaining / f.rate
+                if h < horizon:
+                    horizon = h
+        if horizon == _INF:  # pragma: no cover - all rates zero
             raise SimulationError("flows present but no bandwidth allocated")
         wake = Event(self.env)
         wake._ok = True
@@ -278,7 +506,9 @@ class FlowNetwork:
             done = set(map(id, finished))
             self._flows = [f for f in self._flows if id(f) not in done]
             self.completed_flows += len(finished)
-        self._reallocate()
+        # Departures only perturb the components the finished flows were
+        # in; seed with their links.
+        self._update(seed_links=[l for f in finished for l, _w in f.links])
         for f in finished:
             f.remaining = 0.0
             f.event.succeed(f)

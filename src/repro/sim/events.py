@@ -57,7 +57,8 @@ class Event:
         ``None`` once processed (appending afterwards is an error).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -67,6 +68,9 @@ class Event:
         # A failed event whose exception was delivered to (or inspected by)
         # someone does not crash the simulation; an un-handled failure does.
         self._defused = False
+        # Set by Environment.unschedule(): the queue record referencing
+        # this event is dead and will be discarded unprocessed.
+        self._cancelled = False
 
     # -- state inspection ---------------------------------------------------
 

@@ -35,6 +35,10 @@ class Resource:
     ...     cores.release(2)
     """
 
+    __slots__ = ("env", "capacity", "name", "_available", "_waiting",
+                 "_busy_units_time", "_last_change", "probe", "bus",
+                 "last_release_span")
+
     def __init__(self, env: Environment, capacity: int,
                  name: str = "resource") -> None:
         if capacity < 1:
@@ -173,6 +177,8 @@ class Store:
     ``put`` never blocks.  ``get`` returns an event that fires with the next
     item (items are matched to getters in FIFO order).
     """
+
+    __slots__ = ("env", "name", "_items", "_getters", "probe", "bus")
 
     def __init__(self, env: Environment, name: str = "store") -> None:
         self.env = env

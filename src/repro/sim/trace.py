@@ -68,7 +68,7 @@ def _normalize_meta(meta) -> tuple:
     return tuple(sorted((str(k), v) for k, v in items))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One timed operation on the simulated timeline."""
 
