@@ -12,10 +12,17 @@ freezes the ``ci`` grid.  This script re-runs the grid and fails when
   than ``--slope-tolerance`` (default 2%) -- the model-vs-measured
   relationship changed, even if no single run looks anomalous.
 
+With ``--archive PATH`` every run of the grid is appended to a
+``repro.archive/v1`` archive (content-addressed, idempotent) and
+anomaly failures are classified against the archived history (one-off
+miss vs. sustained regression).  ``--json`` prints one machine-readable
+``repro.gate/v1`` document instead of human text.
+
 Usage::
 
     python benchmarks/conformance_gate.py                 # check
     python benchmarks/conformance_gate.py --update        # re-freeze
+    python benchmarks/conformance_gate.py --json --archive runs.jsonl
 
 Exit status: 0 = conformant, 1 = anomaly or slope drift.
 """
@@ -35,8 +42,17 @@ from repro.obs import (conformance_summary, load_ledger,  # noqa: E402
 from repro.obs.sweep import GRIDS, sweep_points  # noqa: E402
 
 BASELINE = os.path.join(_HERE, "results", "conformance_baseline.jsonl")
+GATE_SCHEMA = "repro.gate/v1"
 GRID = "ci"
 DEFAULT_SLOPE_TOLERANCE = 0.02
+
+#: Informational output channel; main() points it at stderr under
+#: --json so stdout stays one parseable document.
+_INFO = sys.stdout
+
+
+def say(msg: str) -> None:
+    print(msg, file=_INFO)
 
 
 def run_grid() -> list[dict]:
@@ -65,9 +81,9 @@ def check(baseline_records: list[dict], current: list[dict],
         b_slope, c_slope = frozen["fitted_slope"], g["fitted_slope"]
         drift = abs(c_slope - b_slope) / b_slope if b_slope else 0.0
         status = "ok" if drift <= slope_tolerance else "FAIL"
-        print(f"{key}: {status}  baseline slope {b_slope * 1e9:.4f} "
-              f"ns/el  current {c_slope * 1e9:.4f} ns/el  "
-              f"(drift {drift * 100:+.3f}%)")
+        say(f"{key}: {status}  baseline slope {b_slope * 1e9:.4f} "
+            f"ns/el  current {c_slope * 1e9:.4f} ns/el  "
+            f"(drift {drift * 100:+.3f}%)")
         if drift > slope_tolerance:
             failures.append(
                 f"{key}: fitted slope drifted {drift * 100:.2f}% "
@@ -79,7 +95,53 @@ def check(baseline_records: list[dict], current: list[dict],
     return failures
 
 
+def gate_entries(records: list[dict], anomalies: list[dict]
+                 ) -> list[dict]:
+    """One archive entry per grid run, carrying its per-run gate
+    verdict (anomalous or not)."""
+    from repro.obs import entry_from_ledger
+    flagged = {a["run_id"]: a for a in anomalies}
+    entries = []
+    for r in records:
+        a = flagged.get(r["run_id"])
+        gate = {"gate": "conformance", "ok": a is None,
+                "failures": ([f"{r['run_id']}: anomalous "
+                              f"({'/'.join(a['flags'])})"] if a else [])}
+        entries.append(entry_from_ledger(r, source="gate:conformance",
+                                         verdicts=[gate]))
+    return entries
+
+
+def classify_against_history(failures: list[str], entries: list[dict],
+                             archive_path: str | None) -> list[str]:
+    """Suffix per-run anomaly failures with the trend verdict from the
+    archive: did the last archived runs of the same workload already
+    fail their conformance verdict (sustained), or is this a one-off?"""
+    if not archive_path or not os.path.exists(archive_path):
+        return failures
+    from repro.obs import load_archive
+    from repro.obs.trends import classify_miss
+
+    def was_beyond(e: dict) -> bool:
+        return any(v["gate"] == "conformance" and not v["ok"]
+                   for v in e["verdicts"])
+
+    history = load_archive(archive_path)
+    notes = {}
+    for entry in entries:
+        v = entry["verdicts"][0]
+        if v["ok"]:
+            continue
+        prior = [was_beyond(e) for e in history
+                 if e["fingerprint"] == entry["fingerprint"]]
+        notes[entry["label"]] = classify_miss(prior)["message"]
+    return [f"{msg} [{notes[msg.split(' ', 1)[0]]}]"
+            if msg.split(" ", 1)[0] in notes else msg
+            for msg in failures]
+
+
 def main(argv=None) -> int:
+    global _INFO
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--baseline", default=BASELINE,
                    help="frozen mini-ledger JSONL path")
@@ -89,14 +151,23 @@ def main(argv=None) -> int:
                         "(default 0.02 = 2%%)")
     p.add_argument("--update", action="store_true",
                    help="re-run the grid and rewrite the baseline ledger")
+    p.add_argument("--json", action="store_true",
+                   help="print one repro.gate/v1 document on stdout "
+                        "(progress lines go to stderr)")
+    p.add_argument("--archive", default=None, metavar="PATH",
+                   help="append every grid run to a repro.archive/v1 "
+                        "archive and classify anomalies against its "
+                        "history (one-off miss vs sustained regression)")
     args = p.parse_args(argv)
+    if args.json:
+        _INFO = sys.stderr
 
     records = run_grid()
     if args.update:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         write_ledger(records, args.baseline)
-        print(f"baseline updated: {args.baseline} "
-              f"({len(records)} ledger lines)")
+        say(f"baseline updated: {args.baseline} "
+            f"({len(records)} ledger lines)")
         return 0
 
     if not os.path.exists(args.baseline):
@@ -110,6 +181,21 @@ def main(argv=None) -> int:
         return 1
     failures = check(baseline_records, records,
                      slope_tolerance=args.slope_tolerance)
+    entries = gate_entries(records,
+                           conformance_summary(records)["anomalies"])
+    failures = classify_against_history(failures, entries, args.archive)
+    if args.archive:
+        from repro.obs import append_entries
+        fresh = append_entries(args.archive, entries)
+        say(f"archived {len(fresh)} of {len(entries)} entries to "
+            f"{args.archive}")
+    if args.json:
+        from repro.obs import canonical_json
+        doc = {"schema": GATE_SCHEMA, "gate": "conformance",
+               "ok": not failures, "failures": failures,
+               "entries": entries}
+        print(canonical_json(doc, indent=None))
+        return 1 if failures else 0
     for msg in failures:
         print(f"NONCONFORMANT: {msg}", file=sys.stderr)
     return 1 if failures else 0

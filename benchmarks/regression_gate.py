@@ -21,6 +21,14 @@ from the :mod:`repro.obs.profile` hooks, and compares against
   conservative ratchet (CI machines vary; the factor absorbs that, while
   still catching an order-of-magnitude hot-path regression).
 
+With ``--archive PATH`` every gate measurement is also appended to a
+``repro.archive/v1`` run archive (content-addressed, idempotent) and a
+failure message is classified against the archived history: a *one-off
+miss* (previous runs were within tolerance) reads differently from a
+*sustained regression* (three consecutive archived runs beyond it).
+``--json`` prints one machine-readable ``repro.gate/v1`` document --
+the same entry schema the archive ingests -- instead of human text.
+
 Usage::
 
     python benchmarks/regression_gate.py                 # trace-diff gate
@@ -29,6 +37,7 @@ Usage::
     python benchmarks/regression_gate.py --engine        # throughput gate
     python benchmarks/regression_gate.py --engine --update
     python benchmarks/regression_gate.py --engine --profile-out p.json
+    python benchmarks/regression_gate.py --json --archive runs.jsonl
 
 Exit status: 0 = all scenarios within tolerance, 1 = regression or
 structural drift (or a scenario missing from the baseline).
@@ -50,7 +59,44 @@ from repro.obs import check_regression, run_report  # noqa: E402
 
 BASELINE = os.path.join(_HERE, "results", "baseline.json")
 BASELINE_SCHEMA = "repro.baseline/v1"
+GATE_SCHEMA = "repro.gate/v1"
 DEFAULT_TOLERANCE = 0.02
+
+#: Informational output channel; main() points it at stderr under
+#: --json so stdout stays one parseable document.
+_INFO = sys.stdout
+
+
+def say(msg: str) -> None:
+    print(msg, file=_INFO)
+
+
+def trend_note(history: list[dict], fingerprint: str, beyond) -> str:
+    """Classify a failing measurement against archived history: one-off
+    miss vs. sustained regression (``beyond(entry) -> bool`` says
+    whether a prior archived run already sat beyond tolerance)."""
+    from repro.obs.trends import classify_miss
+    prior = [bool(beyond(e)) for e in history
+             if e["fingerprint"] == fingerprint]
+    return classify_miss(prior)["message"]
+
+
+def load_history(archive_path: str | None) -> list[dict]:
+    """Prior archive entries (before this gate run appends its own)."""
+    if not archive_path or not os.path.exists(archive_path):
+        return []
+    from repro.obs import load_archive
+    return load_archive(archive_path)
+
+
+def archive_entries(archive_path: str | None,
+                    entries: list[dict]) -> None:
+    if not archive_path:
+        return
+    from repro.obs import append_entries
+    fresh = append_entries(archive_path, entries)
+    say(f"archived {len(fresh)} of {len(entries)} entries to "
+        f"{archive_path}")
 
 #: Pinned scenarios: small enough for CI, spanning the blocking baseline
 #: and the fastest pipelined approach (one multi-batch, multi-stream).
@@ -74,46 +120,67 @@ def run_scenario(sc: dict):
     return sorter.sort(n=sc["n"])
 
 
-def build_baseline(trace_dir: str | None = None) -> dict:
-    """Run every scenario; returns the baseline document (and optionally
-    writes one Perfetto trace JSON per scenario into ``trace_dir``)."""
-    scenarios = {}
+def run_scenarios(trace_dir: str | None = None) -> dict:
+    """Run every pinned scenario once; returns
+    ``{name: (scenario, SortResult, report)}`` (and optionally writes
+    one Perfetto trace JSON per scenario into ``trace_dir``)."""
+    runs = {}
     for sc in SCENARIOS:
         res = run_scenario(sc)
-        scenarios[sc["name"]] = run_report(res, label=sc["name"])
+        runs[sc["name"]] = (sc, res, run_report(res, label=sc["name"]))
         if trace_dir:
             from repro.reporting import write_chrome_trace
             os.makedirs(trace_dir, exist_ok=True)
             path = os.path.join(trace_dir, f"{sc['name']}.trace.json")
             write_chrome_trace(res.trace, path, counters=res.recorder)
-            print(f"wrote {path}")
+            say(f"wrote {path}")
+    return runs
+
+
+def build_baseline(trace_dir: str | None = None,
+                   runs: dict | None = None) -> dict:
+    """The baseline document for a scenario sweep (fresh by default)."""
+    runs = runs if runs is not None else run_scenarios(trace_dir)
     return {"schema": BASELINE_SCHEMA, "tolerance": DEFAULT_TOLERANCE,
-            "scenarios": scenarios}
+            "scenarios": {name: report
+                          for name, (_, _, report) in runs.items()}}
 
 
 def check(baseline: dict, tolerance: float | None = None,
-          trace_dir: str | None = None) -> list[str]:
-    """Run the scenarios and compare; returns failure messages."""
+          trace_dir: str | None = None, runs: dict | None = None,
+          verdicts: dict | None = None) -> list[str]:
+    """Run the scenarios and compare; returns failure messages.
+
+    When ``verdicts`` (a dict) is passed, it is filled with one
+    ``{"ok", "failures", "threshold_s"}`` record per scenario for the
+    archive layer.
+    """
     tol = baseline.get("tolerance", DEFAULT_TOLERANCE) \
         if tolerance is None else tolerance
-    current = build_baseline(trace_dir=trace_dir)
+    runs = runs if runs is not None else run_scenarios(trace_dir)
     failures: list[str] = []
     for sc in SCENARIOS:
         name = sc["name"]
+        _, _, report = runs[name]
         frozen = baseline.get("scenarios", {}).get(name)
         if frozen is None:
-            failures.append(f"{name}: missing from baseline "
-                            "(run with --update)")
+            msg = f"{name}: missing from baseline (run with --update)"
+            failures.append(msg)
+            if verdicts is not None:
+                verdicts[name] = {"ok": False, "failures": [msg],
+                                  "threshold_s": None}
             continue
-        verdict = check_regression(current["scenarios"][name], frozen,
-                                   tolerance=tol)
-        cur = current["scenarios"][name]["makespan_s"]
+        verdict = check_regression(report, frozen, tolerance=tol)
+        cur = report["makespan_s"]
         base = frozen["makespan_s"]
         status = "ok" if verdict["ok"] else "FAIL"
-        print(f"{name}: {status}  baseline {base:.6f}s  "
-              f"current {cur:.6f}s  ({(cur - base) / base * 100:+.3f}%)")
-        for msg in verdict["failures"]:
-            failures.append(f"{name}: {msg}")
+        say(f"{name}: {status}  baseline {base:.6f}s  "
+            f"current {cur:.6f}s  ({(cur - base) / base * 100:+.3f}%)")
+        scoped = [f"{name}: {msg}" for msg in verdict["failures"]]
+        failures.extend(scoped)
+        if verdicts is not None:
+            verdicts[name] = {"ok": verdict["ok"], "failures": scoped,
+                              "threshold_s": base * (1.0 + tol)}
     return failures
 
 
@@ -169,10 +236,12 @@ ENGINE_SCENARIOS = {
 }
 
 
-def measure_engine(profile_out: str | None = None) -> dict:
+def measure_engine(profile_out: str | None = None
+                   ) -> tuple[dict, dict]:
     """Run every engine scenario under the profile hooks; returns
-    ``{name: {"events": int, "events_per_s": float, "wall_s": float}}``
-    (best-of-``ENGINE_REPS`` wall-clock, exact event counts)."""
+    ``({name: {"events", "events_per_s", "wall_s"}}, {name: snapshot})``
+    (best-of-``ENGINE_REPS`` wall-clock, exact event counts; the
+    snapshot is the full per-kernel profile of the best rep)."""
     from repro.obs import profile as prof
     measured = {}
     snapshots = {}
@@ -202,45 +271,121 @@ def measure_engine(profile_out: str | None = None) -> dict:
                        "scenarios": snapshots, "measured": measured},
                       fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"profile snapshot written: {profile_out}")
-    return measured
+        say(f"profile snapshot written: {profile_out}")
+    return measured, snapshots
 
 
-def check_engine(baseline: dict, measured: dict) -> list[str]:
+def check_engine(baseline: dict, measured: dict,
+                 verdicts: dict | None = None) -> list[str]:
     """Compare measured throughput against the frozen engine baseline;
-    returns failure messages."""
+    returns failure messages (``verdicts`` as in :func:`check`)."""
     floor = baseline.get("floor_factor", FLOOR_FACTOR)
     failures: list[str] = []
     for name in ENGINE_SCENARIOS:
         frozen = baseline.get("scenarios", {}).get(name)
         cur = measured[name]
         if frozen is None:
-            failures.append(f"{name}: missing from engine baseline "
-                            "(run with --engine --update)")
+            msg = (f"{name}: missing from engine baseline "
+                   "(run with --engine --update)")
+            failures.append(msg)
+            if verdicts is not None:
+                verdicts[name] = {"ok": False, "failures": [msg],
+                                  "floor_ev_per_s": None}
             continue
         min_rate = frozen["events_per_s"] * floor
         ok = (cur["events"] == frozen["events"]
               and cur["events_per_s"] >= min_rate)
         status = "ok" if ok else "FAIL"
-        print(f"{name}: {status}  events {cur['events']} "
-              f"(frozen {frozen['events']})  "
-              f"{cur['events_per_s']:,.0f} ev/s "
-              f"(floor {min_rate:,.0f}, frozen "
-              f"{frozen['events_per_s']:,.0f})")
+        say(f"{name}: {status}  events {cur['events']} "
+            f"(frozen {frozen['events']})  "
+            f"{cur['events_per_s']:,.0f} ev/s "
+            f"(floor {min_rate:,.0f}, frozen "
+            f"{frozen['events_per_s']:,.0f})")
+        scoped = []
         if cur["events"] != frozen["events"]:
-            failures.append(
+            scoped.append(
                 f"{name}: event count drifted {frozen['events']} -> "
                 f"{cur['events']} (semantic change, not noise; re-freeze "
                 "with --engine --update only if intended)")
         if cur["events_per_s"] < min_rate:
-            failures.append(
+            scoped.append(
                 f"{name}: throughput {cur['events_per_s']:,.0f} ev/s "
                 f"below floor {min_rate:,.0f} "
                 f"({floor:.0%} of frozen {frozen['events_per_s']:,.0f})")
+        failures.extend(scoped)
+        if verdicts is not None:
+            verdicts[name] = {"ok": ok, "failures": scoped,
+                              "floor_ev_per_s": min_rate}
     return failures
 
 
+def _regression_entries(runs: dict, verdicts: dict) -> list[dict]:
+    """One archive entry per trace-diff scenario (the scenario dict is
+    the fingerprinted point, so every CI run of the same scenario lands
+    on the same series)."""
+    from repro.obs import entry_from_result
+    entries = []
+    for name, (sc, res, report) in runs.items():
+        v = verdicts.get(name, {"ok": True, "failures": []})
+        gate = {"gate": "regression", "ok": v["ok"],
+                "failures": v["failures"]}
+        entries.append(entry_from_result(
+            res, source="gate:regression", label=name, point=dict(sc),
+            report=report, verdicts=[gate]))
+    return entries
+
+
+def _engine_entries(measured: dict, snapshots: dict,
+                    verdicts: dict) -> list[dict]:
+    """One archive entry per engine scenario, profile snapshot
+    included.  Wall-clock varies run to run, so entries are unique per
+    CI run -- the events/sec series is exactly what the trend
+    observatory is for."""
+    from repro.obs import make_entry
+    entries = []
+    for name, cur in measured.items():
+        v = verdicts.get(name, {"ok": True, "failures": []})
+        gate = {"gate": "engine", "ok": v["ok"],
+                "failures": v["failures"]}
+        entries.append(make_entry(
+            source="gate:engine", label=name,
+            point={"gate": "engine", "scenario": name},
+            metrics={"events": cur["events"],
+                     "events_per_s": cur["events_per_s"],
+                     "wall_s": cur["wall_s"]},
+            profile=snapshots.get(name), verdicts=[gate]))
+    return entries
+
+
+def _classify_failures(failures: list[str], verdicts: dict,
+                       history: list[dict], entries: list[dict],
+                       metric: str, threshold_key: str) -> list[str]:
+    """Suffix each scenario's failures with the trend verdict: was this
+    a one-off miss, or have the last archived runs of the same
+    fingerprint been beyond tolerance too?"""
+    by_label = {e["label"]: e for e in entries}
+    notes = {}
+    for name, v in verdicts.items():
+        if v["ok"] or name not in by_label:
+            continue
+        limit = v.get(threshold_key)
+        if limit is None:
+            continue
+        if threshold_key == "floor_ev_per_s":
+            def beyond(e, lim=limit):
+                return e["metrics"].get(metric, lim) < lim
+        else:
+            def beyond(e, lim=limit):
+                return e["metrics"].get(metric, 0.0) > lim
+        notes[name] = trend_note(history,
+                                 by_label[name]["fingerprint"], beyond)
+    return [f"{msg} [{notes[msg.split(':', 1)[0]]}]"
+            if msg.split(":", 1)[0] in notes else msg
+            for msg in failures]
+
+
 def main(argv=None) -> int:
+    global _INFO
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--baseline", default=None,
                    help="baseline JSON path")
@@ -257,11 +402,20 @@ def main(argv=None) -> int:
     p.add_argument("--profile-out", default=None,
                    help="(--engine) write the full profile snapshot "
                         "JSON for artifact upload")
+    p.add_argument("--json", action="store_true",
+                   help="print one repro.gate/v1 document on stdout "
+                        "(progress lines go to stderr)")
+    p.add_argument("--archive", default=None, metavar="PATH",
+                   help="append every measurement to a repro.archive/v1 "
+                        "archive and classify failures against its "
+                        "history (one-off miss vs sustained regression)")
     args = p.parse_args(argv)
+    if args.json:
+        _INFO = sys.stderr
 
     if args.engine:
         baseline_path = args.baseline or ENGINE_BASELINE
-        measured = measure_engine(profile_out=args.profile_out)
+        measured, snapshots = measure_engine(profile_out=args.profile_out)
         if args.update:
             doc = {"schema": ENGINE_SCHEMA, "floor_factor": FLOOR_FACTOR,
                    "scenarios": measured}
@@ -269,8 +423,8 @@ def main(argv=None) -> int:
             with open(baseline_path, "w") as fh:
                 json.dump(doc, fh, indent=2, sort_keys=True)
                 fh.write("\n")
-            print(f"engine baseline updated: {baseline_path} "
-                  f"({len(measured)} scenarios)")
+            say(f"engine baseline updated: {baseline_path} "
+                f"({len(measured)} scenarios)")
             return 0
         if not os.path.exists(baseline_path):
             print(f"no engine baseline at {baseline_path}; run with "
@@ -278,10 +432,15 @@ def main(argv=None) -> int:
             return 1
         with open(baseline_path) as fh:
             baseline = json.load(fh)
-        failures = check_engine(baseline, measured)
-        for msg in failures:
-            print(f"REGRESSION: {msg}", file=sys.stderr)
-        return 1 if failures else 0
+        verdicts: dict = {}
+        failures = check_engine(baseline, measured, verdicts=verdicts)
+        entries = _engine_entries(measured, snapshots, verdicts)
+        history = load_history(args.archive)
+        failures = _classify_failures(failures, verdicts, history,
+                                      entries, "events_per_s",
+                                      "floor_ev_per_s")
+        archive_entries(args.archive, entries)
+        return _finish(args, "engine", failures, entries)
 
     if args.baseline is None:
         args.baseline = BASELINE
@@ -291,8 +450,8 @@ def main(argv=None) -> int:
         with open(args.baseline, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"baseline updated: {args.baseline} "
-              f"({len(doc['scenarios'])} scenarios)")
+        say(f"baseline updated: {args.baseline} "
+            f"({len(doc['scenarios'])} scenarios)")
         return 0
 
     if not os.path.exists(args.baseline):
@@ -301,8 +460,28 @@ def main(argv=None) -> int:
         return 1
     with open(args.baseline) as fh:
         baseline = json.load(fh)
-    failures = check(baseline, tolerance=args.tolerance,
-                     trace_dir=args.trace_dir)
+    runs = run_scenarios(trace_dir=args.trace_dir)
+    verdicts = {}
+    failures = check(baseline, tolerance=args.tolerance, runs=runs,
+                     verdicts=verdicts)
+    entries = _regression_entries(runs, verdicts)
+    history = load_history(args.archive)
+    failures = _classify_failures(failures, verdicts, history, entries,
+                                  "makespan_s", "threshold_s")
+    archive_entries(args.archive, entries)
+    return _finish(args, "regression", failures, entries)
+
+
+def _finish(args, gate: str, failures: list[str],
+            entries: list[dict]) -> int:
+    """Common gate exit: the --json document or stderr failure lines."""
+    if args.json:
+        from repro.obs import canonical_json
+        doc = {"schema": GATE_SCHEMA, "gate": gate,
+               "ok": not failures, "failures": failures,
+               "entries": entries}
+        print(canonical_json(doc, indent=None))
+        return 1 if failures else 0
     for msg in failures:
         print(f"REGRESSION: {msg}", file=sys.stderr)
     return 1 if failures else 0

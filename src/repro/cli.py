@@ -46,12 +46,21 @@ Chaos -- inject deterministic faults, verify the run still sorts::
     python -m repro chaos --fault-seed 7 --approach pipemerge \
         --plan-out plan.json --events chaos.events.jsonl
     python -m repro --functional 200000 --faults plan.json
+
+Trend observatory -- archive every run, watch metrics drift over time::
+
+    python -m repro --n 2e9 --batch-size 2e8 --archive runs.jsonl
+    python -m repro archive runs.jsonl --list
+    python -m repro trends runs.jsonl --html trends.html
+    python -m repro archive runs.jsonl --diff 1a2b3c 4d5e6f
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 
 from repro.hetsort import HeterogeneousSorter, cpu_reference_sort
@@ -64,7 +73,23 @@ __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_critical_path_parser", "build_whatif_parser",
            "build_diff_parser", "build_sweep_parser",
            "build_conformance_parser", "build_watch_parser",
-           "build_chaos_parser"]
+           "build_chaos_parser", "build_archive_parser",
+           "build_trends_parser"]
+
+
+@contextlib.contextmanager
+def _writes(path, label: str):
+    """Guard one output-file write: create the parent directory first
+    and turn any OSError into a clean one-line :class:`SystemExit`
+    instead of a traceback.  Every subcommand that writes an output
+    file wraps the write in this."""
+    parent = os.path.dirname(os.path.abspath(os.fspath(path)))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        yield
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot write {label} to {path!r}: "
+                         f"{exc.strerror or exc}") from None
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -124,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="emit a watchdog warning event if the simulated "
                         "run passes S seconds")
+    p.add_argument("--archive", metavar="PATH", default=None,
+                   help="append this run to a repro.archive/v1 archive "
+                        "(content-addressed, idempotent; input to "
+                        "`repro trends`)")
     return p
 
 
@@ -219,6 +248,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         "size (default: the grid's own)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the per-run progress lines")
+    p.add_argument("--archive", metavar="PATH", default=None,
+                   help="also append every run to a repro.archive/v1 "
+                        "archive (content-addressed, idempotent)")
     return p
 
 
@@ -298,7 +330,202 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                    help="write the run's JSONL event log")
     p.add_argument("--json", action="store_true",
                    help="print the chaos verdict as canonical JSON")
+    p.add_argument("--archive", metavar="PATH", default=None,
+                   help="append a surviving run to a repro.archive/v1 "
+                        "archive (content-addressed, idempotent)")
     return p
+
+
+def build_archive_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort archive",
+        description="Inspect a repro.archive/v1 run archive: validate "
+                    "its content hashes and manifest sidecar, list the "
+                    "archived runs, or diff the canonical run reports of "
+                    "two entries (cross-run span aggregation).")
+    p.add_argument("archive", help="archive JSONL (written with "
+                                   "--archive or appended by the gates)")
+    p.add_argument("--list", action="store_true",
+                   help="print one table row per archived entry")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                   help="diff two entries by (unique prefix of) entry id")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative makespan growth --diff tolerates")
+    p.add_argument("--min-rel", type=float, default=0.0,
+                   help="hide --diff rows with a smaller relative change")
+    p.add_argument("--json", action="store_true",
+                   help="print the summary / listing / diff as canonical "
+                        "JSON")
+    return p
+
+
+def build_trends_parser() -> argparse.ArgumentParser:
+    from repro.obs.trends import K_THRESHOLD, MIN_REL
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort trends",
+        description="The trend observatory: per-metric history over a "
+                    "run archive, keyed by workload fingerprint, with "
+                    "EWMA smoothing, robust (MAD-scored) changepoint "
+                    "detection, regime-local anomaly flags and "
+                    "re-baseline (ratchet) proposals.")
+    p.add_argument("archive", help="archive JSONL to analyse")
+    p.add_argument("--metric", action="append", default=[],
+                   help="metric(s) to track (repeatable; default: the "
+                        "standard set)")
+    p.add_argument("--fingerprint", metavar="FP", default=None,
+                   help="restrict to one workload fingerprint "
+                        "(unique prefix accepted)")
+    p.add_argument("--ewma", type=float, default=0.3, metavar="ALPHA",
+                   help="EWMA smoothing weight (default 0.3)")
+    p.add_argument("--k", type=float, default=K_THRESHOLD,
+                   help="changepoint score threshold in noise sigmas "
+                        f"(default {K_THRESHOLD:g})")
+    p.add_argument("--min-rel", type=float, default=MIN_REL,
+                   help="minimum relative step for a changepoint "
+                        f"(default {MIN_REL:g})")
+    p.add_argument("--json", action="store_true",
+                   help="print the repro.trends/v1 document as canonical "
+                        "JSON")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="write the self-contained trend dashboard")
+    return p
+
+
+def _load_archive_or_exit(path, out, prog: str):
+    from repro.errors import ArchiveError
+    from repro.obs import load_archive
+    try:
+        return load_archive(path)
+    except OSError as exc:
+        out.write(f"{prog}: cannot read archive: {exc}\n")
+    except ArchiveError as exc:
+        out.write(f"{prog}: invalid archive: {exc}\n")
+    return None
+
+
+def _pick_entry(entries, token: str, out):
+    """The unique entry whose id starts with ``token`` (or None + a
+    message listing the ambiguity)."""
+    hits = [e for e in entries if e["entry"].startswith(token)]
+    if len(hits) == 1:
+        return hits[0]
+    if not hits:
+        out.write(f"repro archive: no entry matches {token!r}\n")
+    else:
+        ids = ", ".join(e["entry"] for e in hits[:5])
+        out.write(f"repro archive: {token!r} is ambiguous "
+                  f"({len(hits)} entries: {ids}...)\n")
+    return None
+
+
+def _run_archive_cmd(argv, out) -> int:
+    args = build_archive_parser().parse_args(argv)
+    from repro.errors import ArchiveError
+    from repro.obs import canonical_json, compare_entries, validate_archive
+    entries = _load_archive_or_exit(args.archive, out, "repro archive")
+    if entries is None:
+        return 2
+    if args.diff:
+        a = _pick_entry(entries, args.diff[0], out)
+        b = _pick_entry(entries, args.diff[1], out)
+        if a is None or b is None:
+            return 2
+        try:
+            diff = compare_entries(a, b, tolerance=args.tolerance)
+        except ArchiveError as exc:
+            out.write(f"repro archive: {exc}\n")
+            return 2
+        if args.json:
+            out.write(canonical_json(diff) + "\n")
+        else:
+            from repro.obs import render_diff
+            out.write(render_diff(diff, min_rel=args.min_rel) + "\n")
+        return 0
+    try:
+        summary = validate_archive(args.archive)
+    except ArchiveError as exc:
+        out.write(f"repro archive: INVALID: {exc}\n")
+        return 1
+    if args.json:
+        doc = dict(summary)
+        if args.list:
+            doc["entries"] = [
+                {"entry": e["entry"], "fingerprint": e["fingerprint"],
+                 "source": e["source"], "label": e["label"],
+                 "metrics": e["metrics"]} for e in entries]
+        out.write(canonical_json(doc) + "\n")
+        return 0
+    srcs = ", ".join(f"{s} x{c}" for s, c in summary["sources"].items())
+    out.write(f"archive OK: {summary['n_entries']} entries, "
+              f"{summary['n_fingerprints']} workload fingerprint(s) "
+              f"[{srcs}]\n")
+    if args.list:
+        rows = []
+        for e in entries:
+            mk = e["metrics"].get("makespan_s")
+            rows.append([e["entry"], e["fingerprint"][:8], e["source"],
+                         e["label"],
+                         f"{mk:.6f}" if mk is not None else "-",
+                         len(e["verdicts"])])
+        out.write(render_table(
+            ["entry", "fingerprint", "source", "label", "makespan [s]",
+             "verdicts"], rows, title="archived runs (append order)")
+            + "\n")
+    return 0
+
+
+def _run_trends_cmd(argv, out) -> int:
+    args = build_trends_parser().parse_args(argv)
+    from repro.obs import canonical_json, trend_summary
+    entries = _load_archive_or_exit(args.archive, out, "repro trends")
+    if entries is None:
+        return 2
+    fp = args.fingerprint
+    if fp is not None:
+        full = sorted({e["fingerprint"] for e in entries
+                       if e["fingerprint"].startswith(fp)})
+        if len(full) != 1:
+            out.write(f"repro trends: fingerprint {fp!r} matches "
+                      f"{len(full)} workload(s)\n")
+            return 2
+        fp = full[0]
+    trends = trend_summary(entries, args.metric or None,
+                           alpha=args.ewma, k=args.k,
+                           min_rel=args.min_rel, fingerprint=fp)
+    if args.json:
+        out.write(canonical_json(trends) + "\n")
+    else:
+        from repro.reporting import sparkline
+        out.write(f"trends: {trends['n_fingerprints']} workload(s), "
+                  f"{trends['n_series']} series, "
+                  f"{trends['n_changepoints']} changepoint(s), "
+                  f"{trends['n_proposals']} re-baseline proposal(s)\n")
+        for fprint, blk in trends["fingerprints"].items():
+            out.write(f"\n{blk['label'] or fprint}  "
+                      f"[{fprint[:8]}] -- {blk['n_entries']} run(s)\n")
+            for metric, tr in blk["metrics"].items():
+                marks = [c["index"] for c in tr["changepoints"]]
+                spark = sparkline(tr["values"], marks)
+                out.write(f"  {metric:<22} {spark}  "
+                          f"median {tr['median']:.6g}, "
+                          f"last {tr['last']:.6g}\n")
+                for c in tr["changepoints"]:
+                    out.write(f"    changepoint at run {c['index'] + 1}: "
+                              f"{c['before']:.6g} -> {c['after']:.6g} "
+                              f"({c['ratio']:.2f}x, "
+                              f"score {c['score']:.1f})\n")
+                for i in tr["anomalies"]:
+                    out.write(f"    anomaly at run {i + 1}: "
+                              f"{tr['values'][i]:.6g}\n")
+                if tr["ratchet"]:
+                    out.write(f"    RATCHET: "
+                              f"{tr['ratchet']['message']}\n")
+    if args.html:
+        from repro.reporting import write_trend_dashboard
+        with _writes(args.html, "trend dashboard"):
+            write_trend_dashboard(trends, args.html)
+        out.write(f"wrote trend dashboard to {args.html}\n")
+    return 0
 
 
 def _run_chaos(argv, out) -> int:
@@ -317,7 +544,8 @@ def _run_chaos(argv, out) -> int:
     else:
         plan = FaultPlan.random(args.fault_seed, n_gpus=args.gpus)
     if args.plan_out:
-        plan.save(args.plan_out)
+        with _writes(args.plan_out, "fault plan"):
+            plan.save(args.plan_out)
         if not args.json:     # keep --json stdout pure JSON
             out.write(f"wrote fault plan to {args.plan_out}\n")
 
@@ -325,7 +553,8 @@ def _run_chaos(argv, out) -> int:
     sinks: list = []
     if args.events:
         from repro.obs import JsonlSink
-        sinks.append(JsonlSink(args.events))
+        with _writes(args.events, "event log"):
+            sinks.append(JsonlSink(args.events))
     data = generate(args.functional, args.distribution, seed=args.seed)
     verdict = {"schema": "repro.chaos/v1", "plan": plan.to_dict(),
                "approach": args.approach, "platform": args.platform,
@@ -349,14 +578,22 @@ def _run_chaos(argv, out) -> int:
     if args.json:
         from repro.obs import canonical_json
         out.write(canonical_json(verdict) + "\n")
-        return 0
-    fired = verdict["faults"].get("fired", 0)
-    out.write(f"chaos: survived -- output verified sorted "
-              f"({fired} fault(s) fired, "
-              f"{verdict['degrades']} degradation(s), "
-              f"elapsed {res.elapsed:.6f} s)\n")
-    if args.events:
-        out.write(f"wrote event log to {args.events}\n")
+    else:
+        fired = verdict["faults"].get("fired", 0)
+        out.write(f"chaos: survived -- output verified sorted "
+                  f"({fired} fault(s) fired, "
+                  f"{verdict['degrades']} degradation(s), "
+                  f"elapsed {res.elapsed:.6f} s)\n")
+        if args.events:
+            out.write(f"wrote event log to {args.events}\n")
+    if args.archive:
+        from repro.obs import entry_from_result
+        gate = {"gate": "chaos", "ok": True, "failures": []}
+        entry = entry_from_result(
+            res, source="chaos",
+            label=f"chaos {args.approach} n={args.functional}",
+            verdicts=[gate])
+        _maybe_archive(args.archive, [entry], out)
     return 0
 
 
@@ -398,7 +635,8 @@ def _build_sinks(args, out) -> list:
     from repro.obs import JsonlSink, TtySink, WatchdogSink
     sinks: list = [WatchdogSink(deadline_s=args.deadline)]
     if args.events:
-        sinks.append(JsonlSink(args.events))
+        with _writes(args.events, "event log"):
+            sinks.append(JsonlSink(args.events))
     if args.live:
         from repro.model.lowerbound import measure_bline_throughput
         model = measure_bline_throughput(get_platform(args.platform),
@@ -454,6 +692,7 @@ def _run_one(args, out) -> int:
         _maybe_write_trace(args, res, out)
         if args.events:
             out.write(f"wrote event log to {args.events}\n")
+        _archive_run(args, res, out)
         return 0
     if args.functional is not None:
         out.write("output validated: sorted permutation of the input\n")
@@ -463,19 +702,51 @@ def _run_one(args, out) -> int:
     _maybe_write_trace(args, res, out)
     if args.events:
         out.write(f"wrote event log to {args.events}\n")
+    _archive_run(args, res, out)
     return 0
+
+
+def _archive_run(args, res, out) -> None:
+    if not getattr(args, "archive", None):
+        return
+    from repro.obs import entry_from_result
+    entry = entry_from_result(res, source="run", label=args.approach)
+    _maybe_archive(args.archive, [entry], out)
 
 
 def _maybe_write_trace(args, res, out) -> None:
     if args.trace_json:
         from repro.reporting import write_chrome_trace
-        count = write_chrome_trace(res.trace, args.trace_json,
-                                   counters=res.recorder)
+        with _writes(args.trace_json, "trace JSON"):
+            count = write_chrome_trace(res.trace, args.trace_json,
+                                       counters=res.recorder)
         out.write(f"wrote {count} trace events to {args.trace_json}\n")
     if args.report:
         from repro.obs import run_report, write_report
-        write_report(run_report(res), args.report)
+        with _writes(args.report, "run report"):
+            write_report(run_report(res), args.report)
         out.write(f"wrote run report to {args.report}\n")
+
+
+def _maybe_archive(path, entries, out) -> None:
+    """Append run entries to a ``repro.archive/v1`` archive (+ manifest)
+    and report what was new; the shared exit ramp of every --archive
+    flag."""
+    if not path:
+        return
+    from repro.errors import ArchiveError
+    from repro.obs import append_entries
+    with _writes(path, "archive"):
+        try:
+            fresh = append_entries(path, entries)
+        except ArchiveError as exc:
+            raise SystemExit(
+                f"repro: cannot append to archive {path!r}: {exc}"
+            ) from None
+    skipped = len(entries) - len(fresh)
+    note = f" ({skipped} already archived)" if skipped else ""
+    out.write(f"archived {len(fresh)} entr"
+              f"{'y' if len(fresh) == 1 else 'ies'} to {path}{note}\n")
 
 
 def _run_sort(args):
@@ -625,8 +896,13 @@ def _run_sweep_cmd(argv, out) -> int:
     progress = None if args.quiet else \
         (lambda line: out.write(line + "\n"))
     records = run_sweep(points, model_n=model_n, progress=progress)
-    write_ledger(records, args.ledger)
+    with _writes(args.ledger, "sweep ledger"):
+        write_ledger(records, args.ledger)
     out.write(f"wrote {len(records)} ledger lines to {args.ledger}\n")
+    if args.archive:
+        from repro.obs import entry_from_ledger
+        _maybe_archive(args.archive,
+                       [entry_from_ledger(r) for r in records], out)
     return 0
 
 
@@ -668,7 +944,8 @@ def _run_conformance_cmd(argv, out) -> int:
                       f"{'/'.join(a['flags'])})\n")
     if args.html:
         from repro.reporting import write_dashboard
-        write_dashboard(records, summary, args.html)
+        with _writes(args.html, "dashboard"):
+            write_dashboard(records, summary, args.html)
         out.write(f"wrote dashboard to {args.html}\n")
     if args.fail_on_anomaly and summary["n_anomalies"] > 0:
         out.write(f"FAIL: {summary['n_anomalies']} anomalous run(s)\n")
@@ -778,6 +1055,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_watch(argv[1:], out)
     if argv and argv[0] == "chaos":
         return _run_chaos(argv[1:], out)
+    if argv and argv[0] == "archive":
+        return _run_archive_cmd(argv[1:], out)
+    if argv and argv[0] == "trends":
+        return _run_trends_cmd(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):

@@ -97,3 +97,9 @@ class EventLogError(ReproError):
     """A ``repro.events/v1`` telemetry event log is malformed (bad
     schema header, non-monotonic sequence, or an incomplete span
     stream that cannot be replayed into a trace)."""
+
+
+class ArchiveError(ReproError):
+    """A ``repro.archive/v1`` run archive is malformed: unknown schema,
+    a corrupted (content-hash mismatch) entry, a duplicate entry id, or
+    a manifest that disagrees with the JSONL it indexes."""

@@ -38,6 +38,11 @@ quantities:
   them never perturbs the simulated timeline or the canonical report.
 """
 
+from repro.obs.archive import (ARCHIVE_SCHEMA, append_entries,
+                               archive_summary, build_manifest, entry_id,
+                               entry_from_ledger, entry_from_result,
+                               fingerprint, load_archive, make_entry,
+                               manifest_path, validate_archive)
 from repro.obs.causal import (CausalGraphError, SpanGraph,
                               critical_path_report, sensitivity_report,
                               whatif_report)
@@ -56,15 +61,20 @@ from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
                                lane_metrics, link_throughput,
                                overlap_efficiency)
 from repro.obs.profile import (KernelStats, disable_profiling,
-                               enable_profiling, profiled,
-                               profiling_enabled, profiling_stats,
-                               reset_profiling)
+                               enable_profiling, merge_snapshots,
+                               profiled, profiling_enabled,
+                               profiling_stats, reset_profiling,
+                               snapshot_to_jsonl)
 from repro.obs.profile import snapshot as profiling_snapshot
 from repro.obs.sinks import (JsonlSink, LiveAggregator, TtySink,
                              WatchdogSink, read_events, replay_events,
                              validate_event_log, validate_events)
 from repro.obs.sweep import (GRIDS, ledger_record, load_ledger, run_sweep,
                              sweep_points, write_ledger)
+from repro.obs.trends import (TRENDS_SCHEMA, classify_miss,
+                              compare_entries, detect_changepoints, ewma,
+                              metric_series, ratchet_proposal,
+                              series_trend, trend_summary)
 
 __all__ = [
     "CounterSeries", "MetricsRecorder",
@@ -81,10 +91,18 @@ __all__ = [
     "fit_line", "group_conformance", "conformance_summary",
     "profiled", "enable_profiling", "disable_profiling",
     "profiling_enabled", "profiling_stats", "reset_profiling",
-    "KernelStats", "profiling_snapshot",
+    "KernelStats", "profiling_snapshot", "merge_snapshots",
+    "snapshot_to_jsonl",
     "EV", "EVENTS_SCHEMA", "TelemetryEvent", "Sink", "EventBus",
     "connect_machine", "connect_context",
     "JsonlSink", "LiveAggregator", "TtySink", "WatchdogSink",
     "read_events", "replay_events", "validate_events",
     "validate_event_log",
+    "ARCHIVE_SCHEMA", "fingerprint", "entry_id", "make_entry",
+    "entry_from_result", "entry_from_ledger", "load_archive",
+    "append_entries", "manifest_path", "build_manifest",
+    "archive_summary", "validate_archive",
+    "TRENDS_SCHEMA", "ewma", "detect_changepoints", "series_trend",
+    "ratchet_proposal", "classify_miss", "metric_series",
+    "trend_summary", "compare_entries",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import json
 import time
 import typing as _t
 from dataclasses import dataclass
@@ -24,6 +25,7 @@ from dataclasses import dataclass
 __all__ = [
     "KernelStats", "profiled", "enable_profiling", "disable_profiling",
     "profiling_enabled", "profiling_stats", "reset_profiling", "snapshot",
+    "merge_snapshots", "snapshot_to_jsonl",
 ]
 
 _ENABLED = False
@@ -72,6 +74,39 @@ class KernelStats:
             "elements_per_s": self.elements_per_s,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelStats":
+        """Rebuild an accumulator from :meth:`to_dict` output (derived
+        fields ``mean_s`` / ``elements_per_s`` are recomputed, not
+        trusted)."""
+        return cls(name=str(data["name"]), calls=int(data["calls"]),
+                   total_s=float(data["total_s"]),
+                   min_s=float(data["min_s"]), max_s=float(data["max_s"]),
+                   elements=int(data.get("elements", 0)))
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Combine two accumulators for the same kernel name.
+
+        Returns a new :class:`KernelStats`; neither operand is mutated.
+        Merging is exact for ``calls``/``total_s``/``elements`` and for
+        the extrema (an empty side contributes nothing, so its sentinel
+        ``min_s == 0.0`` never pollutes the other side's minimum).
+        """
+        if self.name != other.name:
+            raise ValueError(
+                "cannot merge stats for different kernels: "
+                f"{self.name!r} vs {other.name!r}")
+        if not self.calls:
+            return dataclasses.replace(other)
+        if not other.calls:
+            return dataclasses.replace(self)
+        return KernelStats(
+            name=self.name, calls=self.calls + other.calls,
+            total_s=self.total_s + other.total_s,
+            min_s=min(self.min_s, other.min_s),
+            max_s=max(self.max_s, other.max_s),
+            elements=self.elements + other.elements)
+
 
 def enable_profiling() -> None:
     """Turn kernel wall-clocking on (stats accumulate until reset)."""
@@ -111,6 +146,29 @@ def snapshot() -> dict[str, KernelStats]:
     """
     return {name: dataclasses.replace(_STATS[name])
             for name in sorted(_STATS)}
+
+
+def merge_snapshots(*snaps: dict[str, KernelStats]
+                    ) -> dict[str, KernelStats]:
+    """Merge any number of :func:`snapshot` dicts into one (name-sorted;
+    per-name stats combined with :meth:`KernelStats.merge`)."""
+    merged: dict[str, KernelStats] = {}
+    for snap in snaps:
+        for name, stats in snap.items():
+            prev = merged.get(name)
+            merged[name] = (dataclasses.replace(stats) if prev is None
+                            else prev.merge(stats))
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def snapshot_to_jsonl(snap: dict[str, KernelStats]) -> str:
+    """Serialize a snapshot as byte-stable JSONL, one kernel per line
+    (name-sorted, canonical key order, compact separators).  Ends with a
+    trailing newline unless the snapshot is empty."""
+    lines = [json.dumps(snap[name].to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for name in sorted(snap)]
+    return "".join(line + "\n" for line in lines)
 
 
 def _record(name: str, seconds: float, elements: int) -> None:

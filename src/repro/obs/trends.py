@@ -1,0 +1,391 @@
+"""Trend observatory: per-metric time series over the run archive.
+
+The archive (:mod:`repro.obs.archive`) remembers every measured run;
+this module turns that memory into judgements:
+
+* :func:`metric_series` / :func:`trend_summary` -- per-metric history
+  keyed by workload fingerprint, in archive (append) order;
+* :func:`ewma` -- exponentially-weighted smoothing of a noisy series;
+* :func:`detect_changepoints` -- robust step detection by binary
+  segmentation: split a segment where the difference of the side
+  medians is largest, flag the split when it dwarfs the MAD-estimated
+  noise *and* clears a relative floor, recurse into both sides.
+  Medians and MAD (not means and stddev) keep a single flaky run from
+  masquerading as -- or masking -- a genuine step such as the PR-6
+  engine overhaul's 9.5x events/sec jump;
+* :func:`ratchet_proposal` -- "the committed baseline is now 1.4x
+  stale" logic: when the current regime (after the last changepoint)
+  has sustainably drifted from a reference value, propose re-freezing;
+* :func:`classify_miss` -- the trend-aware gate verdict: a measurement
+  beyond tolerance is a different failure when the last three archived
+  runs already sat beyond it (*sustained regression*) than when the
+  history is clean (*one-off miss*);
+* :func:`compare_entries` -- cross-run span aggregation: diff the
+  canonical run reports embedded in any two archive entries
+  (:func:`repro.obs.diff.diff_reports`), showing which critical-path
+  phases grew or shrank between them.
+
+Everything is a pure function of the entry list -- no wall clock, no
+randomness -- so a trend document over a byte-stable archive is itself
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import ArchiveError
+from repro.obs.diff import diff_reports
+
+__all__ = [
+    "TRENDS_SCHEMA", "DEFAULT_METRICS", "ewma", "median", "mad",
+    "detect_changepoints", "series_trend", "ratchet_proposal",
+    "classify_miss", "metric_series", "trend_summary", "compare_entries",
+]
+
+TRENDS_SCHEMA = "repro.trends/v1"
+
+#: Metrics the trend CLI and dashboard track by default, in display
+#: order (a series only exists where its entries recorded the metric).
+DEFAULT_METRICS = ("makespan_s", "elapsed_s", "throughput_el_per_s",
+                   "missing_overhead_s", "model_gap_s", "events_per_s")
+
+#: Consistency constant: MAD of a normal sample times 1.4826 estimates
+#: its standard deviation.
+_MAD_SCALE = 1.4826
+
+#: Default changepoint sensitivity: the side-median step must exceed
+#: ``K_THRESHOLD`` noise sigmas *and* ``MIN_REL`` of the before-median.
+K_THRESHOLD = 4.0
+MIN_REL = 0.05
+
+#: Consecutive beyond-tolerance runs (archive history + the current
+#: measurement) from which a gate miss counts as sustained.
+SUSTAIN_RUNS = 3
+
+#: Current-regime drift past which :func:`ratchet_proposal` calls the
+#: reference stale (1.25 = a quarter off either way).
+STALE_FACTOR = 1.25
+
+
+def median(values: _t.Sequence[float]) -> float:
+    """Plain median (average of the middle pair for even lengths)."""
+    if not values:
+        raise ValueError("median of an empty series")
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def mad(values: _t.Sequence[float],
+        center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the
+    median).  Zero for constant or single-point series."""
+    if not values:
+        raise ValueError("MAD of an empty series")
+    c = median(values) if center is None else center
+    return median([abs(v - c) for v in values])
+
+
+def ewma(values: _t.Sequence[float], alpha: float = 0.3) -> list[float]:
+    """Exponentially-weighted moving average (same length as input).
+
+    ``alpha`` is the weight of the newest observation; the first output
+    equals the first input.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out: list[float] = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc = v if i == 0 else alpha * v + (1.0 - alpha) * acc
+        out.append(acc)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Changepoint / step detection
+# ---------------------------------------------------------------------------
+
+def _l1_cost(seg: _t.Sequence[float]) -> float:
+    med = median(seg)
+    return sum(abs(v - med) for v in seg)
+
+
+def _best_split(values: _t.Sequence[float], lo: int, hi: int,
+                min_size: int) -> int | None:
+    """The split index in ``[lo+min_size, hi-min_size]`` minimising the
+    summed L1 cost (absolute deviation around each side's median) of
+    the two sides -- the split that localises a level shift exactly,
+    where a raw side-median delta ties across neighbouring indices.
+    Ties break to the earliest index; None when the segment is too
+    short."""
+    best_i: int | None = None
+    best_cost = math.inf
+    for i in range(lo + min_size, hi - min_size + 1):
+        cost = _l1_cost(values[lo:i]) + _l1_cost(values[i:hi])
+        if cost < best_cost:
+            best_i, best_cost = i, cost
+    return best_i
+
+
+def detect_changepoints(values: _t.Sequence[float],
+                        k: float = K_THRESHOLD,
+                        min_rel: float = MIN_REL,
+                        min_size: int = 2) -> list[dict]:
+    """Robust step detection; returns one dict per changepoint, sorted
+    by index.
+
+    A changepoint at index ``i`` means the regime changed *between*
+    ``values[i - 1]`` and ``values[i]`` (``i`` is the first point of
+    the new regime).  Each dict carries ``index``, the ``before`` /
+    ``after`` side medians, their ``ratio`` (after/before) and the
+    noise-normalised ``score``.
+
+    Binary segmentation: the best split of a segment is kept when its
+    side-median step exceeds ``k`` times the MAD-estimated noise sigma
+    *and* ``min_rel`` of the before-median (the relative floor keeps
+    near-zero-noise series from flagging float dust), then both sides
+    are searched recursively.  Segments shorter than ``2 * min_size``
+    are left alone, so a single outlier cannot be a "step" on its own
+    when ``min_size >= 2``.
+    """
+    vals = [float(v) for v in values]
+    found: list[dict] = []
+    # One global noise scale, estimated from first differences: most
+    # consecutive pairs sit inside a regime, so the MAD of the diffs is
+    # robust both to the (few) step jumps and to any step inside a
+    # recursion side -- per-segment MADs are not, a side containing a
+    # further step would inflate its own noise and mask the split.
+    # sqrt(2) converts a difference sigma back to a point sigma.
+    diffs = [b - a for a, b in zip(vals, vals[1:])]
+    sigma = (_MAD_SCALE * mad(diffs) / math.sqrt(2.0)) if diffs else 0.0
+
+    def _segment(lo: int, hi: int) -> None:
+        if hi - lo < 2 * min_size:
+            return
+        i = _best_split(vals, lo, hi, min_size)
+        if i is None:
+            return
+        left, right = vals[lo:i], vals[i:hi]
+        med_l, med_r = median(left), median(right)
+        delta = abs(med_r - med_l)
+        # Noise floor: constant regimes have MAD 0; a relative epsilon
+        # keeps the score finite (and strict-JSON) without ever masking
+        # a real step.
+        floor = max(abs(med_l), abs(med_r), 1.0) * 1e-12
+        score = delta / max(sigma, floor)
+        rel = delta / abs(med_l) if med_l else \
+            (math.inf if delta > 0 else 0.0)
+        if score > k and rel > min_rel:
+            found.append({
+                "index": i,
+                "before": med_l,
+                "after": med_r,
+                "ratio": (med_r / med_l) if med_l else 0.0,
+                "score": score,
+            })
+            _segment(lo, i)
+            _segment(i, hi)
+
+    _segment(0, len(vals))
+    return sorted(found, key=lambda c: c["index"])
+
+
+def _segments(n: int, changepoints: _t.Sequence[dict]
+              ) -> list[tuple[int, int]]:
+    bounds = [0] + [c["index"] for c in changepoints] + [n]
+    return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)
+            if bounds[i] < bounds[i + 1]]
+
+
+def _anomalies(values: _t.Sequence[float],
+               changepoints: _t.Sequence[dict],
+               z_threshold: float = 3.5) -> list[int]:
+    """Indices whose modified z-score *within their regime segment*
+    exceeds ``z_threshold`` (0.6745 * |x - med| / MAD; Iglewicz-Hoaglin
+    convention).  Regime-local so a step never floods the flag list."""
+    out: list[int] = []
+    for lo, hi in _segments(len(values), changepoints):
+        seg = list(values[lo:hi])
+        med = median(seg)
+        spread = mad(seg, med)
+        if spread <= 0:
+            continue
+        for j, v in enumerate(seg):
+            if 0.6745 * abs(v - med) / spread > z_threshold:
+                out.append(lo + j)
+    return sorted(out)
+
+
+def ratchet_proposal(values: _t.Sequence[float], reference: float,
+                     changepoints: _t.Sequence[dict] = (),
+                     stale_factor: float = STALE_FACTOR,
+                     sustain: int = SUSTAIN_RUNS) -> dict | None:
+    """Propose re-baselining when the current regime left ``reference``
+    behind.
+
+    The current regime is everything after the last changepoint (the
+    whole series when there is none).  When it holds at least
+    ``sustain`` points and its median-to-reference ratio is beyond
+    ``stale_factor`` either way, returns a proposal dict with the
+    ``ratio`` and a human-readable ``message``; otherwise None.  Gates
+    print the message instead of silently ratcheting: re-freezing a
+    baseline is a human decision, the archive only argues for it.
+    """
+    if reference <= 0 or not values:
+        return None
+    start = changepoints[-1]["index"] if changepoints else 0
+    regime = list(values[start:])
+    if len(regime) < sustain:
+        return None
+    ratio = median(regime) / reference
+    if 1.0 / stale_factor <= ratio <= stale_factor:
+        return None
+    return {
+        "ratio": ratio,
+        "regime_runs": len(regime),
+        "reference": reference,
+        "message": (f"baseline is now {ratio:.2f}x stale over the last "
+                    f"{len(regime)} archived run(s) -- propose "
+                    "re-baseline"),
+    }
+
+
+def classify_miss(history_beyond: _t.Sequence[bool],
+                  sustain: int = SUSTAIN_RUNS) -> dict:
+    """Classify a failing gate measurement against archive history.
+
+    ``history_beyond`` says, oldest first, whether each previously
+    archived run of the same fingerprint already sat beyond the gate's
+    tolerance.  The current (failing) measurement counts implicitly, so
+    a clean history yields ``consecutive == 1``.  ``sustained`` becomes
+    True at ``sustain`` consecutive beyond-tolerance runs.
+    """
+    consecutive = 1
+    for beyond in reversed(list(history_beyond)):
+        if not beyond:
+            break
+        consecutive += 1
+    sustained = consecutive >= sustain
+    if sustained:
+        message = (f"sustained regression: {consecutive} consecutive "
+                   "archived runs beyond tolerance (drift, not noise)")
+    elif consecutive == 1:
+        message = ("one-off miss: every previously archived run was "
+                   "within tolerance")
+    else:
+        message = (f"not yet sustained: {consecutive} beyond-tolerance "
+                   f"run(s) in a row incl. this one (sustained at "
+                   f"{sustain})")
+    return {"consecutive": consecutive, "sustained": sustained,
+            "message": message}
+
+
+# ---------------------------------------------------------------------------
+# Archive-level series
+# ---------------------------------------------------------------------------
+
+def metric_series(entries: _t.Sequence[dict], metric: str,
+                  fingerprint: str | None = None
+                  ) -> dict[str, list[tuple[str, float]]]:
+    """Per-fingerprint history of one metric, in archive order.
+
+    Returns ``{fingerprint: [(entry_id, value), ...]}``, restricted to
+    one fingerprint when given; entries that never recorded the metric
+    simply do not contribute a point.
+    """
+    out: dict[str, list[tuple[str, float]]] = {}
+    for e in entries:
+        if fingerprint is not None and e["fingerprint"] != fingerprint:
+            continue
+        if metric in e["metrics"]:
+            out.setdefault(e["fingerprint"], []).append(
+                (e["entry"], e["metrics"][metric]))
+    return out
+
+
+def series_trend(values: _t.Sequence[float], *, alpha: float = 0.3,
+                 k: float = K_THRESHOLD, min_rel: float = MIN_REL,
+                 reference: float | None = None) -> dict:
+    """The full trend analysis of one numeric series."""
+    vals = [float(v) for v in values]
+    cps = detect_changepoints(vals, k=k, min_rel=min_rel)
+    med = median(vals) if vals else 0.0
+    ref = reference if reference is not None else \
+        (median(vals[:cps[0]["index"]]) if cps else med)
+    return {
+        "n": len(vals),
+        "values": vals,
+        "ewma": ewma(vals, alpha=alpha) if vals else [],
+        "median": med,
+        "mad": mad(vals, med) if vals else 0.0,
+        "last": vals[-1] if vals else None,
+        "changepoints": cps,
+        "anomalies": _anomalies(vals, cps),
+        "ratchet": ratchet_proposal(vals, ref, cps),
+    }
+
+
+def trend_summary(entries: _t.Sequence[dict],
+                  metrics: _t.Sequence[str] | None = None, *,
+                  alpha: float = 0.3, k: float = K_THRESHOLD,
+                  min_rel: float = MIN_REL,
+                  fingerprint: str | None = None) -> dict:
+    """The whole-archive trend document (``repro.trends/v1``).
+
+    One block per fingerprint, one series per tracked metric (the
+    defaults plus anything passed in ``metrics``), each with values,
+    EWMA smoothing, changepoints, regime-local anomaly indices and a
+    ratchet proposal where the current regime left the first one.
+    """
+    wanted = tuple(metrics) if metrics is not None else DEFAULT_METRICS
+    blocks: dict[str, dict] = {}
+    for e in entries:
+        fp = e["fingerprint"]
+        if fingerprint is not None and fp != fingerprint:
+            continue
+        blk = blocks.setdefault(fp, {
+            "label": e["label"], "point": e["point"],
+            "n_entries": 0, "entries": [], "metrics": {}})
+        blk["label"] = e["label"]        # latest label wins
+        blk["n_entries"] += 1
+        blk["entries"].append(e["entry"])
+        for m in wanted:
+            if m in e["metrics"]:
+                blk["metrics"].setdefault(m, []).append(e["metrics"][m])
+    n_series = n_cps = n_proposals = 0
+    for blk in blocks.values():
+        analysed = {}
+        for m, vals in blk["metrics"].items():
+            t = series_trend(vals, alpha=alpha, k=k, min_rel=min_rel)
+            analysed[m] = t
+            n_series += 1
+            n_cps += len(t["changepoints"])
+            n_proposals += 1 if t["ratchet"] else 0
+        blk["metrics"] = analysed
+    return {
+        "schema": TRENDS_SCHEMA,
+        "n_fingerprints": len(blocks),
+        "n_series": n_series,
+        "n_changepoints": n_cps,
+        "n_proposals": n_proposals,
+        "params": {"ewma_alpha": alpha, "k": k, "min_rel": min_rel},
+        "fingerprints": {fp: blocks[fp] for fp in sorted(blocks)},
+    }
+
+
+def compare_entries(a: dict, b: dict, tolerance: float = 0.0) -> dict:
+    """Cross-run span aggregation: diff the canonical run reports of
+    two archive entries (which critical-path phases / categories /
+    lanes grew or shrank between them), via
+    :func:`repro.obs.diff.diff_reports`."""
+    for name, entry in (("a", a), ("b", b)):
+        if not entry.get("report"):
+            raise ArchiveError(
+                f"entry {name} ({entry.get('entry')}) carries no run "
+                "report; span aggregation needs archived reports")
+    ra = dict(a["report"], label=f"{a['label']}@{a['entry']}")
+    rb = dict(b["report"], label=f"{b['label']}@{b['entry']}")
+    return diff_reports(ra, rb, tolerance=tolerance)

@@ -30,7 +30,8 @@ from __future__ import annotations
 import html as _html
 import typing as _t
 
-__all__ = ["render_dashboard", "write_dashboard"]
+__all__ = ["render_dashboard", "write_dashboard",
+           "render_trend_dashboard", "write_trend_dashboard"]
 
 # Categorical palette (validated slot order; light / dark pairs).
 _SERIES_LIGHT = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
@@ -512,12 +513,198 @@ def _paper_band_note(summary: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Trend observatory panels (archive history; repro.trends/v1 documents)
+# ---------------------------------------------------------------------------
+
+def _trend_metric_panel(fp: str, label: str, metric: str,
+                        tr: dict) -> str:
+    """One metric's archive history for one fingerprint: the raw series
+    (slot 1) with its EWMA smoothing (slot 2), a dashed vertical marker
+    at every detected changepoint and a critical ring on every
+    regime-local anomaly."""
+    vals = tr["values"]
+    if not vals:
+        return ""
+    smooth = tr["ewma"]
+    cps = {c["index"]: c for c in tr["changepoints"]}
+    anomalies = set(tr["anomalies"])
+    w, h, ml, mr, mt, mb = 380, 200, 64, 14, 14, 30
+    lo = min(vals + smooth)
+    hi = max(vals + smooth)
+    if hi <= lo:                       # flat series still gets a band
+        lo, hi = lo - max(abs(lo), 1.0) * 0.05, hi + max(abs(hi), 1.0) * 0.05
+    pad = (hi - lo) * 0.08
+    sx = _Scale(0, max(1, len(vals) - 1), ml, w - mr)
+    sy = _Scale(lo - pad, hi + pad, h - mb, mt)
+    is_time = metric.endswith("_s")
+    body = _frame(sx, sy, y_time=is_time)
+    for i, cp in cps.items():
+        x = sx(i)
+        body.append(
+            f'<line x1="{x:.1f}" y1="{sy.a:.1f}" x2="{x:.1f}" '
+            f'y2="{sy.b:.1f}" stroke="var(--critical)" '
+            f'stroke-width="1.5" stroke-dasharray="4 3" tabindex="0" '
+            f'data-tip="{_esc(_cp_tip(i, cp, is_time))}"/>')
+    body.append(f'<polyline points="'
+                f'{_poly([(sx(i), sy(v)) for i, v in enumerate(smooth)])}"'
+                f' fill="none" stroke="var(--s2)" stroke-width="1.5" '
+                f'opacity="0.7" stroke-linejoin="round"/>')
+    body.append(f'<polyline points="'
+                f'{_poly([(sx(i), sy(v)) for i, v in enumerate(vals)])}" '
+                f'fill="none" stroke="var(--s1)" stroke-width="2" '
+                f'stroke-linejoin="round" stroke-linecap="round"/>')
+    for i, v in enumerate(vals):
+        flag = (" &#9888; anomaly within its regime"
+                if i in anomalies else "")
+        tip = (f"run {i + 1}/{len(vals)}\n{metric} = "
+               f"{_fmt_s(v) if is_time else _fmt_n(v)}{flag}")
+        ring = ('stroke="var(--critical)" stroke-width="2"'
+                if i in anomalies
+                else 'stroke="var(--surface-1)" stroke-width="1.5"')
+        body.append(
+            f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" r="3.5" '
+            f'fill="var(--s1)" {ring} tabindex="0" '
+            f'data-tip="{_esc(tip)}"/>')
+    bits = [f"median {_fmt_s(tr['median']) if is_time else _fmt_n(tr['median'])}",
+            f"{len(cps)} changepoint(s)"]
+    if anomalies:
+        bits.append(f"{len(anomalies)} anomaly flag(s)")
+    ratchet = tr.get("ratchet")
+    sub = " &middot; ".join(bits)
+    extra = (f'<p class="sub"><span class="chip bad">&#9888; '
+             f'{_esc(ratchet["message"])}</span></p>' if ratchet else "")
+    return (f'<div class="card"><h3>{_esc(metric)} &mdash; '
+            f'{_esc(label or fp)}</h3><p class="sub">{sub}</p>{extra}'
+            + _svg(w, h, body, f"{metric} history, {label or fp}")
+            + "</div>")
+
+
+def _cp_tip(index: int, cp: dict, is_time: bool) -> str:
+    fmt = _fmt_s if is_time else _fmt_n
+    return (f"changepoint at run {index + 1}\n"
+            f"before {fmt(cp['before'])} -> after {fmt(cp['after'])}\n"
+            f"ratio {cp['ratio']:.2f}x, score {cp['score']:.1f} sigma")
+
+
+def _trend_spark_table(trends: dict) -> str:
+    """Accessible table-view twin of the trend cards: one row per
+    (fingerprint, metric) series with a unicode sparkline (changepoints
+    rendered as ``|``) and the headline statistics."""
+    from repro.reporting.series import sparkline
+    rows = []
+    for fp, blk in trends.get("fingerprints", {}).items():
+        for metric, tr in blk.get("metrics", {}).items():
+            if not tr["values"]:
+                continue
+            is_time = metric.endswith("_s")
+            fmt = _fmt_s if is_time else _fmt_n
+            marks = [c["index"] for c in tr["changepoints"]]
+            spark = sparkline(tr["values"], marks)
+            flags = []
+            if tr["changepoints"]:
+                flags.append(f'{len(tr["changepoints"])} step(s)')
+            if tr["anomalies"]:
+                flags.append(f'{len(tr["anomalies"])} anomaly')
+            if tr.get("ratchet"):
+                flags.append("re-baseline proposed")
+            chip = (f'<span class="chip bad">&#9888; '
+                    f'{_esc("; ".join(flags))}</span>' if flags else
+                    '<span class="chip ok">&#10003; stable</span>')
+            rows.append(
+                "<tr>"
+                f'<td class="l">{_esc(blk.get("label") or fp)}</td>'
+                f'<td class="l">{_esc(metric)}</td>'
+                f'<td>{tr["n"]}</td>'
+                f'<td class="l" style="font-family:monospace">'
+                f'{_esc(spark)}</td>'
+                f'<td>{fmt(tr["median"])}</td>'
+                f'<td>{fmt(tr["last"])}</td>'
+                f'<td class="l">{chip}</td></tr>')
+    if not rows:
+        return '<p class="note">no archived series yet</p>'
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">workload</th><th class="l">metric</th>'
+            '<th>runs</th><th class="l">history</th><th>median</th>'
+            '<th>last</th><th class="l">verdict</th></tr></thead>'
+            '<tbody>' + "".join(rows) + "</tbody></table>")
+
+
+def _trend_section(trends: dict) -> str:
+    """The trend-observatory block shared by both dashboards: metric
+    history cards (changepoint markers + anomaly rings) and the
+    sparkline table."""
+    cards = "".join(
+        _trend_metric_panel(fp, blk.get("label", ""), metric, tr)
+        for fp, blk in trends.get("fingerprints", {}).items()
+        for metric, tr in blk.get("metrics", {}).items())
+    legend = (
+        '<div class="legend">'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--s1)"></span>archived runs</span>'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--s2)"></span>EWMA '
+        f'(&alpha; {trends.get("params", {}).get("ewma_alpha", 0.3):g})'
+        '</span>'
+        '<span class="key"><span class="linekey" '
+        'style="background:var(--critical)"></span>changepoint</span>'
+        '<span class="key"><span class="swatch" '
+        'style="background:var(--s1);border:2px solid var(--critical);'
+        'border-radius:50%"></span>anomaly flag</span></div>')
+    return (legend + f'<div class="cards">{cards}</div>'
+            '<h2>Series overview</h2>' + _trend_spark_table(trends))
+
+
+def render_trend_dashboard(trends: dict) -> str:
+    """Self-contained trend-observatory HTML for one ``repro.trends/v1``
+    document (from :func:`repro.obs.trends.trend_summary`)."""
+    n_cps = trends.get("n_changepoints", 0)
+    n_props = trends.get("n_proposals", 0)
+    tiles = [
+        ("workloads", f"{trends.get('n_fingerprints', 0)}", ""),
+        ("metric series", f"{trends.get('n_series', 0)}", ""),
+        ("changepoints", f"{n_cps}", "bad" if n_cps else "ok"),
+        ("re-baseline proposals", f"{n_props}",
+         "bad" if n_props else "ok"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(lab)}</div>'
+        f'<div class="value {cls}">{val}</div></div>'
+        for lab, val, cls in tiles)
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Trend observatory</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>{_CSS}</style></head>
+<body class="viz-root">
+<h1>Trend observatory</h1>
+<p class="sub">per-metric history over the run archive, grouped by
+workload fingerprint; steps detected by robust (MAD-scored) binary
+segmentation, anomalies flagged regime-locally</p>
+<div class="tiles">{tile_html}</div>
+<h2>Metric history</h2>
+{_trend_section(trends)}
+<div id="tip" role="status"></div>
+<script>{_TIP_JS}</script>
+</body></html>
+"""
+
+
+def write_trend_dashboard(trends: dict, path) -> None:
+    """Render and write the trend observatory to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_trend_dashboard(trends))
+
+
+# ---------------------------------------------------------------------------
 # The document
 # ---------------------------------------------------------------------------
 
-def render_dashboard(records: _t.Sequence[dict], summary: dict) -> str:
+def render_dashboard(records: _t.Sequence[dict], summary: dict,
+                     trends: dict | None = None) -> str:
     """The complete, self-contained dashboard HTML for a sweep ledger
-    (``records``) and its conformance ``summary``."""
+    (``records``) and its conformance ``summary``.  When a
+    ``repro.trends/v1`` document is passed, a trend-observatory panel
+    (archive history with changepoint markers) is appended."""
     records = list(records)
     n_anom = summary.get("n_anomalies", 0)
     anom_cls = "bad" if n_anom else "ok"
@@ -580,6 +767,8 @@ causal critical path</p>
 {_ledger_table(records)}
 <h2>Per-run critical paths</h2>
 {_run_details(records)}
+{('<h2>Performance over time</h2>' + _trend_section(trends))
+ if trends else ''}
 {_paper_band_note(summary)}
 <div id="tip" role="status"></div>
 <script>{_TIP_JS}</script>
@@ -589,7 +778,7 @@ causal critical path</p>
 
 
 def write_dashboard(records: _t.Sequence[dict], summary: dict,
-                    path) -> None:
+                    path, trends: dict | None = None) -> None:
     """Render and write the dashboard to ``path``."""
     with open(path, "w") as fh:
-        fh.write(render_dashboard(records, summary))
+        fh.write(render_dashboard(records, summary, trends))

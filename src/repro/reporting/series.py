@@ -10,7 +10,10 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-__all__ = ["FigureSeries", "speedup_series", "crossover"]
+__all__ = ["FigureSeries", "speedup_series", "crossover", "sparkline"]
+
+#: Eight-level block glyphs used by :func:`sparkline`, lowest first.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 
 @dataclass
@@ -46,6 +49,35 @@ class FigureSeries:
 
     def rows(self) -> list[tuple[float, float]]:
         return list(zip(self.x, self.y))
+
+
+def sparkline(values: _t.Sequence[float],
+              marks: _t.Collection[int] = ()) -> str:
+    """Render a metric history as a one-line unicode sparkline.
+
+    Values are scaled to the eight :data:`SPARK_BLOCKS` levels between
+    the series min and max.  An empty series renders as the empty
+    string; a single point (or a zero-range series) renders at the
+    middle level.  Indices in ``marks`` (e.g. changepoints) are rendered
+    as ``|`` regardless of their value, so a step reads ``▁▁▁|██``.
+    """
+    if not values:
+        return ""
+    vals = [float(v) for v in values]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    mid = SPARK_BLOCKS[len(SPARK_BLOCKS) // 2]
+    marked = set(marks)
+    out = []
+    for i, v in enumerate(vals):
+        if i in marked:
+            out.append("|")
+        elif span <= 0:
+            out.append(mid)
+        else:
+            level = int((v - lo) / span * (len(SPARK_BLOCKS) - 1))
+            out.append(SPARK_BLOCKS[level])
+    return "".join(out)
 
 
 def speedup_series(baseline: FigureSeries,

@@ -133,3 +133,82 @@ def test_snapshot_is_frozen_and_sorted():
     assert prof.profiling_stats()["radix.sort_floats"].calls == 2
     prof.reset_profiling()
     assert frozen.calls == 1                     # reset doesn't either
+
+
+# ---------------------------------------------------------------------------
+# Merging and serialization (archive integration)
+# ---------------------------------------------------------------------------
+
+
+def test_merge_is_exact():
+    a = prof.KernelStats("k")
+    a.record(0.5, elements=100)
+    a.record(0.1, elements=10)
+    b = prof.KernelStats("k")
+    b.record(0.3, elements=50)
+    m = a.merge(b)
+    assert (m.calls, m.elements) == (3, 160)
+    assert m.total_s == pytest.approx(0.9)
+    assert (m.min_s, m.max_s) == (0.1, 0.5)
+    # neither operand was mutated
+    assert a.calls == 2 and b.calls == 1
+
+
+def test_merge_empty_side_contributes_nothing():
+    """The empty accumulator's sentinel ``min_s == 0.0`` must never
+    become the merged minimum."""
+    a = prof.KernelStats("k")
+    a.record(0.5)
+    empty = prof.KernelStats("k")
+    for m in (a.merge(empty), empty.merge(a)):
+        assert (m.calls, m.min_s, m.max_s) == (1, 0.5, 0.5)
+        assert m is not a                       # always a fresh copy
+    both = prof.KernelStats("k").merge(prof.KernelStats("k"))
+    assert both.calls == 0 and both.min_s == 0.0
+
+
+def test_merge_rejects_name_mismatch():
+    with pytest.raises(ValueError, match="different kernels"):
+        prof.KernelStats("a").merge(prof.KernelStats("b"))
+
+
+def test_from_dict_roundtrip_recomputes_derived():
+    s = prof.KernelStats("k")
+    s.record(0.2, elements=40)
+    d = s.to_dict()
+    d["mean_s"] = 999.0                 # derived fields are not trusted
+    back = prof.KernelStats.from_dict(d)
+    assert back == s
+    assert back.mean_s == pytest.approx(0.2)
+
+
+def test_merge_snapshots_unions_names():
+    a = prof.KernelStats("radix")
+    a.record(0.5, elements=10)
+    b = prof.KernelStats("radix")
+    b.record(0.1, elements=5)
+    c = prof.KernelStats("merge")
+    c.record(0.2)
+    out = prof.merge_snapshots({"radix": a}, {"radix": b, "merge": c})
+    assert list(out) == ["merge", "radix"]      # name-sorted
+    assert out["radix"].calls == 2
+    assert out["radix"].min_s == 0.1
+    assert out["merge"] == c and out["merge"] is not c
+    assert prof.merge_snapshots() == {}
+
+
+def test_snapshot_to_jsonl_byte_stable():
+    import json
+
+    s = prof.KernelStats("k")
+    s.record(0.25, elements=8)
+    snap = {"k": s, "a": prof.KernelStats("a")}
+    text = prof.snapshot_to_jsonl(snap)
+    assert text == prof.snapshot_to_jsonl(dict(reversed(snap.items())))
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["name"] == "a"   # name-sorted
+    doc = json.loads(lines[1])
+    assert doc["calls"] == 1 and doc["elements_per_s"] == 32.0
+    assert text.endswith("\n")
+    assert prof.snapshot_to_jsonl({}) == ""

@@ -1,0 +1,207 @@
+"""Trend observatory: changepoint detection, smoothing, ratchet and
+trend-aware miss classification.
+
+The acceptance criterion this file pins: a synthetic archive series
+with an injected 1.4x step is flagged as exactly one changepoint at the
+right index (the first point of the new regime).
+"""
+
+import pytest
+
+from repro.errors import ArchiveError
+from repro.obs import (append_entries, compare_entries,
+                       detect_changepoints, entry_from_result, ewma,
+                       load_archive, make_entry, metric_series,
+                       trend_summary)
+from repro.obs.trends import (TRENDS_SCHEMA, _anomalies, classify_miss,
+                              mad, median, ratchet_proposal,
+                              series_trend)
+
+STEP = [1.00, 1.02, 0.99, 1.01, 1.00, 1.40, 1.41, 1.39, 1.40, 1.42]
+
+
+def archive_of(tmp_path, makespans, n=1000):
+    """A synthetic single-fingerprint archive, one entry per value."""
+    path = tmp_path / "runs.jsonl"
+    entries = [make_entry(source="run", label=f"r{i}",
+                          point={"approach": "bline", "n": n},
+                          metrics={"makespan_s": v, "seq": float(i)})
+               for i, v in enumerate(makespans)]
+    append_entries(path, entries)
+    return path, entries
+
+
+# ---------------------------------------------------------------------------
+# Robust statistics
+# ---------------------------------------------------------------------------
+
+
+def test_median_and_mad():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+    assert mad([1.0, 1.0, 1.0]) == 0.0
+    assert mad([1.0, 2.0, 3.0, 100.0]) == 1.0   # outlier-proof spread
+    with pytest.raises(ValueError):
+        median([])
+    with pytest.raises(ValueError):
+        mad([])
+
+
+def test_ewma_smooths_toward_new_values():
+    out = ewma([1.0, 1.0, 2.0], alpha=0.5)
+    assert out == [1.0, 1.0, 1.5]
+    assert len(ewma(STEP)) == len(STEP)
+    assert ewma([], alpha=0.3) == []
+    with pytest.raises(ValueError):
+        ewma([1.0], alpha=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Changepoints (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_injected_step_flags_exactly_one_changepoint():
+    cps = detect_changepoints(STEP)
+    assert len(cps) == 1
+    cp = cps[0]
+    assert cp["index"] == 5            # first point of the new regime
+    assert cp["before"] == pytest.approx(1.00, abs=0.02)
+    assert cp["after"] == pytest.approx(1.40, abs=0.02)
+    assert cp["ratio"] == pytest.approx(1.4, rel=0.02)
+    assert cp["score"] > 4.0
+
+
+def test_quiet_series_has_no_changepoints():
+    assert detect_changepoints([1.0, 1.01, 0.99, 1.0, 1.02, 0.98]) == []
+    assert detect_changepoints([1.0] * 8) == []
+
+
+def test_short_series_has_no_changepoints():
+    for vals in ([], [1.0], [1.0, 2.0], [1.0, 1.0, 9.0]):
+        assert detect_changepoints(vals) == []
+
+
+def test_single_outlier_is_not_a_step():
+    vals = [1.0, 1.01, 0.99, 5.0, 1.0, 1.02, 0.98, 1.0]
+    assert detect_changepoints(vals) == []
+    # ...but it is a regime-local anomaly
+    assert _anomalies(vals, []) == [3]
+
+
+def test_two_steps_found_recursively():
+    vals = [1.0] * 5 + [2.0] * 5 + [4.0] * 5
+    cps = detect_changepoints(vals)
+    assert [c["index"] for c in cps] == [5, 10]
+    assert [c["after"] for c in cps] == [2.0, 4.0]
+
+
+def test_small_relative_step_is_ignored():
+    # 2% step: statistically sharp but under the 5% relative floor.
+    vals = [1.0] * 6 + [1.02] * 6
+    assert detect_changepoints(vals) == []
+    assert len(detect_changepoints(vals, min_rel=0.01)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Ratchet + miss classification
+# ---------------------------------------------------------------------------
+
+
+def test_ratchet_proposed_when_regime_left_reference():
+    cps = detect_changepoints(STEP)
+    prop = ratchet_proposal(STEP, 1.0, cps)
+    assert prop is not None
+    assert prop["ratio"] == pytest.approx(1.4, rel=0.02)
+    assert prop["regime_runs"] == 5
+    assert "re-baseline" in prop["message"]
+
+
+def test_ratchet_quiet_cases():
+    assert ratchet_proposal([1.0, 1.0, 1.0, 1.0], 1.0) is None  # fresh
+    assert ratchet_proposal([1.4, 1.4], 1.0) is None      # not sustained
+    assert ratchet_proposal([1.4] * 5, 0.0) is None       # no reference
+    assert ratchet_proposal([], 1.0) is None
+
+
+def test_classify_miss_progression():
+    one = classify_miss([False, False])
+    assert (one["consecutive"], one["sustained"]) == (1, False)
+    assert one["message"].startswith("one-off miss")
+
+    two = classify_miss([False, True])
+    assert (two["consecutive"], two["sustained"]) == (2, False)
+    assert two["message"].startswith("not yet sustained")
+
+    sustained = classify_miss([False, True, True])
+    assert (sustained["consecutive"], sustained["sustained"]) == (3, True)
+    assert sustained["message"].startswith("sustained regression")
+
+    # only the *trailing* run matters: an old miss does not count
+    assert classify_miss([True, False])["consecutive"] == 1
+    assert classify_miss([])["consecutive"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Archive-level series and documents
+# ---------------------------------------------------------------------------
+
+
+def test_metric_series_in_archive_order(tmp_path):
+    path, entries = archive_of(tmp_path, [1.0, 2.0, 3.0])
+    series = metric_series(load_archive(path), "makespan_s")
+    assert list(series) == [entries[0]["fingerprint"]]
+    ids, vals = zip(*series[entries[0]["fingerprint"]])
+    assert vals == (1.0, 2.0, 3.0)
+    assert ids == tuple(e["entry"] for e in entries)
+    # absent metric -> no series at all
+    assert metric_series(entries, "nope") == {}
+
+
+def test_series_trend_shape():
+    t = series_trend(STEP)
+    assert t["n"] == len(STEP)
+    assert len(t["ewma"]) == len(STEP)
+    assert t["last"] == STEP[-1]
+    assert len(t["changepoints"]) == 1
+    # reference defaults to the pre-step regime -> ratchet proposed
+    assert t["ratchet"] is not None
+    empty = series_trend([])
+    assert (empty["n"], empty["last"], empty["ratchet"]) == (0, None,
+                                                            None)
+
+
+def test_trend_summary_document(tmp_path):
+    path, entries = archive_of(tmp_path, STEP)
+    doc = trend_summary(load_archive(path))
+    assert doc["schema"] == TRENDS_SCHEMA
+    assert doc["n_fingerprints"] == 1
+    fp = entries[0]["fingerprint"]
+    blk = doc["fingerprints"][fp]
+    assert blk["n_entries"] == len(STEP)
+    assert blk["label"] == "r9"                      # latest label wins
+    tr = blk["metrics"]["makespan_s"]
+    assert [c["index"] for c in tr["changepoints"]] == [5]
+    assert doc["n_changepoints"] >= 1
+    assert doc["n_proposals"] >= 1
+    # restricted metric list
+    only = trend_summary(entries, metrics=["seq"])
+    assert list(only["fingerprints"][fp]["metrics"]) == ["seq"]
+
+
+def test_compare_entries_needs_reports(tmp_path):
+    _, entries = archive_of(tmp_path, [1.0, 2.0])
+    with pytest.raises(ArchiveError, match="no run report"):
+        compare_entries(entries[0], entries[1])
+
+
+def test_compare_entries_self_diff_is_clean():
+    from repro.hetsort import HeterogeneousSorter
+    from repro.hw.platforms import get_platform
+    res = HeterogeneousSorter(get_platform("PLATFORM1"),
+                              pinned_elements=50_000).sort(n=1_000_000)
+    e = entry_from_result(res, label="x")
+    d = compare_entries(e, e)
+    assert d["zero"] is True
+    assert d["makespan"]["delta"] == 0.0
+    assert d["a"] == d["b"] == f"x@{e['entry']}"

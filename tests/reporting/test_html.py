@@ -91,3 +91,52 @@ def test_write_dashboard(tmp_path, records, summary):
     text = path.read_text()
     assert text.startswith("<!DOCTYPE html>")
     assert text == render_dashboard(records, summary)
+
+
+# ---------------------------------------------------------------------------
+# Trend observatory panels
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def trends():
+    from repro.obs import make_entry, trend_summary
+    step = [1.00, 1.02, 0.99, 1.01, 1.00, 1.40, 1.41, 1.39, 1.40, 1.42]
+    entries = [make_entry(source="run", label=f"r{i}",
+                          point={"approach": "bline", "n": 1000},
+                          metrics={"makespan_s": v})
+               for i, v in enumerate(step)]
+    return trend_summary(entries)
+
+
+def test_trend_dashboard_is_self_contained(trends):
+    from repro.reporting import render_trend_dashboard
+    doc = render_trend_dashboard(trends)
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "<svg" in doc
+    assert "http://" not in doc and "https://" not in doc
+
+
+def test_trend_panel_shows_history_and_changepoint(trends):
+    from repro.reporting import render_trend_dashboard
+    doc = render_trend_dashboard(trends)
+    assert "makespan_s" in doc
+    assert 'stroke-dasharray="4 3"' in doc        # changepoint marker
+    assert "re-baseline" in doc                   # ratchet chip
+    # the sparkline twin renders the step with its | marker
+    assert "|" in doc
+
+
+def test_main_dashboard_embeds_trend_section(records, summary, trends):
+    with_trends = render_dashboard(records, summary, trends=trends)
+    assert "Performance over time" in with_trends
+    assert "Performance over time" not in render_dashboard(records,
+                                                           summary)
+
+
+def test_write_trend_dashboard(tmp_path, trends):
+    from repro.reporting import (render_trend_dashboard,
+                                 write_trend_dashboard)
+    path = tmp_path / "trends.html"
+    write_trend_dashboard(trends, path)
+    assert path.read_text() == render_trend_dashboard(trends)

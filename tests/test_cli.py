@@ -356,3 +356,110 @@ def test_watch_rejects_bad_log(tmp_path):
     code, text = run_cli("watch", str(bad))
     assert code == 2
     assert "invalid event log" in text
+
+
+# ---------------------------------------------------------------------------
+# Run archive + trend observatory subcommands
+# ---------------------------------------------------------------------------
+
+
+def test_archive_flag_is_idempotent(tmp_path):
+    arch = str(tmp_path / "runs.jsonl")
+    argv = ("--n", "1e9", "--batch-size", "2.5e8", "--archive", arch)
+    code, text = run_cli(*argv)
+    assert code == 0
+    assert f"archived 1 entry to {arch}" in text
+    first = (tmp_path / "runs.jsonl").read_bytes()
+    code, text = run_cli(*argv)
+    assert code == 0
+    assert "archived 0 entries" in text
+    assert "(1 already archived)" in text
+    assert (tmp_path / "runs.jsonl").read_bytes() == first
+    assert (tmp_path / "runs.manifest.json").exists()
+
+
+def test_archive_subcommand_validates_and_lists(tmp_path):
+    arch = str(tmp_path / "runs.jsonl")
+    run_cli("--n", "1e9", "--batch-size", "2.5e8", "--archive", arch)
+    code, text = run_cli("archive", arch)
+    assert code == 0
+    assert "archive OK: 1 entries, 1 workload fingerprint(s)" in text
+    code, text = run_cli("archive", arch, "--list")
+    assert code == 0
+    assert "archived runs (append order)" in text
+    assert "pipemerge" in text
+    code, text = run_cli("archive", arch, "--json")
+    assert code == 0
+    import json
+    assert json.loads(text)["n_entries"] == 1
+
+
+def test_archive_subcommand_flags_corruption(tmp_path):
+    arch = tmp_path / "runs.jsonl"
+    run_cli("--n", "1e9", "--batch-size", "2.5e8", "--archive",
+            str(arch))
+    arch.write_text(arch.read_text().replace('"makespan_s"', '"mk_s"'))
+    code, text = run_cli("archive", str(arch))
+    assert code == 1
+    assert "INVALID" in text
+
+
+def test_archive_diff_two_runs(tmp_path):
+    arch = str(tmp_path / "runs.jsonl")
+    run_cli("--n", "1e9", "--batch-size", "2.5e8", "--archive", arch)
+    run_cli("--n", "2e9", "--batch-size", "2.5e8", "--archive", arch)
+    from repro.obs import load_archive
+    ids = [e["entry"] for e in load_archive(arch)]
+    code, text = run_cli("archive", arch, "--diff", ids[0], ids[1])
+    assert code == 0
+    assert "makespan" in text
+    code, text = run_cli("archive", arch, "--diff", ids[0], "zzzz")
+    assert code == 2
+    assert "no entry matches" in text
+
+
+def test_trends_subcommand_reports_changepoint(tmp_path):
+    from repro.obs import append_entries, make_entry
+    arch = tmp_path / "runs.jsonl"
+    step = [1.00, 1.02, 0.99, 1.01, 1.00, 1.40, 1.41, 1.39, 1.40, 1.42]
+    append_entries(arch, [
+        make_entry(source="run", label=f"r{i}",
+                   point={"approach": "bline", "n": 1000},
+                   metrics={"makespan_s": v})
+        for i, v in enumerate(step)])
+    code, text = run_cli("trends", str(arch))
+    assert code == 0
+    assert "1 workload(s), 1 series, 1 changepoint(s)" in text
+    assert "changepoint at run 6: 1 -> 1.4 (1.40x" in text
+    assert "RATCHET" in text
+    assert "|" in text                            # sparkline marker
+    html = tmp_path / "deep" / "trends.html"     # parent auto-created
+    code, text = run_cli("trends", str(arch), "--html", str(html))
+    assert code == 0
+    assert html.exists()
+
+
+def test_trends_missing_archive_exits_2(tmp_path):
+    code, text = run_cli("trends", str(tmp_path / "nope.jsonl"))
+    assert code == 2
+    assert "cannot read archive" in text
+
+
+def test_unwritable_output_is_a_clean_error(tmp_path):
+    """Writing through an existing file must raise a one-line
+    SystemExit, not an OSError traceback (ENOTDIR works even as
+    root, unlike permission bits)."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("i am a file")
+    bad = str(blocker / "sub" / "out.jsonl")
+    with pytest.raises(SystemExit) as exc:
+        run_cli("--n", "1e9", "--batch-size", "2.5e8",
+                "--archive", bad)
+    msg = str(exc.value)
+    assert msg.startswith("repro: cannot write archive to")
+    assert "Traceback" not in msg
+
+    with pytest.raises(SystemExit) as exc:
+        run_cli("--n", "1e9", "--batch-size", "2.5e8",
+                "--report", str(blocker / "r.json"))
+    assert str(exc.value).startswith("repro: cannot write run report")
