@@ -21,6 +21,15 @@ from the :mod:`repro.obs.profile` hooks, and compares against
   conservative ratchet (CI machines vary; the factor absorbs that, while
   still catching an order-of-magnitude hot-path regression).
 
+The ``--memory`` mode is the **peak-occupancy gate**: it re-runs pinned
+scenarios with the ``repro.memory/v1`` allocation ledger attached and
+compares every pool's peak occupancy (and alloc/free counts) against
+``benchmarks/results/memory_baseline.json`` **exactly** -- occupancy is
+a pure function of the deterministic simulation, so any drift is a
+semantic change.  Each scenario is additionally confronted with the
+analytic capacity planner (``repro plan-mem``): a healthy run must match
+the predicted peaks with zero residual, and its ledger must balance.
+
 With ``--archive PATH`` every gate measurement is also appended to a
 ``repro.archive/v1`` run archive (content-addressed, idempotent) and a
 failure message is classified against the archived history: a *one-off
@@ -37,6 +46,8 @@ Usage::
     python benchmarks/regression_gate.py --engine        # throughput gate
     python benchmarks/regression_gate.py --engine --update
     python benchmarks/regression_gate.py --engine --profile-out p.json
+    python benchmarks/regression_gate.py --memory         # occupancy gate
+    python benchmarks/regression_gate.py --memory --update
     python benchmarks/regression_gate.py --json --archive runs.jsonl
 
 Exit status: 0 = all scenarios within tolerance, 1 = regression or
@@ -116,7 +127,7 @@ def run_scenario(sc: dict):
                                  "n_streams", "memcpy_threads")
               if k in sc}
     sorter = HeterogeneousSorter(platform, approach=sc["approach"],
-                                 **kwargs)
+                                 n_gpus=sc.get("n_gpus", 1), **kwargs)
     return sorter.sort(n=sc["n"])
 
 
@@ -319,6 +330,129 @@ def check_engine(baseline: dict, measured: dict,
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Peak-occupancy gate (--memory)
+# ---------------------------------------------------------------------------
+
+MEMORY_BASELINE = os.path.join(_HERE, "results", "memory_baseline.json")
+MEMORY_BASELINE_SCHEMA = "repro.memory_baseline/v1"
+
+#: The trace-diff scenarios plus a two-GPU point, so the ratchet covers
+#: a gpu1 pool and the multi-worker pinned aggregate.
+MEMORY_SCENARIOS = SCENARIOS + [
+    {"name": "pipedata_2gpu_2m", "platform": "PLATFORM2",
+     "approach": "pipedata", "n": 2_000_000, "batch_size": 250_000,
+     "pinned_elements": 50_000, "n_gpus": 2},
+]
+
+
+def measure_memory() -> tuple[dict, list[str]]:
+    """Run every memory scenario with the ledger attached; returns
+    ``({name: {"peaks", "n_allocs", "n_frees"}}, invariant_failures)``.
+
+    The invariant failures are baseline-independent: the ledger must
+    balance to zero and the measured peaks must match the analytic
+    planner's prediction with zero residual on a healthy run -- both
+    hold by construction, so a miss is a bug, not noise.
+    """
+    from repro.obs import measured_peaks, memory_conformance, plan_memory
+    measured: dict = {}
+    invariant_failures: list[str] = []
+    for sc in MEMORY_SCENARIOS:
+        res = run_scenario(sc)
+        peaks = measured_peaks(res)
+        mem = res.metrics["memory"]
+        kwargs = {k: sc[k] for k in ("batch_size", "pinned_elements",
+                                     "n_streams", "memcpy_threads")
+                  if k in sc}
+        memplan = plan_memory(get_platform(sc["platform"]), sc["n"],
+                              approach=sc["approach"],
+                              n_gpus=sc.get("n_gpus", 1), **kwargs)
+        conf = memory_conformance(memplan, peaks)
+        if not mem["balanced"]:
+            invariant_failures.append(
+                f"{sc['name']}: ledger did not balance to zero "
+                f"({mem['n_allocs']} allocs, {mem['n_frees']} frees)")
+        if not conf["ok"]:
+            bad = "; ".join(
+                f"{p}: predicted {v['predicted_bytes']} B, measured "
+                f"{v['measured_bytes']} B"
+                for p, v in conf["pools"].items() if not v["ok"])
+            invariant_failures.append(
+                f"{sc['name']}: planner residual outside tolerance "
+                f"({bad})")
+        measured[sc["name"]] = {
+            "peaks": {p: int(b) for p, b in sorted(peaks.items())},
+            "n_allocs": mem["n_allocs"],
+            "n_frees": mem["n_frees"],
+        }
+    return measured, invariant_failures
+
+
+def check_memory(baseline: dict, measured: dict,
+                 verdicts: dict | None = None) -> list[str]:
+    """Compare measured peaks against the frozen memory baseline --
+    exact equality, since occupancy is deterministic."""
+    failures: list[str] = []
+    for sc in MEMORY_SCENARIOS:
+        name = sc["name"]
+        frozen = baseline.get("scenarios", {}).get(name)
+        cur = measured[name]
+        if frozen is None:
+            msg = (f"{name}: missing from memory baseline "
+                   "(run with --memory --update)")
+            failures.append(msg)
+            if verdicts is not None:
+                verdicts[name] = {"ok": False, "failures": [msg]}
+            continue
+        scoped: list[str] = []
+        for pool in sorted(set(cur["peaks"]) | set(frozen["peaks"])):
+            a = frozen["peaks"].get(pool)
+            b = cur["peaks"].get(pool)
+            if a != b:
+                scoped.append(
+                    f"{name}: {pool} peak drifted {a} -> {b} B "
+                    "(occupancy is deterministic; re-freeze with "
+                    "--memory --update only if intended)")
+        if not scoped and (cur["n_allocs"] != frozen["n_allocs"]
+                           or cur["n_frees"] != frozen["n_frees"]):
+            scoped.append(
+                f"{name}: alloc/free counts drifted "
+                f"{frozen['n_allocs']}/{frozen['n_frees']} -> "
+                f"{cur['n_allocs']}/{cur['n_frees']}")
+        status = "ok" if not scoped else "FAIL"
+        peak_s = ", ".join(f"{p}={b}" for p, b in cur["peaks"].items())
+        say(f"{name}: {status}  peaks [{peak_s}] B  "
+            f"{cur['n_allocs']} allocs / {cur['n_frees']} frees")
+        failures.extend(scoped)
+        if verdicts is not None:
+            verdicts[name] = {"ok": not scoped, "failures": scoped}
+    return failures
+
+
+def _memory_entries(measured: dict, verdicts: dict) -> list[dict]:
+    """One archive entry per memory scenario.  Peaks are deterministic,
+    so re-running the gate appends nothing new (content-addressed
+    idempotence) -- the series only grows when occupancy changes."""
+    from repro.obs import make_entry
+    entries = []
+    for name, cur in measured.items():
+        v = verdicts.get(name, {"ok": True, "failures": []})
+        gate = {"gate": "memory", "ok": v["ok"],
+                "failures": v["failures"]}
+        metrics = {"peak_pinned_bytes": cur["peaks"].get("pinned", 0),
+                   "mem_allocs": cur["n_allocs"],
+                   "mem_frees": cur["n_frees"]}
+        for pool, nbytes in cur["peaks"].items():
+            if pool != "pinned":
+                metrics[f"peak_device_bytes.{pool}"] = nbytes
+        entries.append(make_entry(
+            source="gate:memory", label=name,
+            point={"gate": "memory", "scenario": name},
+            metrics=metrics, verdicts=[gate]))
+    return entries
+
+
 def _regression_entries(runs: dict, verdicts: dict) -> list[dict]:
     """One archive entry per trace-diff scenario (the scenario dict is
     the fingerprinted point, so every CI run of the same scenario lands
@@ -399,6 +533,9 @@ def main(argv=None) -> int:
     p.add_argument("--engine", action="store_true",
                    help="run the simulator-throughput gate instead of "
                         "the trace-diff gate")
+    p.add_argument("--memory", action="store_true",
+                   help="run the peak-occupancy gate instead of the "
+                        "trace-diff gate")
     p.add_argument("--profile-out", default=None,
                    help="(--engine) write the full profile snapshot "
                         "JSON for artifact upload")
@@ -412,6 +549,40 @@ def main(argv=None) -> int:
     args = p.parse_args(argv)
     if args.json:
         _INFO = sys.stderr
+    if args.engine and args.memory:
+        p.error("--engine and --memory are mutually exclusive")
+
+    if args.memory:
+        baseline_path = args.baseline or MEMORY_BASELINE
+        measured, invariant_failures = measure_memory()
+        if args.update:
+            if invariant_failures:
+                for msg in invariant_failures:
+                    print(f"INVARIANT: {msg}", file=sys.stderr)
+                print("refusing to freeze a baseline from an unbalanced "
+                      "or non-conforming run", file=sys.stderr)
+                return 1
+            doc = {"schema": MEMORY_BASELINE_SCHEMA,
+                   "scenarios": measured}
+            os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+            with open(baseline_path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            say(f"memory baseline updated: {baseline_path} "
+                f"({len(measured)} scenarios)")
+            return 0
+        if not os.path.exists(baseline_path):
+            print(f"no memory baseline at {baseline_path}; run with "
+                  "--memory --update first", file=sys.stderr)
+            return 1
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        verdicts: dict = {}
+        failures = invariant_failures + check_memory(baseline, measured,
+                                                     verdicts=verdicts)
+        entries = _memory_entries(measured, verdicts)
+        archive_entries(args.archive, entries)
+        return _finish(args, "memory", failures, entries)
 
     if args.engine:
         baseline_path = args.baseline or ENGINE_BASELINE

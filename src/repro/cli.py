@@ -53,6 +53,12 @@ Trend observatory -- archive every run, watch metrics drift over time::
     python -m repro archive runs.jsonl --list
     python -m repro trends runs.jsonl --html trends.html
     python -m repro archive runs.jsonl --diff 1a2b3c 4d5e6f
+
+Memory observatory -- occupancy, watermarks, the capacity planner::
+
+    python -m repro mem --n 2e9 --batch-size 2e8 --approach pipedata
+    python -m repro plan-mem --platform PLATFORM2 --gpus 2 --n 4e9
+    python -m repro plan-mem --n 1e6 --approach bline --verify
 """
 
 from __future__ import annotations
@@ -74,7 +80,8 @@ __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_diff_parser", "build_sweep_parser",
            "build_conformance_parser", "build_watch_parser",
            "build_chaos_parser", "build_archive_parser",
-           "build_trends_parser"]
+           "build_trends_parser", "build_mem_parser",
+           "build_plan_mem_parser"]
 
 
 @contextlib.contextmanager
@@ -389,6 +396,236 @@ def build_trends_parser() -> argparse.ArgumentParser:
     p.add_argument("--html", metavar="PATH", default=None,
                    help="write the self-contained trend dashboard")
     return p
+
+
+def build_mem_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort mem",
+        description="Run one sort and report its repro.memory/v1 "
+                    "allocation ledger: per-pool peak occupancy, "
+                    "capacity headroom, the leak verdict, and a "
+                    "peak-preserving ASCII occupancy timeline per pool.")
+    _add_run_options(p)
+    p.add_argument("--width", type=int, default=60,
+                   help="timeline buckets per pool (default 60)")
+    p.add_argument("--entries", action="store_true",
+                   help="also print every ledger entry (alloc/free, "
+                        "timestamp, running balance)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full ledger document as canonical "
+                        "JSON instead of tables")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="write the self-contained memory dashboard "
+                        "(stacked occupancy chart with watermark lines)")
+    return p
+
+
+def build_plan_mem_parser() -> argparse.ArgumentParser:
+    from repro.obs.memory import PLAN_TOLERANCE
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort plan-mem",
+        description="Analytic capacity planner: predict peak device and "
+                    "pinned occupancy from the batch plan alone -- no "
+                    "simulation -- and check it against the platform's "
+                    "capacities.  Exit 0: the configuration fits; "
+                    "exit 1: predicted oversubscription (or a --verify "
+                    "residual outside tolerance); exit 2: the planner "
+                    "rejected the configuration outright.")
+    p.add_argument("--platform", default="PLATFORM1",
+                   help="PLATFORM1 (GP100) or PLATFORM2 (2x K40m)")
+    p.add_argument("--gpus", type=int, default=1, help="GPUs to use")
+    p.add_argument("--approach", default="pipemerge",
+                   choices=Approach.ALL)
+    p.add_argument("--n", type=float, required=True,
+                   help="input size to plan for (e.g. 5e9)")
+    p.add_argument("--batch-size", type=float, default=None,
+                   help="b_s elements per batch (default: maximal)")
+    p.add_argument("--streams", type=int, default=2,
+                   help="n_s streams per GPU")
+    p.add_argument("--pinned", type=float, default=1e6,
+                   help="p_s pinned staging elements")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the (timing) sort and confront the "
+                        "prediction with the measured peaks")
+    p.add_argument("--tolerance", type=float, default=PLAN_TOLERANCE,
+                   help="--verify relative residual tolerance "
+                        f"(default {PLAN_TOLERANCE:g})")
+    p.add_argument("--json", action="store_true",
+                   help="print the repro.memplan/v1 document (plus the "
+                        "--verify conformance block) as canonical JSON")
+    return p
+
+
+def _sample_timeline(steps, t_end: float, width: int) -> list[float]:
+    """Resample a ledger step series ``[(t, balance)]`` into ``width``
+    buckets, keeping each bucket's *maximum* balance so narrow occupancy
+    spikes (and therefore the watermark) survive the downsampling."""
+    if t_end <= 0.0 or width <= 0:
+        return [float(b) for _, b in steps] or [0.0]
+    vals: list[float] = []
+    cur = 0.0
+    j = 0
+    for i in range(width):
+        hi = t_end * (i + 1) / width
+        peak = cur
+        while j < len(steps) and steps[j][0] <= hi:
+            cur = float(steps[j][1])
+            peak = max(peak, cur)
+            j += 1
+        vals.append(peak)
+    return vals
+
+
+def _run_mem(argv, out) -> int:
+    parser = build_mem_parser()
+    args = parser.parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
+    from repro.errors import FaultPlanError
+    from repro.reporting import format_bytes, sparkline
+    try:
+        res = _run_sort(args)
+    except FaultPlanError as exc:
+        out.write(f"repro mem: {exc}\n")
+        return 2
+    ledger = res.memory_ledger
+    if ledger is None:
+        out.write("repro mem: this run recorded no memory ledger\n")
+        return 2
+    doc = ledger.to_dict()
+    if args.json:
+        from repro.obs import canonical_json
+        out.write(canonical_json(doc) + "\n")
+        _write_mem_dashboard(args, doc, res, out)
+        _maybe_write_trace(args, res, out)
+        return 0
+    out.write(res.summary() + "\n\n")
+    rows = []
+    for pool, p in doc["pools"].items():
+        cap, head = p["capacity_bytes"], p["headroom_bytes"]
+        rows.append([
+            pool, format_bytes(p["peak_bytes"]),
+            format_bytes(cap) if cap is not None else "-",
+            format_bytes(head) if head is not None else "-",
+            p["n_allocs"], p["n_frees"],
+            "ok" if p["balance_bytes"] == 0
+            else f"LEAK {p['balance_bytes']} B"])
+    verdict = "balanced" if doc["balanced"] else "LEAKED"
+    out.write(render_table(
+        ["pool", "peak", "capacity", "headroom", "allocs", "frees",
+         "verdict"], rows,
+        title=f"memory occupancy ({ledger.n_allocs} allocs, "
+              f"{ledger.n_frees} frees, {verdict})") + "\n")
+    out.write("\noccupancy timelines (0 .. makespan, bucket maxima):\n")
+    for pool in ledger.pools():
+        vals = _sample_timeline(ledger.timeline(pool), res.elapsed,
+                                args.width)
+        out.write(f"  {pool:<8} {sparkline(vals)}  "
+                  f"peak {format_bytes(ledger.peaks.get(pool, 0))}\n")
+    if args.entries:
+        rows = [[f"{e['t']:.6f}", e["op"], e["pool"], e["name"],
+                 format_bytes(e["nbytes"]), format_bytes(e["balance"])]
+                for e in doc["entries"]]
+        out.write("\n" + render_table(
+            ["t [s]", "op", "pool", "name", "size", "balance"], rows,
+            title=f"ledger entries ({len(rows)})") + "\n")
+    _write_mem_dashboard(args, doc, res, out)
+    _maybe_write_trace(args, res, out)
+    return 0
+
+
+def _write_mem_dashboard(args, doc, res, out) -> None:
+    if not args.html:
+        return
+    from repro.reporting import write_memory_dashboard
+    with _writes(args.html, "memory dashboard"):
+        write_memory_dashboard(
+            doc, args.html,
+            title=f"{res.approach} on {res.platform_name}")
+    out.write(f"wrote memory dashboard to {args.html}\n")
+
+
+def _run_plan_mem(argv, out) -> int:
+    args = build_plan_mem_parser().parse_args(argv)
+    from repro.errors import PlanError
+    from repro.obs import canonical_json, plan_memory
+    from repro.obs.memory import MEMPLAN_SCHEMA
+    from repro.reporting import format_bytes
+    platform = get_platform(args.platform)
+    kw = dict(approach=args.approach, n_streams=args.streams,
+              batch_size=int(args.batch_size) if args.batch_size else None,
+              pinned_elements=int(args.pinned))
+    try:
+        memplan = plan_memory(platform, int(args.n), n_gpus=args.gpus,
+                              **kw)
+    except PlanError as exc:
+        if args.json:
+            out.write(canonical_json(
+                {"schema": MEMPLAN_SCHEMA, "ok": False,
+                 "rejected": str(exc)}) + "\n")
+        else:
+            out.write(f"repro plan-mem: REJECTED: {exc}\n")
+        return 2
+    conf = None
+    if args.verify and memplan["ok"]:
+        from repro.obs import measured_peaks, memory_conformance
+        res = HeterogeneousSorter(platform, n_gpus=args.gpus,
+                                  **kw).sort(n=int(args.n),
+                                             approach=args.approach)
+        conf = memory_conformance(memplan, measured_peaks(res),
+                                  tolerance=args.tolerance)
+    if args.json:
+        doc = dict(memplan)
+        if conf is not None:
+            doc["conformance"] = conf
+        out.write(canonical_json(doc) + "\n")
+        return 0 if memplan["ok"] and (conf is None or conf["ok"]) else 1
+    pt = memplan["point"]
+    workers = ", ".join(f"gpu{g[3:]}x{c}" if g.startswith("gpu") else g
+                        for g, c in memplan["workers"].items())
+    out.write(f"plan: {pt['approach']} on {pt['platform']}, "
+              f"n={pt['n']:.3g}, batch={pt['batch_size']:.3g}, "
+              f"streams={pt['n_streams']}, "
+              f"pinned={pt['pinned_elements']:.3g}\n"
+              f"workers: {workers or 'none'} -- "
+              f"{format_bytes(memplan['per_worker']['device_bytes'])} "
+              f"device + "
+              f"{format_bytes(memplan['per_worker']['pinned_bytes'])} "
+              f"pinned each\n\n")
+    rows = [[pool, format_bytes(p["predicted_bytes"]),
+             format_bytes(p["capacity_bytes"]),
+             format_bytes(p["headroom_bytes"]),
+             "ok" if p["ok"] else "OVERSUBSCRIBED"]
+            for pool, p in memplan["pools"].items()]
+    out.write(render_table(
+        ["pool", "predicted peak", "capacity", "headroom", "verdict"],
+        rows, title="predicted peak occupancy") + "\n")
+    for v in memplan["violations"]:
+        out.write(f"  VIOLATION: {v}\n")
+    if not memplan["ok"]:
+        out.write("plan-mem: configuration does NOT fit\n")
+        return 1
+    if args.verify and conf is not None:
+        rows = [[pool, format_bytes(p["predicted_bytes"]),
+                 format_bytes(p["measured_bytes"]),
+                 f"{p['residual_bytes']:+d} B",
+                 f"{p['rel']:+.2%}" if p["rel"] is not None else "-",
+                 "ok" if p["ok"] else "MISMATCH"]
+                for pool, p in conf["pools"].items()]
+        out.write("\n" + render_table(
+            ["pool", "predicted", "measured", "residual", "rel",
+             "verdict"], rows,
+            title=f"predicted vs measured peaks "
+                  f"(tolerance {conf['tolerance']:g})") + "\n")
+        if not conf["ok"]:
+            out.write("plan-mem: measured peaks deviate from the "
+                      "prediction\n")
+            return 1
+        out.write("plan-mem: measured peaks match the prediction\n")
+        return 0
+    out.write("plan-mem: configuration fits\n")
+    return 0
 
 
 def _load_archive_or_exit(path, out, prog: str):
@@ -1059,6 +1296,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_archive_cmd(argv[1:], out)
     if argv and argv[0] == "trends":
         return _run_trends_cmd(argv[1:], out)
+    if argv and argv[0] == "mem":
+        return _run_mem(argv[1:], out)
+    if argv and argv[0] == "plan-mem":
+        return _run_plan_mem(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):

@@ -116,6 +116,11 @@ class Runtime:
             raise DeviceAllocFault(
                 f"injected cudaMalloc failure on gpu{gpu_index} ({name!r})")
         self.machine.gpus[gpu_index].alloc(nbytes)
+        mem = self.machine.memory
+        if mem is not None:
+            mem.device_alloc(gpu_index, nbytes, name=name)
+        self.machine._gauge(f"gpu{gpu_index}.mem_bytes",
+                            self.machine.gpus[gpu_index].mem_used)
         return DeviceBuffer(gpu_index, nbytes, data=data, name=name)
 
     def free(self, buf: DeviceBuffer) -> None:
@@ -124,6 +129,11 @@ class Runtime:
             raise CudaInvalidValue(f"double free of {buf.name!r}")
         self.machine.gpus[buf.gpu_index].free(buf.nbytes)
         buf.freed = True
+        mem = self.machine.memory
+        if mem is not None:
+            mem.device_free(buf.gpu_index, buf.nbytes, name=buf.name)
+        self.machine._gauge(f"gpu{buf.gpu_index}.mem_bytes",
+                            self.machine.gpus[buf.gpu_index].mem_used)
 
     def malloc_host(self, nbytes: int, name: str = "",
                     data: np.ndarray | None = None, deps=()):
@@ -136,6 +146,10 @@ class Runtime:
             nbytes, label=name or "pinned", deps=deps)
         buf = PinnedBuffer(nbytes, data=data, name=name)
         buf.alloc_span = span
+        mem = self.machine.memory
+        if mem is not None:
+            mem.pinned_alloc(nbytes, name=name,
+                             span=span.id if span is not None else None)
         return buf
 
     def free_host(self, buf: PinnedBuffer) -> None:
@@ -144,6 +158,9 @@ class Runtime:
             raise CudaInvalidValue(f"double free of {buf.name!r}")
         self.machine.pinned_free(buf.nbytes)
         buf.freed = True
+        mem = self.machine.memory
+        if mem is not None:
+            mem.pinned_free(buf.nbytes, name=buf.name)
 
     # ------------------------------------------------------------------
     # Copies

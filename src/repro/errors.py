@@ -103,3 +103,9 @@ class ArchiveError(ReproError):
     """A ``repro.archive/v1`` run archive is malformed: unknown schema,
     a corrupted (content-hash mismatch) entry, a duplicate entry id, or
     a manifest that disagrees with the JSONL it indexes."""
+
+
+class MemoryLedgerError(ReproError):
+    """A ``repro.memory/v1`` allocation ledger recorded impossible
+    accounting (a pool balance going negative) or failed the leak check
+    (a pool not balancing back to zero at run end)."""

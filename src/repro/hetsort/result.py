@@ -38,6 +38,10 @@ class SortResult:
     #: The run's :class:`~repro.obs.counters.MetricsRecorder` (full
     #: counter time series, for Perfetto counter-track export).
     recorder: _t.Any = None
+    #: The run's :class:`~repro.obs.memory.MemoryLedger` (full
+    #: allocation history, for ``repro mem`` timelines and the HTML
+    #: memory panel).
+    memory_ledger: _t.Any = None
 
     # -- component accounting ------------------------------------------------
 
@@ -105,6 +109,14 @@ class SortResult:
         :func:`repro.obs.conformance.attach_conformance` has run --
         sweeps attach one to every run.  None otherwise."""
         return self.metrics.get("conformance")
+
+    @property
+    def memory(self) -> dict | None:
+        """The run's memory summary (per-GPU/pinned peak occupancy,
+        alloc/free counts, leak verdict) from the byte-exact allocation
+        ledger (see :mod:`repro.obs.memory`).  None for runs without a
+        ledger (e.g. the CPU reference)."""
+        return self.metrics.get("memory")
 
     @property
     def throughput(self) -> float:

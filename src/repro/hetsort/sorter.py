@@ -32,6 +32,7 @@ from repro.hw.platforms import PLATFORM1
 from repro.hw.spec import PlatformSpec
 from repro.kernels.samplesort import sample_sort
 from repro.obs.counters import MetricsRecorder
+from repro.obs.memory import MemoryLedger
 from repro.obs.metrics import compute_metrics
 from repro.sim.engine import Environment
 
@@ -113,6 +114,15 @@ class HeterogeneousSorter:
         rt = Runtime(machine)
         plan = make_plan(n_elems, self.platform, cfg, n_gpus=self.n_gpus)
         ctx = RunContext(env, machine, rt, plan, cfg, data=data)
+        # The memory observatory: a passive, byte-exact allocation
+        # ledger.  Pinned capacity is what host DRAM leaves after the
+        # run's 3n pageable working set (reserved by the RunContext).
+        capacities = {f"gpu{g.index}": g.spec.mem_bytes
+                      for g in machine.gpus}
+        capacities["pinned"] = (self.platform.hostmem.capacity_bytes
+                                - machine.host_reserved)
+        machine.memory = MemoryLedger(clock=lambda: env.now,
+                                      capacities=capacities)
 
         injector = None
         if faults is not None:
@@ -143,6 +153,11 @@ class HeterogeneousSorter:
         if injector is not None and injector.fired_total:
             ctx.meta["faults"] = injector.summary()
 
+        # Leak detection: every pool must balance back to zero by run
+        # end, degraded runs included (free_surviving releases a dead
+        # worker's buffers).
+        machine.memory.check_balanced()
+
         if bus is not None:
             from repro.obs.events import EV
             bus.emit(EV.RUN_END, elapsed_s=env.now,
@@ -154,6 +169,9 @@ class HeterogeneousSorter:
         if validate and data is not None:
             check_sorted_permutation(np.asarray(data, dtype=np.float64),
                                      output)
+        metrics = compute_metrics(machine.trace, elapsed=env.now,
+                                  counters=ctx.obs.summary(env.now))
+        metrics["memory"] = machine.memory.summary()
         return SortResult(
             platform_name=self.platform.name,
             approach=cfg.approach,
@@ -163,9 +181,9 @@ class HeterogeneousSorter:
             trace=machine.trace,
             output=output,
             meta=dict(ctx.meta),
-            metrics=compute_metrics(machine.trace, elapsed=env.now,
-                                    counters=ctx.obs.summary(env.now)),
+            metrics=metrics,
             recorder=ctx.obs,
+            memory_ledger=machine.memory,
         )
 
 

@@ -42,15 +42,28 @@ def alloc_worker_buffers(ctx: RunContext, gpu: int, tag: str):
         else (lambda k: None)
     pinned_in = yield from ctx.rt.malloc_host(
         ps * ELEM, name=f"stage_in.{tag}", data=mk(ps))
-    pinned_out = yield from ctx.rt.malloc_host(
-        ps * ELEM, name=f"stage_out.{tag}", data=mk(ps),
-        deps=(pinned_in.alloc_span,))
-    dev = yield from retry_call(
-        ctx.machine,
-        lambda: ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu,
-                              name=f"dev.{tag}", data=mk(2 * bs)),
-        what=f"cudaMalloc[dev.{tag}]", lane=f"host.gpu{gpu}",
-        deps=(pinned_in.alloc_span, pinned_out.alloc_span))
+    try:
+        pinned_out = yield from ctx.rt.malloc_host(
+            ps * ELEM, name=f"stage_out.{tag}", data=mk(ps),
+            deps=(pinned_in.alloc_span,))
+    except Exception:
+        ctx.rt.free_host(pinned_in)
+        raise
+    try:
+        dev = yield from retry_call(
+            ctx.machine,
+            lambda: ctx.rt.malloc(2 * bs * ELEM, gpu_index=gpu,
+                                  name=f"dev.{tag}", data=mk(2 * bs)),
+            what=f"cudaMalloc[dev.{tag}]", lane=f"host.gpu{gpu}",
+            deps=(pinned_in.alloc_span, pinned_out.alloc_span))
+    except Exception:
+        # A partially-allocated worker must not leak its staging
+        # buffers when the device path is exhausted (the caller only
+        # sees None and cannot free them) -- the allocation ledger's
+        # leak detector pins this.
+        ctx.rt.free_host(pinned_in)
+        ctx.rt.free_host(pinned_out)
+        raise
     return pinned_in, pinned_out, dev
 
 

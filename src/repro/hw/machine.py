@@ -80,6 +80,11 @@ class Machine:
         #: :class:`~repro.obs.events.EventBus` for ``retry.attempt``
         #: events (wired by :func:`repro.obs.events.connect_machine`).
         self.bus = None
+        #: Memory observatory: an optional
+        #: :class:`~repro.obs.memory.MemoryLedger` the runtime's
+        #: allocation/release paths record into.  ``None`` (bare
+        #: machines) costs one ``is None`` check per operation.
+        self.memory = None
 
     def attach_recorder(self, recorder) -> None:
         """Wire a :class:`~repro.obs.counters.MetricsRecorder` into the

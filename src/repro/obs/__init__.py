@@ -29,6 +29,12 @@ quantities:
 * :mod:`repro.obs.profile` -- wall-clock profiling of the *real* numpy
   kernels behind a zero-overhead-when-disabled toggle (never affects the
   simulated timeline or the sorted output);
+* :mod:`repro.obs.memory` -- the memory observatory: a byte-exact
+  allocation ledger over the simulated ``cudaMalloc`` /
+  ``cudaMallocHost`` paths (occupancy timelines, high-watermarks, leak
+  detection at run end) and the analytic capacity planner behind
+  ``repro plan-mem`` (predict peak device/pinned occupancy from the
+  plan, reject infeasible configurations before any simulation);
 * :mod:`repro.obs.events` / :mod:`repro.obs.sinks` -- the typed
   publish/subscribe telemetry bus and its shipped sinks: byte-stable
   ``repro.events/v1`` JSONL structured logs (replayable back into a
@@ -56,6 +62,10 @@ from repro.obs.diff import (canonical_json, check_regression, diff_reports,
 from repro.obs.events import (EV, EVENTS_SCHEMA, EventBus, Sink,
                               TelemetryEvent, connect_context,
                               connect_machine)
+from repro.obs.memory import (MEMORY_SCHEMA, MEMPLAN_SCHEMA,
+                              MEMORY_CONFORMANCE_SCHEMA, PLAN_TOLERANCE,
+                              MemoryLedger, measured_peaks,
+                              memory_conformance, plan_memory)
 from repro.obs.metrics import (category_overlap_matrix, compute_metrics,
                                critical_path_lower_bound, detect_bubbles,
                                lane_metrics, link_throughput,
@@ -105,4 +115,7 @@ __all__ = [
     "TRENDS_SCHEMA", "ewma", "detect_changepoints", "series_trend",
     "ratchet_proposal", "classify_miss", "metric_series",
     "trend_summary", "compare_entries",
+    "MEMORY_SCHEMA", "MEMPLAN_SCHEMA", "MEMORY_CONFORMANCE_SCHEMA",
+    "PLAN_TOLERANCE", "MemoryLedger", "plan_memory", "measured_peaks",
+    "memory_conformance",
 ]

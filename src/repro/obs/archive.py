@@ -176,6 +176,12 @@ def entry_from_result(result, *, source: str = "run", label: str = "",
     if "overlap_efficiency" in result.metrics:
         metrics["overlap_efficiency"] = \
             result.metrics["overlap_efficiency"]
+    memory = result.metrics.get("memory")
+    if memory is not None:
+        metrics["peak_pinned_bytes"] = memory.get("peak_pinned_bytes", 0)
+        for pool, peak in sorted(
+                memory.get("peak_device_bytes", {}).items()):
+            metrics[f"peak_device_bytes.{pool}"] = peak
     conf = result.metrics.get("conformance")
     residuals = None
     if conf is not None:

@@ -63,9 +63,12 @@ class EV:
     FAULT = "fault.injected"  #: a scheduled fault fired (chaos plans)
     RETRY = "retry.attempt"   #: a faulted operation backed off to retry
     DEGRADE = "degrade.replan"  #: graceful degradation (fallback/replan)
+    MEM_ALLOC = "mem.alloc"     #: a device/pinned allocation was recorded
+    MEM_FREE = "mem.free"       #: a device/pinned release was recorded
+    MEM_WATERMARK = "mem.watermark"  #: a pool reached a new peak occupancy
 
     ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING,
-           FAULT, RETRY, DEGRADE)
+           FAULT, RETRY, DEGRADE, MEM_ALLOC, MEM_FREE, MEM_WATERMARK)
 
 
 @dataclass(frozen=True)
@@ -204,6 +207,25 @@ class EventBus:
         """A graceful-degradation decision (CPU fallback, replan)."""
         self.emit(EV.DEGRADE, reason=reason, **data)
 
+    def mem_alloc(self, pool: str, name: str, nbytes: int,
+                  balance: int) -> None:
+        """The :class:`~repro.obs.memory.MemoryLedger` recorded an
+        allocation (``balance`` = the pool's occupancy after it)."""
+        self.emit(EV.MEM_ALLOC, pool=pool, name=name, nbytes=nbytes,
+                  balance=balance)
+
+    def mem_free(self, pool: str, name: str, nbytes: int,
+                 balance: int) -> None:
+        """The ledger recorded a release."""
+        self.emit(EV.MEM_FREE, pool=pool, name=name, nbytes=nbytes,
+                  balance=balance)
+
+    def mem_watermark(self, pool: str, peak_bytes: int,
+                      capacity_bytes: int | None = None) -> None:
+        """A pool reached a new high-watermark occupancy."""
+        self.emit(EV.MEM_WATERMARK, pool=pool, peak_bytes=peak_bytes,
+                  capacity_bytes=capacity_bytes)
+
     # -- engine hook ---------------------------------------------------------
 
     def _on_step(self, env) -> None:
@@ -234,6 +256,8 @@ def connect_machine(bus: EventBus, machine) -> None:
         machine.recorder.bus = bus
     if machine.faults is not None:
         machine.faults.bus = bus
+    if machine.memory is not None:
+        machine.memory.bus = bus
 
 
 def connect_context(bus: EventBus, ctx) -> None:

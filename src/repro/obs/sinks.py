@@ -178,6 +178,20 @@ def validate_events(events: _t.Sequence[TelemetryEvent]) -> dict:
         elif ev.kind == EV.DEGRADE:
             if "reason" not in ev.data:
                 raise EventLogError(f"event {i}: degrade without reason")
+        elif ev.kind in (EV.MEM_ALLOC, EV.MEM_FREE):
+            missing = [f for f in ("pool", "name", "nbytes", "balance")
+                       if f not in ev.data]
+            if missing:
+                raise EventLogError(
+                    f"event {i}: {ev.kind} record missing {missing}")
+            if ev.data["balance"] < 0:
+                raise EventLogError(
+                    f"event {i}: {ev.kind} drove pool "
+                    f"{ev.data['pool']!r} balance negative")
+        elif ev.kind == EV.MEM_WATERMARK:
+            if "pool" not in ev.data or "peak_bytes" not in ev.data:
+                raise EventLogError(
+                    f"event {i}: mem.watermark without pool/peak_bytes")
     return {"schema": EVENTS_SCHEMA, "n_events": len(events),
             "t_end": last_t, "counts": counts}
 
@@ -258,6 +272,7 @@ class LiveAggregator(Sink):
         self.warnings: list[dict] = []
         self.queues: dict[str, int] = {}
         self.counters: dict[str, float] = {}
+        self.memory: dict[str, dict] = {}
         self._lanes: dict[str, dict] = {}
         self._cats: dict[str, dict] = {}
 
@@ -296,6 +311,20 @@ class LiveAggregator(Sink):
             self.elapsed_s = d.get("elapsed_s")
         elif event.kind == EV.WARNING:
             self.warnings.append(dict(d))
+        elif event.kind in (EV.MEM_ALLOC, EV.MEM_FREE):
+            pool = self.memory.setdefault(
+                d["pool"], {"bytes": 0, "peak_bytes": 0,
+                            "capacity_bytes": None})
+            pool["bytes"] = d["balance"]
+            if d["balance"] > pool["peak_bytes"]:
+                pool["peak_bytes"] = d["balance"]
+        elif event.kind == EV.MEM_WATERMARK:
+            pool = self.memory.setdefault(
+                d["pool"], {"bytes": 0, "peak_bytes": 0,
+                            "capacity_bytes": None})
+            pool["peak_bytes"] = d["peak_bytes"]
+            if d.get("capacity_bytes") is not None:
+                pool["capacity_bytes"] = d["capacity_bytes"]
 
     # -- derived views -------------------------------------------------------
 
@@ -364,6 +393,9 @@ class LiveAggregator(Sink):
             "categories": cats,
             "queues": dict(sorted(self.queues.items())),
             "counters": dict(sorted(self.counters.items())),
+            "memory": {name: dict(pool) for name, pool in
+                       sorted(self.memory.items(),
+                              key=lambda kv: (kv[0] == "pinned", kv[0]))},
             "warnings": len(self.warnings),
             "last_warning": (self.warnings[-1].get("message")
                              if self.warnings else None),

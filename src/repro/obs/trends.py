@@ -49,7 +49,9 @@ TRENDS_SCHEMA = "repro.trends/v1"
 #: Metrics the trend CLI and dashboard track by default, in display
 #: order (a series only exists where its entries recorded the metric).
 DEFAULT_METRICS = ("makespan_s", "elapsed_s", "throughput_el_per_s",
-                   "missing_overhead_s", "model_gap_s", "events_per_s")
+                   "missing_overhead_s", "model_gap_s", "events_per_s",
+                   "peak_pinned_bytes", "peak_device_bytes.gpu0",
+                   "peak_device_bytes.gpu1")
 
 #: Consistency constant: MAD of a normal sample times 1.4826 estimates
 #: its standard deviation.

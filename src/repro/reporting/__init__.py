@@ -4,10 +4,13 @@ self-contained HTML conformance dashboard."""
 from repro.reporting.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.reporting.gantt import render_gantt
 from repro.reporting.html import (render_dashboard,
+                                  render_memory_dashboard,
                                   render_trend_dashboard,
-                                  write_dashboard, write_trend_dashboard)
-from repro.reporting.live import (render_bar, render_plain_line,
-                                  render_snapshot)
+                                  write_dashboard,
+                                  write_memory_dashboard,
+                                  write_trend_dashboard)
+from repro.reporting.live import (format_bytes, render_bar,
+                                  render_plain_line, render_snapshot)
 from repro.reporting.series import (FigureSeries, crossover, sparkline,
                                     speedup_series)
 from repro.reporting.table import (format_count, format_seconds,
@@ -20,5 +23,6 @@ __all__ = [
     "render_gantt", "to_chrome_trace", "write_chrome_trace",
     "render_dashboard", "write_dashboard",
     "render_trend_dashboard", "write_trend_dashboard",
-    "render_snapshot", "render_plain_line", "render_bar",
+    "render_snapshot", "render_plain_line", "render_bar", "format_bytes",
+    "render_memory_dashboard", "write_memory_dashboard",
 ]

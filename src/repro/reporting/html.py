@@ -31,7 +31,8 @@ import html as _html
 import typing as _t
 
 __all__ = ["render_dashboard", "write_dashboard",
-           "render_trend_dashboard", "write_trend_dashboard"]
+           "render_trend_dashboard", "write_trend_dashboard",
+           "render_memory_dashboard", "write_memory_dashboard"]
 
 # Categorical palette (validated slot order; light / dark pairs).
 _SERIES_LIGHT = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
@@ -162,6 +163,13 @@ def _fmt_s(t: float) -> str:
     if abs(t) >= 1:
         return f"{t:.3f} s"
     return f"{t * 1e3:.2f} ms"
+
+
+def _fmt_b(nbytes: float) -> str:
+    for unit, div in (("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if abs(nbytes) >= div:
+            return f"{nbytes / div:.3g} {unit}"
+    return f"{nbytes:g} B"
 
 
 def _nice_ticks(lo: float, hi: float, n: int = 4) -> list[float]:
@@ -513,6 +521,183 @@ def _paper_band_note(summary: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Memory observatory panels (repro.memory/v1 ledger documents)
+# ---------------------------------------------------------------------------
+
+def _memory_pool_order(pools: _t.Mapping[str, dict]) -> list[str]:
+    return sorted(pools, key=lambda p: (p == "pinned", p))
+
+
+def _memory_panel(doc: dict) -> str:
+    """Stacked occupancy-over-time SVG for one ``repro.memory/v1``
+    ledger: one band per pool (device pools first, pinned on top) with a
+    dashed high-watermark line per pool."""
+    entries = doc.get("entries", [])
+    pools = doc.get("pools", {})
+    order = _memory_pool_order(pools)
+    if not entries or not order:
+        return ('<div class="card"><h3>Memory occupancy</h3>'
+                '<p class="note">empty ledger &mdash; no allocations '
+                'recorded</p></div>')
+    times = sorted({e["t"] for e in entries})
+    if times[0] > 0.0:
+        times.insert(0, 0.0)
+    # Balance of every pool at each event time (step function between).
+    values = {p: [0] * len(times) for p in order}
+    cur = dict.fromkeys(order, 0)
+    j = 0
+    for i, t in enumerate(times):
+        while j < len(entries) and entries[j]["t"] <= t:
+            cur[entries[j]["pool"]] = entries[j]["balance"]
+            j += 1
+        for p in order:
+            values[p][i] = cur[p]
+    totals = [sum(values[p][i] for p in order) for i in range(len(times))]
+    peaks = {p: pools[p].get("peak_bytes", 0) for p in order}
+    ymax = max(max(totals), max(peaks.values()), 1) * 1.12
+    w, h, ml, mr, mt, mb = 560, 260, 64, 14, 14, 30
+    sx = _Scale(0.0, times[-1] or 1.0, ml, w - mr)
+    sy = _Scale(0.0, ymax, h - mb, mt)
+    body = []
+    for tk in _nice_ticks(0.0, ymax):
+        y = sy(tk)
+        body.append(f'<line class="grid" x1="{ml}" y1="{y:.1f}" '
+                    f'x2="{w - mr}" y2="{y:.1f}"/>')
+        body.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" '
+                    f'text-anchor="end">{_fmt_b(tk)}</text>')
+    for tk in _nice_ticks(0.0, sx.hi):
+        body.append(f'<text x="{sx(tk):.1f}" y="{h - mb + 16:.1f}" '
+                    f'text-anchor="middle">{_fmt_s(tk)}</text>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{w - mr}" y2="{sy.a:.1f}"/>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{ml}" y2="{sy.b:.1f}"/>')
+
+    def steps(series: list[float]) -> list[tuple[float, float]]:
+        pts = []
+        for i, v in enumerate(series):
+            pts.append((sx(times[i]), sy(v)))
+            if i + 1 < len(times):
+                pts.append((sx(times[i + 1]), sy(v)))
+        return pts
+
+    base = [0.0] * len(times)
+    for slot, p in enumerate(order):
+        top = [base[i] + values[p][i] for i in range(len(times))]
+        cap = pools[p].get("capacity_bytes")
+        head = pools[p].get("headroom_bytes")
+        tip = (f"{p}\npeak {_fmt_b(peaks[p])}"
+               + (f"\ncapacity {_fmt_b(cap)}" if cap is not None else "")
+               + (f"\nheadroom {_fmt_b(head)}" if head is not None else ""))
+        band = steps(top) + list(reversed(steps(base)))
+        body.append(f'<polygon points="{_poly(band)}" '
+                    f'fill="var(--s{slot % 8 + 1})" opacity="0.35" '
+                    f'tabindex="0" data-tip="{_esc(tip)}"/>')
+        body.append(f'<polyline points="{_poly(steps(top))}" fill="none" '
+                    f'stroke="var(--s{slot % 8 + 1})" stroke-width="1.5" '
+                    f'stroke-linejoin="round"/>')
+        base = top
+    # High-watermark lines: each pool's own peak, in absolute bytes.
+    for slot, p in enumerate(order):
+        y = sy(peaks[p])
+        body.append(
+            f'<line x1="{ml}" y1="{y:.1f}" x2="{w - mr}" y2="{y:.1f}" '
+            f'stroke="var(--s{slot % 8 + 1})" stroke-width="1.5" '
+            f'stroke-dasharray="4 3" tabindex="0" '
+            f'data-tip="{_esc(f"{p} high-watermark {_fmt_b(peaks[p])}")}"/>')
+    legend = '<div class="legend">' + "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:var(--s{slot % 8 + 1})"></span>'
+        f'{_esc(p)}</span>'
+        for slot, p in enumerate(order)) + (
+        '<span class="key"><span class="linekey" style="background:'
+        'var(--ink-3)"></span>dashed: high-watermark</span></div>')
+    return ('<div class="card"><h3>Memory occupancy</h3>'
+            '<p class="sub">stacked pool occupancy over simulated time; '
+            'dashed lines mark each pool&rsquo;s high-watermark</p>'
+            + legend + _svg(w, h, body, "memory occupancy over time")
+            + "</div>")
+
+
+def _memory_table(doc: dict) -> str:
+    """Accessible table-view twin of the occupancy chart."""
+    pools = doc.get("pools", {})
+    if not pools:
+        return '<p class="note">no pools recorded</p>'
+    rows = []
+    for p in _memory_pool_order(pools):
+        d = pools[p]
+        cap = d.get("capacity_bytes")
+        head = d.get("headroom_bytes")
+        leak = d.get("balance_bytes", 0)
+        verdict = ('<span class="chip ok">&#10003; balanced</span>'
+                   if leak == 0 else
+                   f'<span class="chip bad">&#9888; leak '
+                   f'{_fmt_b(leak)}</span>')
+        rows.append(
+            "<tr>"
+            f'<td class="l">{_esc(p)}</td>'
+            f'<td>{_fmt_b(d.get("peak_bytes", 0))}</td>'
+            f'<td>{_fmt_b(cap) if cap is not None else "&mdash;"}</td>'
+            f'<td>{_fmt_b(head) if head is not None else "&mdash;"}</td>'
+            f'<td>{d.get("n_allocs", 0)}</td>'
+            f'<td>{d.get("n_frees", 0)}</td>'
+            f'<td class="l">{verdict}</td></tr>')
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">pool</th><th>peak</th><th>capacity</th>'
+            '<th>headroom</th><th>allocs</th><th>frees</th>'
+            '<th class="l">verdict</th></tr></thead><tbody>'
+            + "".join(rows) + "</tbody></table>")
+
+
+def render_memory_dashboard(doc: dict, title: str = "") -> str:
+    """Self-contained memory-observatory HTML for one
+    ``repro.memory/v1`` ledger document (from
+    :meth:`repro.obs.memory.MemoryLedger.to_dict`)."""
+    pools = doc.get("pools", {})
+    n_allocs = sum(p.get("n_allocs", 0) for p in pools.values())
+    n_frees = sum(p.get("n_frees", 0) for p in pools.values())
+    balanced = doc.get("balanced", True)
+    tiles = [
+        ("pools", f"{len(pools)}", ""),
+        ("allocations", f"{n_allocs}", ""),
+        ("releases", f"{n_frees}", ""),
+        ("leak check", "balanced" if balanced else "LEAK",
+         "ok" if balanced else "bad"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(lab)}</div>'
+        f'<div class="value {cls}">{_esc(val)}</div></div>'
+        for lab, val, cls in tiles)
+    sub = _esc(title) if title else ("byte-exact allocation ledger over "
+                                     "the simulated cudaMalloc / "
+                                     "cudaMallocHost paths")
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Memory observatory</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>{_CSS}</style></head>
+<body class="viz-root">
+<h1>Memory observatory</h1>
+<p class="sub">{sub}</p>
+<div class="tiles">{tile_html}</div>
+<h2>Occupancy</h2>
+<div class="cards">{_memory_panel(doc)}</div>
+<h2>Pools</h2>
+{_memory_table(doc)}
+<div id="tip" role="status"></div>
+<script>{_TIP_JS}</script>
+</body></html>
+"""
+
+
+def write_memory_dashboard(doc: dict, path, title: str = "") -> None:
+    """Render and write the memory observatory to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_memory_dashboard(doc, title=title))
+
+
+# ---------------------------------------------------------------------------
 # Trend observatory panels (archive history; repro.trends/v1 documents)
 # ---------------------------------------------------------------------------
 
@@ -700,11 +885,14 @@ def write_trend_dashboard(trends: dict, path) -> None:
 # ---------------------------------------------------------------------------
 
 def render_dashboard(records: _t.Sequence[dict], summary: dict,
-                     trends: dict | None = None) -> str:
+                     trends: dict | None = None,
+                     memory: dict | None = None) -> str:
     """The complete, self-contained dashboard HTML for a sweep ledger
     (``records``) and its conformance ``summary``.  When a
     ``repro.trends/v1`` document is passed, a trend-observatory panel
-    (archive history with changepoint markers) is appended."""
+    (archive history with changepoint markers) is appended; when a
+    ``repro.memory/v1`` ledger document is passed, a memory-occupancy
+    panel (stacked occupancy SVG with watermark lines) is appended."""
     records = list(records)
     n_anom = summary.get("n_anomalies", 0)
     anom_cls = "bad" if n_anom else "ok"
@@ -767,6 +955,8 @@ causal critical path</p>
 {_ledger_table(records)}
 <h2>Per-run critical paths</h2>
 {_run_details(records)}
+{('<h2>Memory occupancy</h2><div class="cards">' + _memory_panel(memory)
+  + '</div>' + _memory_table(memory)) if memory else ''}
 {('<h2>Performance over time</h2>' + _trend_section(trends))
  if trends else ''}
 {_paper_band_note(summary)}
@@ -778,7 +968,8 @@ causal critical path</p>
 
 
 def write_dashboard(records: _t.Sequence[dict], summary: dict,
-                    path, trends: dict | None = None) -> None:
+                    path, trends: dict | None = None,
+                    memory: dict | None = None) -> None:
     """Render and write the dashboard to ``path``."""
     with open(path, "w") as fh:
-        fh.write(render_dashboard(records, summary, trends))
+        fh.write(render_dashboard(records, summary, trends, memory=memory))

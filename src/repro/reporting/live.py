@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from repro.reporting.table import format_count, format_seconds
 
-__all__ = ["render_snapshot", "render_plain_line", "render_bar"]
+__all__ = ["render_snapshot", "render_plain_line", "render_bar",
+           "format_bytes"]
 
 
 def render_bar(fraction: float | None, width: int = 30) -> str:
@@ -33,6 +34,19 @@ def _format_rate(bytes_per_s: float) -> str:
     if bytes_per_s >= 1e6:
         return f"{bytes_per_s / 1e6:6.2f} MB/s"
     return f"{bytes_per_s:6.0f} B/s"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Compact byte count (``6.4 MB``, ``128 B``, ``-2.56 GB``)."""
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(nbytes)
+    if nbytes >= 1e9:
+        return f"{sign}{nbytes / 1e9:.2f} GB"
+    if nbytes >= 1e6:
+        return f"{sign}{nbytes / 1e6:.1f} MB"
+    if nbytes >= 1e3:
+        return f"{sign}{nbytes / 1e3:.1f} kB"
+    return f"{sign}{nbytes:.0f} B"
 
 
 def render_snapshot(snap: dict, width: int = 72) -> str:
@@ -70,6 +84,14 @@ def render_snapshot(snap: dict, width: int = 72) -> str:
             f"  {name:<18s} {lane['utilization']:5.1%} busy  "
             f"{_format_rate(lane['throughput_B_s'])}  "
             f"{lane['spans']:5d} spans")
+
+    for name, pool in snap.get("memory", {}).items():
+        cap = pool.get("capacity_bytes")
+        frac = pool["bytes"] / cap if cap else None
+        lines.append(
+            f"  mem {name:<14s} {render_bar(frac, bar_w)}  "
+            f"{format_bytes(pool['bytes'])} "
+            f"(peak {format_bytes(pool['peak_bytes'])})")
 
     queues = snap.get("queues", {})
     if queues:

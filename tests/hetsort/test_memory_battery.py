@@ -1,0 +1,150 @@
+"""The memory battery: the allocation ledger must balance to zero at
+run end for every approach on both platforms -- including degraded,
+fault-injected runs -- the measured peaks must match the analytic
+planner with zero residual on healthy runs, and attaching the memory
+instrumentation must never perturb the simulated timeline."""
+
+import io
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ReproError  # noqa: E402
+from repro.hetsort import APPROACH_RUNNERS, HeterogeneousSorter  # noqa: E402
+from repro.hw.platforms import PLATFORM1, PLATFORM2  # noqa: E402
+from repro.obs import (EV, JsonlSink, canonical_json,  # noqa: E402
+                       measured_peaks, memory_conformance, plan_memory,
+                       validate_events)
+from repro.obs.events import Sink  # noqa: E402
+from repro.sim.faults import FaultKind, FaultPlan, FaultSpec  # noqa: E402
+
+APPROACHES = sorted(APPROACH_RUNNERS)
+
+N = 60_000
+BATCH = 20_000
+PINNED = 5_000
+
+
+class CollectSink(Sink):
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       approach=st.sampled_from(APPROACHES),
+       multi=st.booleans())
+def test_ledger_balances_under_chaos(seed, approach, multi):
+    """Every surviving chaos run -- alloc faults, GPU loss, degraded
+    CPU fallback included -- releases every byte it allocated, and the
+    mem.* event stream agrees with the ledger's accounting."""
+    platform, n_gpus = (PLATFORM2, 2) if multi else (PLATFORM1, 1)
+    plan = FaultPlan.random(seed, n_gpus=n_gpus)
+    data = np.random.default_rng(seed).random(N)
+    s = HeterogeneousSorter(platform, n_gpus=n_gpus, batch_size=BATCH,
+                            pinned_elements=PINNED)
+    sink = CollectSink()
+    try:
+        res = s.sort(data, approach=approach, faults=plan, sinks=(sink,))
+    except ReproError:
+        # A typed failure is an acceptable chaos outcome; the partial
+        # event stream must still validate (balances never negative).
+        validate_events(sink.events)
+        return
+    mem = res.metrics["memory"]
+    assert mem["balanced"], mem
+    res.memory_ledger.check_balanced()
+    counts = validate_events(sink.events)["counts"]
+    assert counts[EV.MEM_ALLOC] == mem["n_allocs"]
+    assert counts[EV.MEM_FREE] == mem["n_frees"]
+    # the last watermark per pool is the recorded peak
+    last_mark = {}
+    for e in sink.events:
+        if e.kind == EV.MEM_WATERMARK:
+            last_mark[e.data["pool"]] = e.data["peak_bytes"]
+    assert last_mark == {p: b for p, b in res.memory_ledger.peaks.items()
+                         if b > 0}
+
+
+@pytest.mark.parametrize("platform,n_gpus", [(PLATFORM1, 1),
+                                             (PLATFORM2, 2)])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_healthy_runs_match_planner_exactly(platform, n_gpus, approach):
+    """On a fault-free run the planner's predicted peaks equal the
+    measured peaks byte-for-byte -- the worker geometry is exact."""
+    kw = {} if approach in ("bline",) else {"batch_size": 250_000,
+                                            "n_streams": 2}
+    s = HeterogeneousSorter(platform, n_gpus=n_gpus,
+                            pinned_elements=50_000, **kw)
+    res = s.sort(n=1_000_000, approach=approach)
+    memplan = plan_memory(platform, 1_000_000, approach=approach,
+                          n_gpus=n_gpus, pinned_elements=50_000, **kw)
+    conf = memory_conformance(memplan, measured_peaks(res))
+    assert conf["ok"], conf
+    assert all(p["residual_bytes"] == 0 for p in conf["pools"].values())
+    assert res.metrics["memory"]["balanced"]
+
+
+def test_metrics_carry_peaks_through_canonical_serialisation():
+    res = HeterogeneousSorter(PLATFORM1, pinned_elements=50_000).sort(
+        n=1_000_000, approach="bline")
+    mem = res.metrics["memory"]
+    assert mem["peak_device_bytes"]["gpu0"] == 2 * 1_000_000 * 8
+    assert mem["peak_pinned_bytes"] == 2 * 50_000 * 8
+    assert res.memory == mem
+    doc = canonical_json(res.metrics)
+    assert '"peak_pinned_bytes": 800000' in doc
+
+
+def test_memory_instrumentation_is_timeline_neutral():
+    """Runs with and without telemetry sinks attached produce the
+    identical canonical run record: the ledger observes, never
+    schedules."""
+    def run(sinks):
+        s = HeterogeneousSorter(PLATFORM1, batch_size=BATCH,
+                                pinned_elements=PINNED)
+        data = np.random.default_rng(3).random(N)
+        return s.sort(data, approach="pipedata", sinks=sinks)
+
+    bare = run(())
+    watched = run((CollectSink(),))
+    assert canonical_json(bare.to_dict()) == \
+        canonical_json(watched.to_dict())
+    assert bare.elapsed == watched.elapsed
+
+
+def test_same_seed_runs_are_byte_identical_with_mem_events():
+    """Event logs -- mem.* events included -- are byte-stable across
+    identical runs."""
+    logs = []
+    for _ in range(2):
+        buf = io.StringIO()
+        s = HeterogeneousSorter(PLATFORM2, n_gpus=2, batch_size=BATCH,
+                                pinned_elements=PINNED)
+        s.sort(np.random.default_rng(7).random(N), approach="pipemerge",
+               sinks=(JsonlSink(buf),))
+        logs.append(buf.getvalue())
+    assert logs[0] == logs[1]
+    assert '"kind":"mem.alloc"' in logs[0]
+    assert '"kind":"mem.watermark"' in logs[0]
+
+
+def test_degraded_run_still_balances():
+    """Force the device-allocation path to exhaust so a worker degrades
+    to the CPU fallback: its partially-allocated staging buffers must
+    not leak (the alloc_worker_buffers unwind path)."""
+    plan = FaultPlan(faults=[FaultSpec(kind=FaultKind.DEVICE_ALLOC,
+                                       gpu=0, after=0, times=10_000)])
+    data = np.random.default_rng(11).random(N)
+    s = HeterogeneousSorter(PLATFORM1, batch_size=BATCH,
+                            pinned_elements=PINNED)
+    res = s.sort(data, approach="bline", faults=plan)
+    assert res.meta.get("degrades")
+    assert res.metrics["memory"]["balanced"]
+    res.memory_ledger.check_balanced()

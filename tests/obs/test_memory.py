@@ -1,0 +1,250 @@
+"""Memory observatory unit tests: the allocation ledger's accounting,
+the analytic capacity planner's exact worker geometry, and the
+predicted-vs-measured conformance verdicts."""
+
+import pytest
+
+from repro.errors import MemoryLedgerError, PlanError
+from repro.hw.platforms import PLATFORM1, PLATFORM2
+from repro.obs import (EV, EventBus, MemoryLedger, Sink, canonical_json,
+                       measured_peaks, memory_conformance, plan_memory)
+
+ELEM = 8  # bytes per float64 element
+
+
+class _Collect(Sink):
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+# ---------------------------------------------------------------------------
+# The ledger
+# ---------------------------------------------------------------------------
+
+def test_ledger_records_and_balances():
+    led = MemoryLedger()
+    led.device_alloc(0, 100, name="a")
+    led.pinned_alloc(40, name="p", span=7)
+    led.device_alloc(0, 50, name="b")
+    led.device_free(0, 100, name="a")
+    led.pinned_free(40, name="p")
+    led.device_free(0, 50, name="b")
+    assert led.balances == {"gpu0": 0, "pinned": 0}
+    assert led.peaks == {"gpu0": 150, "pinned": 40}
+    assert led.n_allocs == 3 and led.n_frees == 3
+    assert led.leaks() == {}
+    led.check_balanced()  # no raise
+    # the pinned entry carries its allocation span id
+    pinned = [e for e in led.entries if e["pool"] == "pinned"]
+    assert pinned[0]["span"] == 7
+    # running balance is recorded per entry
+    assert [e["balance"] for e in led.entries
+            if e["pool"] == "gpu0"] == [100, 150, 50, 0]
+
+
+def test_ledger_clock_stamps_entries():
+    t = [0.0]
+    led = MemoryLedger(clock=lambda: t[0])
+    led.device_alloc(0, 10)
+    t[0] = 1.5
+    led.device_free(0, 10)
+    assert [e["t"] for e in led.entries] == [0.0, 1.5]
+
+
+def test_ledger_leak_detection():
+    led = MemoryLedger()
+    led.device_alloc(1, 100)
+    led.pinned_alloc(40)
+    led.pinned_free(40)
+    assert led.leaks() == {"gpu1": 100}
+    with pytest.raises(MemoryLedgerError, match="gpu1=100 B"):
+        led.check_balanced()
+
+
+def test_ledger_negative_balance_is_impossible_accounting():
+    led = MemoryLedger()
+    led.device_alloc(0, 10)
+    with pytest.raises(MemoryLedgerError, match="negative"):
+        led.device_free(0, 20)
+
+
+def test_ledger_rejects_negative_sizes():
+    with pytest.raises(MemoryLedgerError):
+        MemoryLedger().device_alloc(0, -1)
+
+
+def test_ledger_timeline_and_headroom():
+    led = MemoryLedger(capacities={"gpu0": 1000})
+    led.device_alloc(0, 100)
+    led.device_alloc(0, 300)
+    led.device_free(0, 100)
+    assert led.timeline("gpu0") == [(0.0, 0), (0.0, 100), (0.0, 400),
+                                    (0.0, 300)]
+    assert led.headroom("gpu0") == 600      # capacity - peak
+    assert led.headroom("pinned") is None   # unknown capacity
+
+
+def test_ledger_pools_sorted_pinned_last():
+    led = MemoryLedger(capacities={"pinned": 10, "gpu1": 10, "gpu0": 10})
+    assert led.pools() == ["gpu0", "gpu1", "pinned"]
+
+
+def test_ledger_summary_and_document():
+    led = MemoryLedger(capacities={"gpu0": 1000, "pinned": 500})
+    led.device_alloc(0, 100)
+    led.pinned_alloc(50)
+    led.device_free(0, 100)
+    led.pinned_free(50)
+    assert led.summary() == {
+        "peak_device_bytes": {"gpu0": 100}, "peak_pinned_bytes": 50,
+        "n_allocs": 2, "n_frees": 2, "balanced": True}
+    doc = led.to_dict()
+    assert doc["schema"] == "repro.memory/v1"
+    assert doc["balanced"] is True
+    assert doc["pools"]["gpu0"] == {
+        "capacity_bytes": 1000, "peak_bytes": 100, "balance_bytes": 0,
+        "headroom_bytes": 900, "n_allocs": 1, "n_frees": 1}
+    assert len(doc["entries"]) == 4
+    canonical_json(doc)  # serialisable through the canonical path
+
+
+def test_ledger_emits_bus_events_with_watermarks():
+    sink = _Collect()
+    bus = EventBus(clock=lambda: 0.0)
+    bus.attach(sink)
+    led = MemoryLedger(capacities={"gpu0": 1000})
+    led.bus = bus
+    led.device_alloc(0, 100, name="a")   # new peak -> watermark
+    led.device_alloc(0, 50, name="b")    # new peak -> watermark
+    led.device_free(0, 50, name="b")
+    led.device_alloc(0, 20, name="c")    # below peak -> no watermark
+    kinds = [e.kind for e in sink.events]
+    assert kinds == [EV.MEM_ALLOC, EV.MEM_WATERMARK, EV.MEM_ALLOC,
+                     EV.MEM_WATERMARK, EV.MEM_FREE, EV.MEM_ALLOC]
+    marks = [e for e in sink.events if e.kind == EV.MEM_WATERMARK]
+    assert [m.data["peak_bytes"] for m in marks] == [100, 150]
+    assert marks[0].data["capacity_bytes"] == 1000
+
+
+# ---------------------------------------------------------------------------
+# The capacity planner
+# ---------------------------------------------------------------------------
+
+def test_planner_blocking_geometry():
+    # BLINE: one worker on gpu0 holding 2 b_s elements + 2 p_s pinned.
+    doc = plan_memory(PLATFORM1, 1_000_000, approach="bline",
+                      pinned_elements=50_000)
+    assert doc["schema"] == "repro.memplan/v1"
+    assert doc["workers"] == {"gpu0": 1}
+    assert doc["predicted"]["gpu0"] == 2 * 1_000_000 * ELEM
+    assert doc["predicted"]["pinned"] == 2 * 50_000 * ELEM
+    assert doc["ok"] and not doc["violations"]
+
+
+def test_planner_pipelined_geometry():
+    # PIPEDATA: one worker per (gpu, stream) with work.
+    doc = plan_memory(PLATFORM1, 1_000_000, approach="pipedata",
+                      n_streams=2, batch_size=250_000,
+                      pinned_elements=50_000)
+    assert doc["workers"] == {"gpu0": 2}
+    assert doc["predicted"]["gpu0"] == 2 * (2 * 250_000 * ELEM)
+    assert doc["predicted"]["pinned"] == 2 * (2 * 50_000 * ELEM)
+
+
+def test_planner_multi_gpu_geometry():
+    doc = plan_memory(PLATFORM2, 2_000_000, approach="pipedata",
+                      n_gpus=2, n_streams=2, batch_size=250_000,
+                      pinned_elements=50_000)
+    assert doc["workers"] == {"gpu0": 2, "gpu1": 2}
+    assert doc["predicted"]["gpu0"] == doc["predicted"]["gpu1"] \
+        == 2 * (2 * 250_000 * ELEM)
+    assert doc["predicted"]["pinned"] == 4 * (2 * 50_000 * ELEM)
+
+
+def test_planner_pageable_staging_needs_no_pinned():
+    doc = plan_memory(PLATFORM1, 1_000_000, approach="bline",
+                      staging="pageable", pinned_elements=50_000)
+    assert doc["predicted"]["pinned"] == 0
+    assert doc["per_worker"]["pinned_bytes"] == 0
+
+
+def test_planner_pinned_clamped_to_batch():
+    # p_s is clamped to b_s by the plan, and the planner follows it.
+    doc = plan_memory(PLATFORM1, 100_000, approach="bline",
+                      pinned_elements=10_000_000)
+    assert doc["point"]["pinned_elements"] == 100_000
+    assert doc["predicted"]["pinned"] == 2 * 100_000 * ELEM
+
+
+def test_planner_rejects_oversized_batch():
+    # A batch that cannot fit on the device is rejected exactly where
+    # the simulation would reject it -- before any simulation runs.
+    with pytest.raises(PlanError, match="global memory"):
+        plan_memory(PLATFORM2, 2_000_000_000, approach="bline",
+                    batch_size=1_000_000_000)
+
+
+def test_planner_flags_aggregate_pinned_oversubscription():
+    # Each worker's buffers fit, but their sum exceeds what host DRAM
+    # leaves after the 3n pageable working set.
+    doc = plan_memory(PLATFORM1, 5_500_000_000, approach="pipedata",
+                      n_streams=2, batch_size=250_000_000,
+                      pinned_elements=250_000_000)
+    assert not doc["ok"]
+    assert not doc["pools"]["pinned"]["ok"]
+    assert doc["pools"]["pinned"]["headroom_bytes"] < 0
+    assert any("pinned staging buffers" in v for v in doc["violations"])
+    assert doc["pools"]["gpu0"]["ok"]
+
+
+def test_planner_rejects_config_plus_keywords():
+    from repro.hetsort.config import SortConfig
+    with pytest.raises(PlanError):
+        plan_memory(PLATFORM1, 1_000_000, config=SortConfig(),
+                    approach="bline")
+
+
+# ---------------------------------------------------------------------------
+# Conformance
+# ---------------------------------------------------------------------------
+
+def test_memory_conformance_exact_match():
+    plan = plan_memory(PLATFORM1, 1_000_000, approach="bline",
+                       pinned_elements=50_000)
+    conf = memory_conformance(plan, dict(plan["predicted"]))
+    assert conf["schema"] == "repro.memory_conformance/v1"
+    assert conf["ok"]
+    assert all(p["residual_bytes"] == 0 and p["rel"] == 0.0
+               for p in conf["pools"].values())
+
+
+def test_memory_conformance_flags_residuals():
+    plan = plan_memory(PLATFORM1, 1_000_000, approach="bline",
+                       pinned_elements=50_000)
+    measured = dict(plan["predicted"])
+    measured["gpu0"] += int(measured["gpu0"] * 0.05)  # 5% > 1% tolerance
+    conf = memory_conformance(plan, measured)
+    assert not conf["ok"]
+    assert not conf["pools"]["gpu0"]["ok"]
+    assert conf["pools"]["pinned"]["ok"]
+    # a wider tolerance absorbs it
+    assert memory_conformance(plan, measured, tolerance=0.10)["ok"]
+
+
+def test_memory_conformance_zero_prediction_requires_zero_measurement():
+    plan = plan_memory(PLATFORM1, 1_000_000, approach="bline",
+                       staging="pageable")
+    conf = memory_conformance(plan, {"gpu0": plan["predicted"]["gpu0"],
+                                     "pinned": 1})
+    assert not conf["ok"]
+    assert conf["pools"]["pinned"]["rel"] is None
+
+
+def test_measured_peaks_requires_a_ledger():
+    class NoMem:
+        metrics = {}
+    with pytest.raises(MemoryLedgerError, match="no memory ledger"):
+        measured_peaks(NoMem())

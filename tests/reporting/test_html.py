@@ -140,3 +140,110 @@ def test_write_trend_dashboard(tmp_path, trends):
     path = tmp_path / "trends.html"
     write_trend_dashboard(trends, path)
     assert path.read_text() == render_trend_dashboard(trends)
+
+
+# ---------------------------------------------------------------------------
+# Memory observatory panels
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def memdoc():
+    from repro.obs import MemoryLedger
+    t = [0.0]
+    led = MemoryLedger(clock=lambda: t[0],
+                       capacities={"gpu0": 1000, "gpu1": 1000,
+                                   "pinned": 500})
+    led.pinned_alloc(50, name="stage_in")
+    t[0] = 0.1
+    led.device_alloc(0, 400, name="dev.g0")
+    led.device_alloc(1, 200, name="dev.g1")
+    t[0] = 0.5
+    led.device_free(0, 400, name="dev.g0")
+    led.device_free(1, 200, name="dev.g1")
+    led.pinned_free(50, name="stage_in")
+    return led.to_dict()
+
+
+def test_memory_dashboard_is_self_contained(memdoc):
+    from repro.reporting import render_memory_dashboard
+    doc = render_memory_dashboard(memdoc)
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "<svg" in doc
+    assert "http://" not in doc and "https://" not in doc
+    assert "prefers-color-scheme" in doc               # dark mode
+
+
+def test_memory_dashboard_structure(memdoc):
+    from repro.reporting import render_memory_dashboard
+    doc = render_memory_dashboard(memdoc, title="bline on PLATFORM1")
+    assert "Memory occupancy" in doc
+    assert "bline on PLATFORM1" in doc
+    assert "balanced" in doc                           # leak-check tile
+    assert 'stroke-dasharray="4 3"' in doc             # watermark lines
+    assert "high-watermark" in doc
+    # every pool appears in the legend and the table
+    for pool in ("gpu0", "gpu1", "pinned"):
+        assert pool in doc
+
+
+def test_memory_dashboard_flags_leaks(memdoc):
+    import copy
+    from repro.reporting import render_memory_dashboard
+    leaky = copy.deepcopy(memdoc)
+    leaky["balanced"] = False
+    leaky["pools"]["gpu0"]["balance_bytes"] = 400
+    doc = render_memory_dashboard(leaky)
+    assert "LEAK" in doc
+    assert "chip bad" in doc
+
+
+def test_memory_dashboard_empty_ledger():
+    from repro.reporting import render_memory_dashboard
+    doc = render_memory_dashboard(
+        {"schema": "repro.memory/v1", "pools": {}, "balanced": True,
+         "entries": []})
+    assert "empty ledger" in doc
+    assert doc.startswith("<!DOCTYPE html>")
+
+
+def test_memory_dashboard_single_pool():
+    from repro.obs import MemoryLedger
+    from repro.reporting import render_memory_dashboard
+    led = MemoryLedger(capacities={"gpu0": 100})
+    led.device_alloc(0, 60)
+    led.device_free(0, 60)
+    doc = render_memory_dashboard(led.to_dict())
+    assert "gpu0" in doc
+    assert "<svg" in doc
+
+
+def test_memory_dashboard_escapes_pool_names(memdoc):
+    import copy
+    from repro.reporting import render_memory_dashboard
+    evil = copy.deepcopy(memdoc)
+    evil["pools"]['<script>alert(1)</script>'] = \
+        evil["pools"].pop("gpu1")
+    doc = render_memory_dashboard(evil)
+    assert "<script>alert(1)</script>" not in doc
+    assert "&lt;script&gt;" in doc
+
+
+def test_write_memory_dashboard(tmp_path, memdoc):
+    from repro.reporting import (render_memory_dashboard,
+                                 write_memory_dashboard)
+    path = tmp_path / "mem.html"
+    write_memory_dashboard(memdoc, path)
+    assert path.read_text() == render_memory_dashboard(memdoc)
+
+
+def test_conformance_dashboard_accepts_memory_section(records, summary):
+    from repro.obs import MemoryLedger
+    led = MemoryLedger(capacities={"gpu0": 100})
+    led.device_alloc(0, 10)
+    led.device_free(0, 10)
+    doc = render_dashboard(records, summary, memory=led.to_dict())
+    assert "<h2>Memory occupancy</h2>" in doc
+    # and stays absent when not passed
+    assert "<h2>Memory occupancy</h2>" not in \
+        render_dashboard(records, summary)

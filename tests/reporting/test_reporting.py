@@ -216,3 +216,54 @@ def test_chrome_trace_roundtrip_to_file(tmp_path):
     doc = json.loads(path.read_text())
     assert len(doc["traceEvents"]) == count
     assert doc["displayTimeUnit"] == "ms"
+
+
+# ---------------------------------------------------------------------------
+# Live memory bars
+# ---------------------------------------------------------------------------
+
+def test_format_bytes_scales_and_signs():
+    from repro.reporting import format_bytes
+    assert format_bytes(128) == "128 B"
+    assert format_bytes(1_600) == "1.6 kB"
+    assert format_bytes(6_400_000) == "6.4 MB"
+    assert format_bytes(17_179_869_184) == "17.18 GB"
+    assert format_bytes(-2_560_000_000) == "-2.56 GB"
+    assert format_bytes(0) == "0 B"
+
+
+def test_render_snapshot_memory_bars():
+    from repro.reporting import render_snapshot
+    snap = {"run": {"approach": "bline", "platform": "PLATFORM1"},
+            "progress": {"batches_completed": 1, "n_batches": 2,
+                         "fraction": 0.5},
+            "t": 0.01,
+            "memory": {"gpu0": {"bytes": 8_000_000,
+                                "peak_bytes": 16_000_000,
+                                "capacity_bytes": 16_000_000},
+                       "pinned": {"bytes": 800_000,
+                                  "peak_bytes": 800_000}}}
+    text = render_snapshot(snap)
+    assert "mem gpu0" in text
+    assert "8.0 MB (peak 16.0 MB)" in text
+    assert " 50%" in text                  # 8 of 16 MB against capacity
+    # unknown capacity renders the indeterminate bar, not a crash
+    assert "mem pinned" in text
+    assert "?" in text.split("mem pinned")[1].splitlines()[0]
+
+
+def test_live_aggregator_folds_memory_events():
+    from repro.obs import LiveAggregator
+    from repro.hetsort import HeterogeneousSorter
+    from repro.hw.platforms import PLATFORM1
+    agg = LiveAggregator()
+    HeterogeneousSorter(PLATFORM1, batch_size=250_000,
+                        pinned_elements=50_000).sort(
+        n=1_000_000, approach="pipedata", sinks=(agg,))
+    snap = agg.snapshot()
+    assert set(snap["memory"]) == {"gpu0", "pinned"}
+    assert list(snap["memory"])[-1] == "pinned"       # pinned sorts last
+    assert snap["memory"]["gpu0"]["peak_bytes"] == 8_000_000
+    assert snap["memory"]["gpu0"]["capacity_bytes"] == 17_179_869_184
+    assert snap["memory"]["pinned"]["peak_bytes"] == 1_600_000
+    assert snap["memory"]["gpu0"]["bytes"] == 0       # all released

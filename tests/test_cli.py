@@ -463,3 +463,106 @@ def test_unwritable_output_is_a_clean_error(tmp_path):
         run_cli("--n", "1e9", "--batch-size", "2.5e8",
                 "--report", str(blocker / "r.json"))
     assert str(exc.value).startswith("repro: cannot write run report")
+
+
+# ---------------------------------------------------------------------------
+# Memory observatory: `repro mem` and `repro plan-mem`
+# ---------------------------------------------------------------------------
+
+def test_mem_occupancy_table_and_timeline():
+    code, text = run_cli("mem", "--n", "1e6", "--approach", "pipedata",
+                         "--batch-size", "2.5e5", "--pinned", "5e4")
+    assert code == 0
+    assert "memory occupancy (6 allocs, 6 frees, balanced)" in text
+    assert "gpu0" in text and "pinned" in text
+    assert "8.0 MB" in text        # gpu0 peak: 2 workers x 2 x 250k x 8
+    assert "1.6 MB" in text        # pinned peak: 2 workers x 2 x 50k x 8
+    assert "occupancy timelines" in text
+    # one sparkline row per pool, peak annotated
+    assert text.count("peak") >= 2
+
+
+def test_mem_json_is_the_ledger_document():
+    import json as _json
+    code, text = run_cli("mem", "--n", "1e6", "--approach", "bline",
+                         "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = _json.loads(text)
+    assert doc["schema"] == "repro.memory/v1"
+    assert doc["balanced"] is True
+    assert doc["pools"]["gpu0"]["peak_bytes"] == 16_000_000
+    assert doc["pools"]["pinned"]["peak_bytes"] == 800_000
+    assert doc["pools"]["gpu0"]["balance_bytes"] == 0
+    assert len(doc["entries"]) == 6
+
+
+def test_mem_entries_flag_lists_every_operation():
+    code, text = run_cli("mem", "--functional", "50000", "--batch-size",
+                         "20000", "--pinned", "5000", "--approach",
+                         "bline", "--entries")
+    assert code == 0
+    assert "ledger entries (6)" in text
+    assert "alloc" in text and "free" in text
+    assert "stage_in.g0" in text
+
+
+def test_mem_html_dashboard(tmp_path):
+    path = tmp_path / "mem.html"
+    code, text = run_cli("mem", "--n", "1e6", "--approach", "bline",
+                         "--pinned", "5e4", "--html", str(path))
+    assert code == 0
+    assert f"wrote memory dashboard to {path}" in text
+    html = path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Occupancy" in html
+
+
+def test_plan_mem_fits():
+    code, text = run_cli("plan-mem", "--n", "1e6", "--approach",
+                         "pipedata", "--batch-size", "2.5e5",
+                         "--pinned", "5e4")
+    assert code == 0
+    assert "workers: gpu0x2" in text
+    assert "predicted peak occupancy" in text
+    assert "plan-mem: configuration fits" in text
+
+
+def test_plan_mem_verify_zero_residual():
+    code, text = run_cli("plan-mem", "--n", "1e6", "--approach",
+                         "pipedata", "--batch-size", "2.5e5",
+                         "--pinned", "5e4", "--verify")
+    assert code == 0
+    assert "predicted vs measured peaks" in text
+    assert "+0 B" in text
+    assert "measured peaks match the prediction" in text
+
+
+def test_plan_mem_rejects_infeasible_batch():
+    code, text = run_cli("plan-mem", "--platform", "PLATFORM2", "--n",
+                         "2e9", "--batch-size", "1e9", "--approach",
+                         "bline")
+    assert code == 2
+    assert "REJECTED" in text
+    assert "global memory" in text
+
+
+def test_plan_mem_flags_pinned_oversubscription():
+    code, text = run_cli("plan-mem", "--n", "5.5e9", "--batch-size",
+                         "2.5e8", "--pinned", "2.5e8", "--approach",
+                         "pipedata")
+    assert code == 1
+    assert "OVERSUBSCRIBED" in text
+    assert "does NOT fit" in text
+
+
+def test_plan_mem_json_document():
+    import json as _json
+    code, text = run_cli("plan-mem", "--n", "1e6", "--approach", "bline",
+                         "--pinned", "5e4", "--json", "--verify")
+    assert code == 0
+    doc = _json.loads(text)
+    assert doc["schema"] == "repro.memplan/v1"
+    assert doc["ok"] is True
+    assert doc["predicted"]["gpu0"] == 16_000_000
+    assert doc["conformance"]["ok"] is True
+    assert doc["conformance"]["schema"] == "repro.memory_conformance/v1"
