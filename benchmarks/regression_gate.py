@@ -453,6 +453,128 @@ def _memory_entries(measured: dict, verdicts: dict) -> list[dict]:
     return entries
 
 
+# ---------------------------------------------------------------------------
+# Interconnect flow gate (--flows)
+# ---------------------------------------------------------------------------
+
+FLOWS_BASELINE = os.path.join(_HERE, "results", "flows_baseline.json")
+FLOWS_BASELINE_SCHEMA = "repro.flows_baseline/v1"
+
+#: Same scenario grid as the memory gate: the trace-diff scenarios plus
+#: the two-GPU point, where PCIe links actually see concurrent flows.
+FLOW_SCENARIOS = MEMORY_SCENARIOS
+
+
+def measure_flows() -> tuple[dict, list[str]]:
+    """Run every flow scenario with the ledger attached; returns
+    ``({name: {"digest", "n_flows", ...}}, invariant_failures)``.
+
+    The digest is the first 16 hex chars of the SHA-256 of the
+    canonical ``repro.flows/v1`` document -- the simulator is
+    deterministic, so the whole ledger must be byte-stable run to run
+    and any drift is a real behaviour change, not noise.  The
+    invariant failures are baseline-independent: the rate integral
+    must equal bytes moved bit-for-bit, contention charges must sum
+    exactly to each flow's duration, and every bound span must agree
+    with the causal trace.
+    """
+    import hashlib
+    from repro.obs import (attribute_contention, canonical_json,
+                           reconcile_flow_spans, verify_contention,
+                           verify_rate_integral)
+    measured: dict = {}
+    invariant_failures: list[str] = []
+    for sc in FLOW_SCENARIOS:
+        res = run_scenario(sc)
+        doc = res.flow_ledger.to_dict()
+        digest = hashlib.sha256(
+            canonical_json(doc, indent=None).encode()).hexdigest()[:16]
+        ri = verify_rate_integral(doc)
+        if not ri["ok"]:
+            invariant_failures.append(
+                f"{sc['name']}: rate integral broke "
+                f"({'; '.join(ri['failures'][:3])})")
+        contention = attribute_contention(doc)
+        vc = verify_contention(contention)
+        if not vc["ok"]:
+            invariant_failures.append(
+                f"{sc['name']}: contention charges did not sum to "
+                f"duration ({'; '.join(vc['failures'][:3])})")
+        rec = reconcile_flow_spans(doc, res.trace)
+        if not rec["ok"]:
+            invariant_failures.append(
+                f"{sc['name']}: flow/span reconciliation failed "
+                f"({'; '.join(rec['failures'][:3])})")
+        flows = res.metrics["flows"]
+        measured[sc["name"]] = {
+            "digest": digest,
+            "n_flows": flows["n_flows"],
+            "link_peak_utilization": flows["link_peak_utilization"],
+            "transfer_contention_s": flows["transfer_contention_s"],
+        }
+    return measured, invariant_failures
+
+
+def check_flows(baseline: dict, measured: dict,
+                verdicts: dict | None = None) -> list[str]:
+    """Compare the measured flow ledgers against the frozen baseline --
+    exact digest equality, since the simulator is deterministic."""
+    failures: list[str] = []
+    for sc in FLOW_SCENARIOS:
+        name = sc["name"]
+        frozen = baseline.get("scenarios", {}).get(name)
+        cur = measured[name]
+        if frozen is None:
+            msg = (f"{name}: missing from flows baseline "
+                   "(run with --flows --update)")
+            failures.append(msg)
+            if verdicts is not None:
+                verdicts[name] = {"ok": False, "failures": [msg]}
+            continue
+        scoped: list[str] = []
+        if cur["digest"] != frozen["digest"]:
+            scoped.append(
+                f"{name}: flow ledger drifted {frozen['digest']} -> "
+                f"{cur['digest']} (the ledger is deterministic; "
+                "re-freeze with --flows --update only if intended)")
+        if not scoped and cur["n_flows"] != frozen["n_flows"]:
+            scoped.append(
+                f"{name}: flow count drifted "
+                f"{frozen['n_flows']} -> {cur['n_flows']}")
+        status = "ok" if not scoped else "FAIL"
+        say(f"{name}: {status}  {cur['n_flows']} flows  "
+            f"peak util {cur['link_peak_utilization']:.3f}  "
+            f"contention {cur['transfer_contention_s']:.6f} s  "
+            f"[{cur['digest']}]")
+        failures.extend(scoped)
+        if verdicts is not None:
+            verdicts[name] = {"ok": not scoped, "failures": scoped}
+    return failures
+
+
+def _flows_entries(measured: dict, verdicts: dict) -> list[dict]:
+    """One archive entry per flow scenario.  Metrics are finite numbers
+    only (the digest lives in the baseline file, not the archive);
+    ledgers are deterministic, so re-running the gate appends nothing
+    new until interconnect behaviour actually changes."""
+    from repro.obs import make_entry
+    entries = []
+    for name, cur in measured.items():
+        v = verdicts.get(name, {"ok": True, "failures": []})
+        gate = {"gate": "flows", "ok": v["ok"],
+                "failures": v["failures"]}
+        entries.append(make_entry(
+            source="gate:flows", label=name,
+            point={"gate": "flows", "scenario": name},
+            metrics={"n_flows": cur["n_flows"],
+                     "link_peak_utilization":
+                         cur["link_peak_utilization"],
+                     "transfer_contention_s":
+                         cur["transfer_contention_s"]},
+            verdicts=[gate]))
+    return entries
+
+
 def _regression_entries(runs: dict, verdicts: dict) -> list[dict]:
     """One archive entry per trace-diff scenario (the scenario dict is
     the fingerprinted point, so every CI run of the same scenario lands
@@ -536,6 +658,9 @@ def main(argv=None) -> int:
     p.add_argument("--memory", action="store_true",
                    help="run the peak-occupancy gate instead of the "
                         "trace-diff gate")
+    p.add_argument("--flows", action="store_true",
+                   help="run the interconnect flow-ledger gate instead "
+                        "of the trace-diff gate")
     p.add_argument("--profile-out", default=None,
                    help="(--engine) write the full profile snapshot "
                         "JSON for artifact upload")
@@ -549,8 +674,40 @@ def main(argv=None) -> int:
     args = p.parse_args(argv)
     if args.json:
         _INFO = sys.stderr
-    if args.engine and args.memory:
-        p.error("--engine and --memory are mutually exclusive")
+    if sum((args.engine, args.memory, args.flows)) > 1:
+        p.error("--engine, --memory, and --flows are mutually exclusive")
+
+    if args.flows:
+        baseline_path = args.baseline or FLOWS_BASELINE
+        measured, invariant_failures = measure_flows()
+        if args.update:
+            if invariant_failures:
+                for msg in invariant_failures:
+                    print(f"INVARIANT: {msg}", file=sys.stderr)
+                print("refusing to freeze a baseline from a run that "
+                      "broke the ledger invariants", file=sys.stderr)
+                return 1
+            doc = {"schema": FLOWS_BASELINE_SCHEMA,
+                   "scenarios": measured}
+            os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+            with open(baseline_path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            say(f"flows baseline updated: {baseline_path} "
+                f"({len(measured)} scenarios)")
+            return 0
+        if not os.path.exists(baseline_path):
+            print(f"no flows baseline at {baseline_path}; run with "
+                  "--flows --update first", file=sys.stderr)
+            return 1
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        verdicts: dict = {}
+        failures = invariant_failures + check_flows(baseline, measured,
+                                                    verdicts=verdicts)
+        entries = _flows_entries(measured, verdicts)
+        archive_entries(args.archive, entries)
+        return _finish(args, "flows", failures, entries)
 
     if args.memory:
         baseline_path = args.baseline or MEMORY_BASELINE

@@ -59,6 +59,12 @@ Memory observatory -- occupancy, watermarks, the capacity planner::
     python -m repro mem --n 2e9 --batch-size 2e8 --approach pipedata
     python -m repro plan-mem --platform PLATFORM2 --gpus 2 --n 4e9
     python -m repro plan-mem --n 1e6 --approach bline --verify
+
+Interconnect observatory -- link saturation, contention attribution::
+
+    python -m repro flows --n 2e9 --batch-size 2e8 --approach pipedata
+    python -m repro flows --platform PLATFORM2 --gpus 2 --n 2e9 \
+        --html flows.html
 """
 
 from __future__ import annotations
@@ -81,7 +87,7 @@ __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_conformance_parser", "build_watch_parser",
            "build_chaos_parser", "build_archive_parser",
            "build_trends_parser", "build_mem_parser",
-           "build_plan_mem_parser"]
+           "build_plan_mem_parser", "build_flows_parser"]
 
 
 @contextlib.contextmanager
@@ -97,6 +103,18 @@ def _writes(path, label: str):
     except OSError as exc:
         raise SystemExit(f"repro: cannot write {label} to {path!r}: "
                          f"{exc.strerror or exc}") from None
+
+
+def _write_html(path, label: str, writer, out) -> None:
+    """The shared ``--html`` exit ramp (``repro mem`` / ``repro trends``
+    / ``repro flows``): parent-dir creation and the clean error path via
+    :func:`_writes`, then one uniform confirmation line.  ``writer`` is
+    called with the destination path; a falsy path is a no-op."""
+    if not path:
+        return
+    with _writes(path, label):
+        writer(path)
+    out.write(f"wrote {label} to {path}\n")
 
 
 def _add_run_options(p: argparse.ArgumentParser) -> None:
@@ -420,6 +438,32 @@ def build_mem_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_flows_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort flows",
+        description="Run one sort and report its repro.flows/v1 "
+                    "interconnect flow ledger: per-link peak "
+                    "bandwidth/utilization, bucket-max link timelines, "
+                    "flows-in-flight, and contention attribution (each "
+                    "transfer's duration split into isolation time plus "
+                    "slowdown charged to the concurrent flows sharing "
+                    "its links -- charges sum to the duration bit for "
+                    "bit).")
+    _add_run_options(p)
+    p.add_argument("--width", type=int, default=60,
+                   help="timeline buckets per link (default 60)")
+    p.add_argument("--top", type=int, default=10,
+                   help="contended flows to list (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full ledger document as canonical "
+                        "JSON instead of tables")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="write the self-contained interconnect dashboard "
+                        "(per-link occupancy charts with capacity lines, "
+                        "contention table)")
+    return p
+
+
 def build_plan_mem_parser() -> argparse.ArgumentParser:
     from repro.obs.memory import PLAN_TOLERANCE
     p = argparse.ArgumentParser(
@@ -536,14 +580,98 @@ def _run_mem(argv, out) -> int:
 
 
 def _write_mem_dashboard(args, doc, res, out) -> None:
-    if not args.html:
-        return
     from repro.reporting import write_memory_dashboard
-    with _writes(args.html, "memory dashboard"):
-        write_memory_dashboard(
-            doc, args.html,
-            title=f"{res.approach} on {res.platform_name}")
-    out.write(f"wrote memory dashboard to {args.html}\n")
+    _write_html(args.html, "memory dashboard",
+                lambda path: write_memory_dashboard(
+                    doc, path,
+                    title=f"{res.approach} on {res.platform_name}"),
+                out)
+
+
+def _run_flows(argv, out) -> int:
+    parser = build_flows_parser()
+    args = parser.parse_args(argv)
+    if (args.n is None) == (args.functional is None):
+        parser.error("pass exactly one of --n or --functional")
+    _reject_json_report(parser, args)
+    from repro.errors import FaultPlanError
+    from repro.obs.flows import (attribute_contention, concurrency_series,
+                                 link_peaks, link_timelines)
+    from repro.reporting import format_bytes, sparkline
+    try:
+        res = _run_sort(args)
+    except FaultPlanError as exc:
+        out.write(f"repro flows: {exc}\n")
+        return 2
+    ledger = res.flow_ledger
+    if ledger is None:
+        out.write("repro flows: this run recorded no flow ledger\n")
+        return 2
+    doc = ledger.to_dict()
+    if args.json:
+        from repro.obs import canonical_json
+        out.write(canonical_json(doc) + "\n")
+        _write_flows_dashboard(args, doc, res, out)
+        _maybe_write_trace(args, res, out)
+        return 0
+    out.write(res.summary() + "\n\n")
+    peaks = link_peaks(doc)
+    rows = []
+    for name in sorted(peaks):
+        d = peaks[name]
+        cap = d["capacity_bytes_per_s"]
+        rows.append([
+            name,
+            format_bytes(cap) + "/s" if cap is not None else "-",
+            format_bytes(d["peak_bytes_per_s"]) + "/s",
+            f"{d['peak_utilization']:.0%}"])
+    contention = attribute_contention(doc)
+    out.write(render_table(
+        ["link", "capacity", "peak rate", "peak util"], rows,
+        title=f"interconnect ({ledger.n_flows} flows, "
+              f"{format_bytes(ledger.bytes_moved)} moved, "
+              f"{contention['total_contention_s']:.6f} s contention)")
+        + "\n")
+    out.write("\nlink bandwidth timelines (0 .. makespan, "
+              "bucket maxima):\n")
+    for name, pts in link_timelines(doc).items():
+        vals = _sample_timeline(pts, res.elapsed, args.width)
+        out.write(f"  {name:<10} {sparkline(vals)}  "
+                  f"peak {format_bytes(peaks[name]['peak_bytes_per_s'])}"
+                  "/s\n")
+    conc = concurrency_series(doc)
+    vals = _sample_timeline(conc, res.elapsed, args.width)
+    out.write(f"  {'in flight':<10} {sparkline(vals)}  "
+              f"peak {max((c for _, c in conc), default=0)} flows\n")
+    contended = sorted(contention["flows"],
+                       key=lambda f: (-f["slowdown_s"], f["id"]))
+    rows = []
+    for f in contended[:args.top]:
+        charges = sorted(((k, v) for k, v in f["parts"].items()
+                          if k != "isolation" and v > 0.0),
+                         key=lambda kv: -kv[1])
+        top = ", ".join(f"{k} {v:.6f}s" for k, v in charges[:3])
+        rows.append([f["id"], f["label"],
+                     "-" if f["span"] is None else f["span"],
+                     f"{f['duration_s']:.6f}", f"{f['isolation_s']:.6f}",
+                     f"{f['slowdown_s']:.6f}", top or "-"])
+    out.write("\n" + render_table(
+        ["id", "flow", "span", "duration [s]", "isolation [s]",
+         "slowdown [s]", "charged to"], rows,
+        title=f"top contended flows ({len(rows)} of "
+              f"{contention['n_flows']})") + "\n")
+    _write_flows_dashboard(args, doc, res, out)
+    _maybe_write_trace(args, res, out)
+    return 0
+
+
+def _write_flows_dashboard(args, doc, res, out) -> None:
+    from repro.reporting import write_flows_dashboard
+    _write_html(args.html, "flows dashboard",
+                lambda path: write_flows_dashboard(
+                    doc, path,
+                    title=f"{res.approach} on {res.platform_name}"),
+                out)
 
 
 def _run_plan_mem(argv, out) -> int:
@@ -759,9 +887,8 @@ def _run_trends_cmd(argv, out) -> int:
                               f"{tr['ratchet']['message']}\n")
     if args.html:
         from repro.reporting import write_trend_dashboard
-        with _writes(args.html, "trend dashboard"):
-            write_trend_dashboard(trends, args.html)
-        out.write(f"wrote trend dashboard to {args.html}\n")
+        _write_html(args.html, "trend dashboard",
+                    lambda path: write_trend_dashboard(trends, path), out)
     return 0
 
 
@@ -954,9 +1081,19 @@ def _archive_run(args, res, out) -> None:
 def _maybe_write_trace(args, res, out) -> None:
     if args.trace_json:
         from repro.reporting import write_chrome_trace
+        counters = res.recorder
+        ledger = getattr(res, "flow_ledger", None)
+        if ledger is not None:
+            # Merge the interconnect observatory's link-bandwidth step
+            # series (`link.<name>.bw_bytes_per_s`) into the recorder's
+            # counter tracks for the Perfetto export.
+            from repro.obs.flows import flow_rate_counters
+            series = dict(getattr(counters, "series", None) or {})
+            series.update(flow_rate_counters(ledger.to_dict()))
+            counters = series
         with _writes(args.trace_json, "trace JSON"):
             count = write_chrome_trace(res.trace, args.trace_json,
-                                       counters=res.recorder)
+                                       counters=counters)
         out.write(f"wrote {count} trace events to {args.trace_json}\n")
     if args.report:
         from repro.obs import run_report, write_report
@@ -1298,6 +1435,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_trends_cmd(argv[1:], out)
     if argv and argv[0] == "mem":
         return _run_mem(argv[1:], out)
+    if argv and argv[0] == "flows":
+        return _run_flows(argv[1:], out)
     if argv and argv[0] == "plan-mem":
         return _run_plan_mem(argv[1:], out)
     parser = build_parser()

@@ -109,3 +109,9 @@ class MemoryLedgerError(ReproError):
     """A ``repro.memory/v1`` allocation ledger recorded impossible
     accounting (a pool balance going negative) or failed the leak check
     (a pool not balancing back to zero at run end)."""
+
+
+class FlowLedgerError(ReproError):
+    """A ``repro.flows/v1`` interconnect flow ledger recorded impossible
+    accounting (a span bound to an unknown flow, a rate capture for a
+    flow that never started) or failed an attribution invariant."""

@@ -42,6 +42,10 @@ class SortResult:
     #: allocation history, for ``repro mem`` timelines and the HTML
     #: memory panel).
     memory_ledger: _t.Any = None
+    #: The run's :class:`~repro.obs.flows.FlowLedger` (per-flow granted
+    #: bandwidth timelines, for ``repro flows`` and the HTML link
+    #: panels).
+    flow_ledger: _t.Any = None
 
     # -- component accounting ------------------------------------------------
 
@@ -117,6 +121,14 @@ class SortResult:
         ledger (see :mod:`repro.obs.memory`).  None for runs without a
         ledger (e.g. the CPU reference)."""
         return self.metrics.get("memory")
+
+    @property
+    def flows(self) -> dict | None:
+        """The run's interconnect summary (flow count, bytes moved,
+        per-link peak utilization, total contention seconds) from the
+        per-flow bandwidth ledger (see :mod:`repro.obs.flows`).  None
+        for runs without a ledger (e.g. the CPU reference)."""
+        return self.metrics.get("flows")
 
     @property
     def throughput(self) -> float:

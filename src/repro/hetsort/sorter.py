@@ -32,6 +32,7 @@ from repro.hw.platforms import PLATFORM1
 from repro.hw.spec import PlatformSpec
 from repro.kernels.samplesort import sample_sort
 from repro.obs.counters import MetricsRecorder
+from repro.obs.flows import FlowLedger
 from repro.obs.memory import MemoryLedger
 from repro.obs.metrics import compute_metrics
 from repro.sim.engine import Environment
@@ -123,6 +124,12 @@ class HeterogeneousSorter:
                                 - machine.host_reserved)
         machine.memory = MemoryLedger(clock=lambda: env.now,
                                       capacities=capacities)
+        # The interconnect observatory: a passive per-flow bandwidth
+        # grant ledger on the fluid-flow network.
+        machine.net.ledger = FlowLedger(
+            clock=lambda: env.now,
+            capacities={lv.name: lv.capacity
+                        for lv in machine.net.link_snapshot()})
 
         injector = None
         if faults is not None:
@@ -172,6 +179,14 @@ class HeterogeneousSorter:
         metrics = compute_metrics(machine.trace, elapsed=env.now,
                                   counters=ctx.obs.summary(env.now))
         metrics["memory"] = machine.memory.summary()
+        metrics["flows"] = machine.net.ledger.summary()
+        # Engine throughput, in simulated terms only (wall-clock events
+        # per second would break run-to-run metric determinism).
+        metrics["engine"] = {
+            "processed_events": env.processed_events,
+            "events_per_sim_s": (env.processed_events / env.now
+                                 if env.now > 0 else 0.0),
+        }
         return SortResult(
             platform_name=self.platform.name,
             approach=cfg.approach,
@@ -184,6 +199,7 @@ class HeterogeneousSorter:
             metrics=metrics,
             recorder=ctx.obs,
             memory_ledger=machine.memory,
+            flow_ledger=machine.net.ledger,
         )
 
 

@@ -151,13 +151,15 @@ class Machine:
         yield grant
         start = self.env.now
         cap = threads * self.platform.hostmem.per_core_copy_bw
-        yield self.net.transfer(nbytes, [self.host_bus], cap=cap,
-                                label=label)
+        flow = yield self.net.transfer(nbytes, [self.host_bus], cap=cap,
+                                       label=label)
         span = self.trace.record(
             CAT.MCPY, label, start, self.env.now, lane=lane, nbytes=nbytes,
             meta={"threads": threads},
             deps=self._causal(
                 deps, self.cores.last_release_span if waited else None))
+        if self.net.ledger is not None:
+            self.net.ledger.bind_span(flow, span.id)
         self.cores.release(1, span=span)
         if work is not None:
             work()
@@ -182,7 +184,7 @@ class Machine:
         start = self.env.now
         if model.spawn_overhead_s > 0:
             yield self.env.timeout(model.spawn_overhead_s * threads)
-        yield self.net.transfer(
+        flow = yield self.net.transfer(
             model.flow_bytes(n_elements, k), [self.host_bus],
             cap=model.flow_cap(threads, k), label=label)
         span = self.trace.record(
@@ -191,6 +193,8 @@ class Machine:
             meta={"k": k, "threads": threads},
             deps=self._causal(
                 deps, self.cores.last_release_span if waited else None))
+        if self.net.ledger is not None:
+            self.net.ledger.bind_span(flow, span.id)
         self.cores.release(threads, span=span)
         if work is not None:
             work()
@@ -379,7 +383,7 @@ class Machine:
         hostmem_weight = (1.0 if pinned
                           else self.platform.pcie.pageable_hostmem_factor)
         cap = self.platform.pcie.flow_cap(pinned)
-        yield self.net.transfer(
+        flow = yield self.net.transfer(
             nbytes,
             [self.pcie[direction], (self.host_bus, hostmem_weight)],
             cap=cap, label=label or f"{direction}@gpu{gpu.index}")
@@ -391,6 +395,8 @@ class Machine:
             lane=lane or f"gpu{gpu.index}.{direction}", nbytes=nbytes,
             deps=self._causal(
                 deps, engine.last_release_span if waited else None))
+        if self.net.ledger is not None:
+            self.net.ledger.bind_span(flow, span.id)
         engine.release(span=span)
         if work is not None:
             work()

@@ -35,6 +35,14 @@ quantities:
   detection at run end) and the analytic capacity planner behind
   ``repro plan-mem`` (predict peak device/pinned occupancy from the
   plan, reject infeasible configurations before any simulation);
+* :mod:`repro.obs.flows` -- the interconnect observatory: a byte-stable
+  per-flow bandwidth grant ledger over the fluid-flow network
+  (piecewise-constant granted-rate timelines whose integral reproduces
+  the bytes moved bit for bit), per-link utilization/saturation and
+  flows-in-flight series, and contention attribution that decomposes
+  each transfer's duration into isolation time plus slowdown charged to
+  the specific concurrent flows sharing its links -- summing back to
+  the measured duration bit for bit;
 * :mod:`repro.obs.events` / :mod:`repro.obs.sinks` -- the typed
   publish/subscribe telemetry bus and its shipped sinks: byte-stable
   ``repro.events/v1`` JSONL structured logs (replayable back into a
@@ -62,6 +70,13 @@ from repro.obs.diff import (canonical_json, check_regression, diff_reports,
 from repro.obs.events import (EV, EVENTS_SCHEMA, EventBus, Sink,
                               TelemetryEvent, connect_context,
                               connect_machine)
+from repro.obs.flows import (CONTENTION_SCHEMA, FLOWS_SCHEMA,
+                             FlowLedger, FlowRateSeries,
+                             attribute_contention, concurrency_series,
+                             flow_rate_counters, link_peaks,
+                             link_timelines, link_utilization,
+                             reconcile_flow_spans, settled_split,
+                             verify_contention, verify_rate_integral)
 from repro.obs.memory import (MEMORY_SCHEMA, MEMPLAN_SCHEMA,
                               MEMORY_CONFORMANCE_SCHEMA, PLAN_TOLERANCE,
                               MemoryLedger, measured_peaks,
@@ -118,4 +133,9 @@ __all__ = [
     "MEMORY_SCHEMA", "MEMPLAN_SCHEMA", "MEMORY_CONFORMANCE_SCHEMA",
     "PLAN_TOLERANCE", "MemoryLedger", "plan_memory", "measured_peaks",
     "memory_conformance",
+    "FLOWS_SCHEMA", "CONTENTION_SCHEMA", "FlowLedger", "FlowRateSeries",
+    "link_timelines", "link_utilization", "link_peaks",
+    "concurrency_series", "settled_split", "attribute_contention",
+    "verify_contention", "verify_rate_integral", "reconcile_flow_spans",
+    "flow_rate_counters",
 ]

@@ -182,6 +182,12 @@ def entry_from_result(result, *, source: str = "run", label: str = "",
         for pool, peak in sorted(
                 memory.get("peak_device_bytes", {}).items()):
             metrics[f"peak_device_bytes.{pool}"] = peak
+    flows = result.metrics.get("flows")
+    if flows is not None:
+        metrics["link_peak_utilization"] = \
+            flows.get("link_peak_utilization", 0.0)
+        metrics["transfer_contention_s"] = \
+            flows.get("transfer_contention_s", 0.0)
     conf = result.metrics.get("conformance")
     residuals = None
     if conf is not None:

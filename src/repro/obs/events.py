@@ -66,9 +66,13 @@ class EV:
     MEM_ALLOC = "mem.alloc"     #: a device/pinned allocation was recorded
     MEM_FREE = "mem.free"       #: a device/pinned release was recorded
     MEM_WATERMARK = "mem.watermark"  #: a pool reached a new peak occupancy
+    FLOW_START = "flow.start"   #: a bandwidth flow joined the network
+    FLOW_RATE = "flow.rate"     #: the allocator changed a flow's rate
+    FLOW_END = "flow.end"       #: a bandwidth flow completed
 
     ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING,
-           FAULT, RETRY, DEGRADE, MEM_ALLOC, MEM_FREE, MEM_WATERMARK)
+           FAULT, RETRY, DEGRADE, MEM_ALLOC, MEM_FREE, MEM_WATERMARK,
+           FLOW_START, FLOW_RATE, FLOW_END)
 
 
 @dataclass(frozen=True)
@@ -226,6 +230,21 @@ class EventBus:
         self.emit(EV.MEM_WATERMARK, pool=pool, peak_bytes=peak_bytes,
                   capacity_bytes=capacity_bytes)
 
+    def flow_start(self, fid: int, nbytes: float, links: list,
+                   label: str = "flow") -> None:
+        """The :class:`~repro.obs.flows.FlowLedger` recorded a flow
+        joining the network (``links`` = ``[[name, weight], ...]``)."""
+        self.emit(EV.FLOW_START, id=fid, nbytes=nbytes, links=links,
+                  label=label)
+
+    def flow_rate(self, fid: int, rate: float) -> None:
+        """The water-filling allocator granted a flow a new rate."""
+        self.emit(EV.FLOW_RATE, id=fid, rate=rate)
+
+    def flow_end(self, fid: int, moved: float) -> None:
+        """A flow completed after moving ``moved`` bytes."""
+        self.emit(EV.FLOW_END, id=fid, moved=moved)
+
     # -- engine hook ---------------------------------------------------------
 
     def _on_step(self, env) -> None:
@@ -258,6 +277,8 @@ def connect_machine(bus: EventBus, machine) -> None:
         machine.faults.bus = bus
     if machine.memory is not None:
         machine.memory.bus = bus
+    if machine.net.ledger is not None:
+        machine.net.ledger.bus = bus
 
 
 def connect_context(bus: EventBus, ctx) -> None:

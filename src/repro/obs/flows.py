@@ -1,0 +1,572 @@
+"""Interconnect flow observatory: the per-flow bandwidth grant ledger.
+
+The paper's central finding is that end-to-end heterogeneous sort time
+is dominated by host<->device transfers, yet the max-min fair allocator
+in :mod:`repro.sim.bandwidth` computes per-flow rates continuously and
+discards them.  The :class:`FlowLedger` keeps them: attached as
+``FlowNetwork.ledger`` it records, for every :class:`~repro.sim.bandwidth.Flow`,
+
+* the lifecycle -- start/end simulated times, bytes, the weighted link
+  path, and (bound post-hoc by the machine primitives) the causal-trace
+  span that owns the transfer;
+* a piecewise-constant **granted-rate timeline**: one ``[t, rate,
+  progressed]`` capture at every allocator update while the flow is
+  active.  Because every :meth:`FlowNetwork._advance` accumulation step
+  is immediately followed by exactly one allocator update, consecutive
+  captures satisfy ``p[i+1] == p[i] + rate[i] * (t[i+1] - t[i])`` *bit
+  for bit* -- the rate integral equals the bytes moved exactly, not
+  approximately (:func:`verify_rate_integral` pins it).
+
+Everything else is post-hoc analysis of the serialized ``repro.flows/v1``
+document (:meth:`FlowLedger.to_dict`, byte-stable through
+:func:`repro.obs.diff.canonical_json`):
+
+* :func:`link_timelines` / :func:`link_utilization` -- per-link
+  aggregate granted rate and saturation step series;
+* :func:`concurrency_series` -- flows-in-flight over time;
+* :func:`attribute_contention` -- each flow's measured duration
+  decomposed into *isolation* time (what the bytes would have taken at
+  full bottleneck bandwidth) plus slowdown charged to the specific
+  concurrent flows sharing its links.  The parts sum back to the
+  measured duration **bit for bit** in sorted key order, via the same
+  absorber + half-ulp tie walk as
+  :func:`repro.obs.conformance.residual_attribution`;
+* :func:`reconcile_flow_spans` -- every span-bound flow must end
+  exactly when its causal-trace span ends;
+* :func:`flow_rate_counters` -- ``link.<name>.bw_bytes_per_s`` counter
+  tracks for the Perfetto exporter.
+
+Recording follows the bus's neutrality invariant: the ledger never
+schedules simulation events, and with no ledger attached every network
+hook is a single ``is None`` check (zero overhead when disabled).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import FlowLedgerError
+
+__all__ = ["FLOWS_SCHEMA", "CONTENTION_SCHEMA", "RECONCILE_SCHEMA",
+           "FlowLedger", "FlowRateSeries", "link_timelines",
+           "link_utilization", "link_peaks", "concurrency_series",
+           "settled_split", "attribute_contention", "verify_contention",
+           "verify_rate_integral", "reconcile_flow_spans",
+           "flow_rate_counters"]
+
+#: Schema identifier of the serialized flow ledger.
+FLOWS_SCHEMA = "repro.flows/v1"
+#: Schema identifier of the contention-attribution document.
+CONTENTION_SCHEMA = "repro.flow_contention/v1"
+#: Schema identifier of the span-reconciliation verdict.
+RECONCILE_SCHEMA = "repro.flow_reconcile/v1"
+
+
+class FlowLedger:
+    """Per-flow bandwidth grant ledger for one :class:`FlowNetwork`.
+
+    ``capacities`` maps link names to their bytes/second capacity (used
+    for utilization; :meth:`on_capacity` records mid-run changes).  The
+    recording hooks (``on_start`` / ``on_update`` / ``on_end`` /
+    ``on_capacity``) are called by the network behind its single
+    ``ledger is None`` check; :meth:`bind_span` is called by the machine
+    primitives after the owning trace span is recorded.
+    """
+
+    def __init__(self, clock: _t.Callable[[], float] | None = None,
+                 capacities: _t.Mapping[str, float] | None = None) -> None:
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.capacities = {str(k): float(v)
+                           for k, v in (capacities or {}).items()}
+        #: One record per flow, indexed by the ledger-assigned flow id.
+        self.flows: list[dict] = []
+        #: ``[t, link, bytes_per_s]`` rows, one per ``set_capacity``.
+        self.capacity_events: list[list] = []
+        #: Streaming telemetry: optional
+        #: :class:`~repro.obs.events.EventBus` that every lifecycle and
+        #: rate-change record is mirrored onto (``flow.start`` /
+        #: ``flow.rate`` / ``flow.end``).
+        self.bus = None
+
+    # -- recording hooks (called by FlowNetwork) -----------------------------
+
+    def on_start(self, flow, now: float) -> None:
+        """A flow joined the network (or completed instantly, for the
+        zero-byte path); assigns the flow its ledger id."""
+        fid = len(self.flows)
+        flow.fid = fid
+        links = [[link.name, weight] for link, weight in flow.links]
+        # Isolation rate: what the flow would be granted alone -- its own
+        # cap or the tightest weighted link capacity, whichever binds.
+        iso = flow.cap
+        for link, weight in flow.links:
+            alone = link.capacity / weight
+            if alone < iso:
+                iso = alone
+        self.flows.append({
+            "id": fid,
+            "label": flow.label,
+            "nbytes": flow.nbytes,
+            "links": links,
+            "cap": flow.cap if math.isfinite(flow.cap) else None,
+            "iso_rate": iso if math.isfinite(iso) else None,
+            "start": now,
+            "end": None,
+            "span": None,
+            "moved": None,
+            "rates": [],
+        })
+        if self.bus is not None:
+            self.bus.flow_start(fid, flow.nbytes, links, label=flow.label)
+
+    def on_update(self, now: float, flows: _t.Iterable) -> None:
+        """The allocator refilled; capture every active flow's granted
+        rate and progress.  Same-instant re-captures are deduplicated;
+        only actual rate changes are mirrored onto the bus."""
+        records = self.flows
+        bus = self.bus
+        for f in flows:
+            rates = records[f.fid]["rates"]
+            if rates:
+                last = rates[-1]
+                if (last[0] == now and last[1] == f.rate
+                        and last[2] == f.progressed):
+                    continue
+                changed = last[1] != f.rate
+            else:
+                changed = True
+            rates.append([now, f.rate, f.progressed])
+            if changed and bus is not None:
+                bus.flow_rate(f.fid, f.rate)
+
+    def on_end(self, flow, now: float) -> None:
+        """A flow completed; freeze its end time and bytes moved."""
+        rec = self.flows[flow.fid]
+        rec["end"] = now
+        rec["moved"] = flow.progressed
+        if self.bus is not None:
+            self.bus.flow_end(flow.fid, flow.progressed)
+
+    def on_capacity(self, name: str, capacity: float, now: float) -> None:
+        """A link's capacity changed mid-run (fault injection)."""
+        self.capacity_events.append([now, str(name), float(capacity)])
+
+    def bind_span(self, flow, span_id: int) -> None:
+        """Attach the owning causal-trace span to a recorded flow (the
+        machine primitives call this after ``trace.record``)."""
+        fid = getattr(flow, "fid", -1)
+        if not 0 <= fid < len(self.flows):
+            raise FlowLedgerError(
+                f"cannot bind span {span_id} to unrecorded flow "
+                f"{getattr(flow, 'label', flow)!r}")
+        self.flows[fid]["span"] = int(span_id)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes actually moved by completed flows."""
+        return sum(f["moved"] for f in self.flows
+                   if f["moved"] is not None)
+
+    @property
+    def spans_bound(self) -> int:
+        return sum(1 for f in self.flows if f["span"] is not None)
+
+    def to_dict(self) -> dict:
+        """The full ledger as a ``repro.flows/v1`` document (canonical
+        JSON of this is byte-stable across identical runs)."""
+        return {
+            "schema": FLOWS_SCHEMA,
+            "capacities": dict(sorted(self.capacities.items())),
+            "capacity_events": [list(e) for e in self.capacity_events],
+            "n_flows": len(self.flows),
+            "flows": [dict(rec, links=[list(l) for l in rec["links"]],
+                           rates=[list(p) for p in rec["rates"]])
+                      for rec in self.flows],
+        }
+
+    def summary(self) -> dict:
+        """Scalar summary for ``SortResult.metrics['flows']``."""
+        doc = self.to_dict()
+        peaks = {name: d["peak_utilization"]
+                 for name, d in link_peaks(doc).items()}
+        contention = attribute_contention(doc)
+        return {
+            "n_flows": len(self.flows),
+            "bytes_moved": self.bytes_moved,
+            "spans_bound": self.spans_bound,
+            "peak_utilization": peaks,
+            "link_peak_utilization": max(peaks.values(), default=0.0),
+            "transfer_contention_s": contention["total_contention_s"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Post-hoc analyses of a repro.flows/v1 document
+# ---------------------------------------------------------------------------
+
+def link_timelines(doc: dict) -> dict[str, list[tuple[float, float]]]:
+    """Per-link aggregate granted rate as a ``[(t, bytes/s), ...]`` step
+    series.
+
+    Every flow active at an allocator update has a capture at that
+    instant, so the load at each capture time is an exact sum over the
+    captures -- no prefix-sum cancellation.  A link drops to an explicit
+    zero at the instant its last flow completes.
+    """
+    loads: dict[str, dict[float, float]] = {}
+    for f in doc.get("flows", []):
+        # A flow can carry several same-instant captures (its join plus
+        # a reallocation at the same sim time); the last one appended is
+        # the rate that actually flowed from that instant on.
+        operative: dict[float, float] = {}
+        for t, rate, _p in f["rates"]:
+            operative[t] = rate
+        for name, weight in f["links"]:
+            per = loads.setdefault(name, {})
+            for t, rate in operative.items():
+                per[t] = per.get(t, 0.0) + weight * rate
+    for f in doc.get("flows", []):
+        if f["end"] is None:
+            continue
+        for name, _weight in f["links"]:
+            loads.setdefault(name, {}).setdefault(f["end"], 0.0)
+    for name in doc.get("capacities", {}):
+        loads.setdefault(name, {})
+    return {name: sorted(per.items())
+            for name, per in sorted(loads.items())}
+
+
+def link_utilization(doc: dict) -> dict[str, list[tuple[float, float]]]:
+    """Per-link saturation (granted rate / capacity in effect) step
+    series; links with unknown capacity are omitted."""
+    events: dict[str, list[tuple[float, float]]] = {}
+    for t, name, cap in doc.get("capacity_events", []):
+        events.setdefault(name, []).append((t, cap))
+    out: dict[str, list[tuple[float, float]]] = {}
+    for name, pts in link_timelines(doc).items():
+        cap = doc.get("capacities", {}).get(name)
+        evs = sorted(events.get(name, []))
+        if cap is None and not evs:
+            continue
+        series = []
+        i = 0
+        for t, load in pts:
+            while i < len(evs) and evs[i][0] <= t:
+                cap = evs[i][1]
+                i += 1
+            series.append((t, load / cap if cap else 0.0))
+        out[name] = series
+    return out
+
+
+def link_peaks(doc: dict) -> dict[str, dict]:
+    """Per-link headline numbers: capacity, peak granted rate, peak
+    utilization."""
+    util = link_utilization(doc)
+    out = {}
+    for name, pts in link_timelines(doc).items():
+        out[name] = {
+            "capacity_bytes_per_s": doc.get("capacities", {}).get(name),
+            "peak_bytes_per_s": max((v for _, v in pts), default=0.0),
+            "peak_utilization": max((v for _, v in util.get(name, [])),
+                                    default=0.0),
+        }
+    return out
+
+
+def concurrency_series(doc: dict) -> list[tuple[float, int]]:
+    """Flows-in-flight over time as a ``[(t, count), ...]`` step series
+    (integer-exact; zero-byte flows contribute a net zero)."""
+    deltas: dict[float, int] = {}
+    for f in doc.get("flows", []):
+        deltas[f["start"]] = deltas.get(f["start"], 0) + 1
+        if f["end"] is not None:
+            deltas[f["end"]] = deltas.get(f["end"], 0) - 1
+    out: list[tuple[float, int]] = []
+    current = 0
+    for t in sorted(deltas):
+        current += deltas[t]
+        out.append((t, current))
+    return out
+
+
+def settled_split(total: float,
+                  weights: _t.Mapping[str, float]) -> dict[str, float]:
+    """Split ``total`` proportionally over ``weights`` so that summing
+    the returned parts in sorted key order reproduces ``total`` *bit for
+    bit* -- the same absorber + directional-walk + half-ulp tie
+    hardening as :func:`repro.obs.conformance.residual_attribution`.
+    Degenerate weights (empty, or summing to <= 0) put everything on an
+    ``"unattributed"`` part.
+    """
+    cats = sorted(weights)
+    wsum = 0.0
+    for c in cats:
+        wsum += weights[c]
+    if not cats or wsum <= 0:
+        return {"unattributed": total}
+    out = {c: total * (weights[c] / wsum) for c in cats}
+    if len(cats) == 1:
+        out[cats[0]] = total
+        return out
+    last = cats[-1]
+
+    def _accumulate() -> float:
+        p = 0.0
+        for c in cats[:-1]:
+            p += out[c]
+        return p
+
+    def _settle(p: float) -> bool:
+        out[last] = total - p
+        s = p + out[last]
+        for _ in range(4):
+            if s == total:
+                return True
+            out[last] = math.nextafter(out[last],
+                                       math.inf if total > s else -math.inf)
+            s = p + out[last]
+        return s == total
+
+    prefix = _accumulate()
+    if not _settle(prefix):
+        # Round-to-even tie: step prefix elements by half a prefix ulp
+        # until the absorber can land on the total (see the long comment
+        # in conformance.residual_attribution).
+        half = math.ulp(prefix) / 2.0
+        for j in range(len(cats) - 2, -1, -1):
+            step = max(half, math.ulp(out[cats[j]]))
+            landed = False
+            for _ in range(8):
+                out[cats[j]] += step
+                if _settle(_accumulate()):
+                    landed = True
+                    break
+            if landed:
+                break
+    return out
+
+
+def attribute_contention(doc: dict) -> dict:
+    """Decompose every completed flow's measured duration into isolation
+    time plus slowdown charged to the concurrent flows sharing its
+    links.
+
+    Per rate segment the flow's bytes would have taken ``rate * dt /
+    iso_rate`` seconds alone; the remainder of the segment is *excess*
+    caused by contention, split over the concurrent flows in proportion
+    to the byte volume they pushed through shared links during that
+    segment (weighted by their link weights).  Excess with no sharer in
+    sight (a capacity-degradation window) lands on ``"unattributed"``.
+    The final ``parts`` -- ``"isolation"``, ``"flow:<id>"`` charges and
+    ``"unattributed"`` -- sum to ``duration_s`` bit for bit in sorted
+    key order (:func:`settled_split`); :func:`verify_contention`
+    re-checks that independently.
+    """
+    flows = doc.get("flows", [])
+    linkset = {f["id"]: {name: w for name, w in f["links"]} for f in flows}
+    at: dict[float, list[tuple[int, float]]] = {}
+    for f in flows:
+        fid = f["id"]
+        for t, rate, _p in f["rates"]:
+            at.setdefault(t, []).append((fid, rate))
+    out_flows = []
+    total_contention = 0.0
+    for f in flows:
+        fid, end = f["id"], f["end"]
+        if end is None:
+            continue
+        duration = end - f["start"]
+        rates = f["rates"]
+        iso_rate = f.get("iso_rate")
+        base = {"id": fid, "label": f["label"], "span": f["span"],
+                "duration_s": duration}
+        if duration <= 0.0 or not rates or not iso_rate:
+            base.update(isolation_s=duration, slowdown_s=0.0,
+                        parts={"isolation": duration})
+            out_flows.append(base)
+            continue
+        mylinks = linkset[fid]
+        iso_w = 0.0
+        shares: dict[str, float] = {}
+        unattributed = 0.0
+        for i, (t, rate, _p) in enumerate(rates):
+            t_next = rates[i + 1][0] if i + 1 < len(rates) else end
+            dt = t_next - t
+            if dt <= 0.0:
+                continue
+            iso_dt = (rate * dt) / iso_rate
+            if iso_dt > dt:
+                iso_dt = dt
+            iso_w += iso_dt
+            excess = dt - iso_dt
+            if excess <= 0.0:
+                continue
+            w: dict[int, float] = {}
+            for gid, grate in at.get(t, ()):
+                if gid == fid or grate <= 0.0:
+                    continue
+                shared = 0.0
+                for name, gweight in linkset[gid].items():
+                    if name in mylinks:
+                        shared += gweight
+                if shared > 0.0:
+                    w[gid] = shared * grate * dt
+            tot = 0.0
+            for gid in sorted(w):
+                tot += w[gid]
+            if tot > 0.0:
+                for gid in sorted(w):
+                    key = f"flow:{gid}"
+                    shares[key] = shares.get(key, 0.0) \
+                        + excess * (w[gid] / tot)
+            else:
+                unattributed += excess
+        weights: dict[str, float] = {"isolation": iso_w}
+        weights.update(shares)
+        if unattributed > 0.0:
+            weights["unattributed"] = unattributed
+        parts = settled_split(duration, weights)
+        isolation = parts.get("isolation", 0.0)
+        slowdown = duration - isolation
+        total_contention += slowdown
+        base.update(isolation_s=isolation, slowdown_s=slowdown,
+                    parts=parts)
+        out_flows.append(base)
+    return {"schema": CONTENTION_SCHEMA, "flows": out_flows,
+            "n_flows": len(out_flows),
+            "total_contention_s": total_contention}
+
+
+def verify_contention(contention: dict) -> dict:
+    """Independently re-check the bit-for-bit attribution invariant:
+    for every flow, summing ``parts`` in sorted key order (the order
+    canonical JSON preserves) must reproduce ``duration_s`` exactly."""
+    failures = []
+    for f in contention["flows"]:
+        parts = f["parts"]
+        s = 0.0
+        for k in sorted(parts):
+            s += parts[k]
+        if s != f["duration_s"]:
+            failures.append(
+                f"flow {f['id']} ({f['label']}): parts sum {s!r} != "
+                f"duration {f['duration_s']!r}")
+    return {"ok": not failures, "n_flows": len(contention["flows"]),
+            "failures": failures}
+
+
+def verify_rate_integral(doc: dict) -> dict:
+    """Check the exact rate-integral invariant of the ledger.
+
+    Between consecutive captures the network performed exactly one
+    progress accumulation ``progressed += rate * dt`` with the same
+    operands the ledger recorded, so ``p[i+1] == p[i] + rate[i] *
+    (t[i+1] - t[i])`` must hold bit for bit -- and the bytes moved at
+    completion must equal the last capture advanced to the end time the
+    same way.  Any miss means the ledger and the allocator disagree.
+    """
+    failures = []
+    checked = 0
+    for f in doc.get("flows", []):
+        pts = f["rates"]
+        if not pts:
+            if f["end"] is None or f["nbytes"] > 1e-6:
+                failures.append(
+                    f"flow {f['id']} ({f['label']}): no rate captures")
+            continue
+        checked += 1
+        if pts[0][2] != 0.0:
+            failures.append(
+                f"flow {f['id']} ({f['label']}): first capture has "
+                f"nonzero progress {pts[0][2]!r}")
+            continue
+        pt, pr, pp = pts[0]
+        clean = True
+        for t, rate, p in pts[1:]:
+            if p != pp + pr * (t - pt):
+                failures.append(
+                    f"flow {f['id']} ({f['label']}): integral drift at "
+                    f"t={t!r} ({p!r} != {pp + pr * (t - pt)!r})")
+                clean = False
+                break
+            pt, pr, pp = t, rate, p
+        if clean and f["end"] is not None and f["moved"] is not None:
+            final = pp + pr * (f["end"] - pt)
+            if f["moved"] != final:
+                failures.append(
+                    f"flow {f['id']} ({f['label']}): moved {f['moved']!r}"
+                    f" != rate integral {final!r}")
+    return {"ok": not failures, "checked": checked, "failures": failures}
+
+
+def reconcile_flow_spans(doc: dict, trace) -> dict:
+    """Reconcile the ledger against the causal trace: every span-bound
+    flow must end exactly when its span ends and start no earlier than
+    the span starts (merge spans include compute lead-in before their
+    flow joins the bus)."""
+    spans = trace.spans
+    failures: list[str] = []
+    checked = unbound = 0
+    for f in doc.get("flows", []):
+        sid = f.get("span")
+        if sid is None:
+            unbound += 1
+            continue
+        if not 0 <= sid < len(spans):
+            failures.append(
+                f"flow {f['id']} ({f['label']}): span {sid} not in trace")
+            continue
+        span = spans[sid]
+        checked += 1
+        if f["end"] != span.end:
+            failures.append(
+                f"flow {f['id']} ({f['label']}): ends at {f['end']!r} "
+                f"but span {sid} ends at {span.end!r}")
+        if f["start"] < span.start:
+            failures.append(
+                f"flow {f['id']} ({f['label']}): starts at {f['start']!r}"
+                f" before span {sid} starts at {span.start!r}")
+    return {"schema": RECONCILE_SCHEMA, "ok": not failures,
+            "checked": checked, "unbound": unbound, "failures": failures}
+
+
+class FlowRateSeries:
+    """One link's granted-rate step series, duck-typing
+    :class:`repro.obs.counters.CounterSeries` for the chrome-trace
+    counter exporter (``samples()`` + ``unit``)."""
+
+    __slots__ = ("name", "unit", "points")
+
+    def __init__(self, name: str, points: _t.Sequence[tuple[float, float]],
+                 unit: str = "bytes/s") -> None:
+        self.name = name
+        self.unit = unit
+        self.points = list(points)
+
+    def samples(self) -> _t.Iterator[tuple[float, float]]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FlowRateSeries {self.name!r} n={len(self.points)}>"
+
+
+def flow_rate_counters(doc: dict) -> dict[str, FlowRateSeries]:
+    """``link.<name>.bw_bytes_per_s`` Perfetto counter tracks for every
+    link in the ledger (merge into the recorder's series mapping when
+    exporting a chrome trace)."""
+    out = {}
+    for name, pts in link_timelines(doc).items():
+        track = f"link.{name}.bw_bytes_per_s"
+        out[track] = FlowRateSeries(track, pts)
+    return out

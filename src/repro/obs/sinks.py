@@ -192,6 +192,21 @@ def validate_events(events: _t.Sequence[TelemetryEvent]) -> dict:
             if "pool" not in ev.data or "peak_bytes" not in ev.data:
                 raise EventLogError(
                     f"event {i}: mem.watermark without pool/peak_bytes")
+        elif ev.kind == EV.FLOW_START:
+            missing = [f for f in ("id", "nbytes", "links")
+                       if f not in ev.data]
+            if missing:
+                raise EventLogError(
+                    f"event {i}: flow.start record missing {missing}")
+        elif ev.kind == EV.FLOW_RATE:
+            if "id" not in ev.data or "rate" not in ev.data:
+                raise EventLogError(f"event {i}: flow.rate without id/rate")
+            if ev.data["rate"] < 0:
+                raise EventLogError(
+                    f"event {i}: flow.rate granted a negative rate")
+        elif ev.kind == EV.FLOW_END:
+            if "id" not in ev.data:
+                raise EventLogError(f"event {i}: flow.end without id")
     return {"schema": EVENTS_SCHEMA, "n_events": len(events),
             "t_end": last_t, "counts": counts}
 
@@ -273,6 +288,8 @@ class LiveAggregator(Sink):
         self.queues: dict[str, int] = {}
         self.counters: dict[str, float] = {}
         self.memory: dict[str, dict] = {}
+        self.flows_in_flight = 0
+        self.flows_completed = 0
         self._lanes: dict[str, dict] = {}
         self._cats: dict[str, dict] = {}
 
@@ -325,6 +342,11 @@ class LiveAggregator(Sink):
             pool["peak_bytes"] = d["peak_bytes"]
             if d.get("capacity_bytes") is not None:
                 pool["capacity_bytes"] = d["capacity_bytes"]
+        elif event.kind == EV.FLOW_START:
+            self.flows_in_flight += 1
+        elif event.kind == EV.FLOW_END:
+            self.flows_in_flight -= 1
+            self.flows_completed += 1
 
     # -- derived views -------------------------------------------------------
 

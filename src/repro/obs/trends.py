@@ -51,7 +51,8 @@ TRENDS_SCHEMA = "repro.trends/v1"
 DEFAULT_METRICS = ("makespan_s", "elapsed_s", "throughput_el_per_s",
                    "missing_overhead_s", "model_gap_s", "events_per_s",
                    "peak_pinned_bytes", "peak_device_bytes.gpu0",
-                   "peak_device_bytes.gpu1")
+                   "peak_device_bytes.gpu1", "link_peak_utilization",
+                   "transfer_contention_s")
 
 #: Consistency constant: MAD of a normal sample times 1.4826 estimates
 #: its standard deviation.

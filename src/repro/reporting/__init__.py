@@ -4,9 +4,11 @@ self-contained HTML conformance dashboard."""
 from repro.reporting.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.reporting.gantt import render_gantt
 from repro.reporting.html import (render_dashboard,
+                                  render_flows_dashboard,
                                   render_memory_dashboard,
                                   render_trend_dashboard,
                                   write_dashboard,
+                                  write_flows_dashboard,
                                   write_memory_dashboard,
                                   write_trend_dashboard)
 from repro.reporting.live import (format_bytes, render_bar,
@@ -25,4 +27,5 @@ __all__ = [
     "render_trend_dashboard", "write_trend_dashboard",
     "render_snapshot", "render_plain_line", "render_bar", "format_bytes",
     "render_memory_dashboard", "write_memory_dashboard",
+    "render_flows_dashboard", "write_flows_dashboard",
 ]

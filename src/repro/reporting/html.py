@@ -32,7 +32,8 @@ import typing as _t
 
 __all__ = ["render_dashboard", "write_dashboard",
            "render_trend_dashboard", "write_trend_dashboard",
-           "render_memory_dashboard", "write_memory_dashboard"]
+           "render_memory_dashboard", "write_memory_dashboard",
+           "render_flows_dashboard", "write_flows_dashboard"]
 
 # Categorical palette (validated slot order; light / dark pairs).
 _SERIES_LIGHT = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
@@ -698,6 +699,227 @@ def write_memory_dashboard(doc: dict, path, title: str = "") -> None:
 
 
 # ---------------------------------------------------------------------------
+# Interconnect observatory panels (repro.flows/v1 ledger documents)
+# ---------------------------------------------------------------------------
+
+def _flow_link_panel(name: str, pts: _t.Sequence[tuple[float, float]],
+                     capacity: float | None) -> str:
+    """Granted-bandwidth-over-time SVG for one link: the aggregate
+    allocated rate as a step series with a dashed capacity line."""
+    if not pts:
+        return (f'<div class="card"><h3>{_esc(name)}</h3>'
+                '<p class="note">no flows crossed this link</p></div>')
+    t_end = pts[-1][0] or 1.0
+    peak = max(v for _, v in pts)
+    ymax = max(peak, capacity or 0.0, 1.0) * 1.12
+    w, h, ml, mr, mt, mb = 420, 200, 64, 14, 14, 30
+    sx = _Scale(0.0, t_end, ml, w - mr)
+    sy = _Scale(0.0, ymax, h - mb, mt)
+    body = []
+    for tk in _nice_ticks(0.0, ymax):
+        y = sy(tk)
+        body.append(f'<line class="grid" x1="{ml}" y1="{y:.1f}" '
+                    f'x2="{w - mr}" y2="{y:.1f}"/>')
+        body.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" '
+                    f'text-anchor="end">{_fmt_b(tk)}/s</text>')
+    for tk in _nice_ticks(0.0, sx.hi):
+        body.append(f'<text x="{sx(tk):.1f}" y="{h - mb + 16:.1f}" '
+                    f'text-anchor="middle">{_fmt_s(tk)}</text>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{w - mr}" y2="{sy.a:.1f}"/>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{ml}" y2="{sy.b:.1f}"/>')
+    steps = []
+    for i, (t, v) in enumerate(pts):
+        steps.append((sx(t), sy(v)))
+        if i + 1 < len(pts):
+            steps.append((sx(pts[i + 1][0]), sy(v)))
+    band = steps + [(sx(t_end), sy.a), (sx(pts[0][0]), sy.a)]
+    tip = (f"{name}\npeak {_fmt_b(peak)}/s"
+           + (f"\ncapacity {_fmt_b(capacity)}/s"
+              f"\npeak utilization {peak / capacity:.0%}"
+              if capacity else ""))
+    body.append(f'<polygon points="{_poly(band)}" fill="var(--s1)" '
+                f'opacity="0.35" tabindex="0" data-tip="{_esc(tip)}"/>')
+    body.append(f'<polyline points="{_poly(steps)}" fill="none" '
+                f'stroke="var(--s1)" stroke-width="1.5" '
+                f'stroke-linejoin="round"/>')
+    if capacity:
+        y = sy(capacity)
+        body.append(
+            f'<line x1="{ml}" y1="{y:.1f}" x2="{w - mr}" y2="{y:.1f}" '
+            f'stroke="var(--ink-3)" stroke-width="1.5" '
+            f'stroke-dasharray="4 3" tabindex="0" '
+            f'data-tip="{_esc(f"{name} capacity {_fmt_b(capacity)}/s")}"/>')
+    return (f'<div class="card"><h3>{_esc(name)}</h3>'
+            '<p class="sub">granted bandwidth over simulated time; '
+            'dashed line marks link capacity</p>'
+            + _svg(w, h, body, f"granted bandwidth on {name}")
+            + "</div>")
+
+
+def _flow_concurrency_panel(series: _t.Sequence[tuple[float, int]]) -> str:
+    """Flows-in-flight-over-time SVG (integer step series)."""
+    if not series:
+        return ('<div class="card"><h3>Flows in flight</h3>'
+                '<p class="note">no flows recorded</p></div>')
+    t_end = series[-1][0] or 1.0
+    peak = max(c for _, c in series)
+    ymax = max(peak, 1) * 1.15
+    w, h, ml, mr, mt, mb = 420, 200, 44, 14, 14, 30
+    sx = _Scale(0.0, t_end, ml, w - mr)
+    sy = _Scale(0.0, ymax, h - mb, mt)
+    body = []
+    for tk in _nice_ticks(0.0, ymax):
+        if tk != int(tk):
+            continue
+        y = sy(tk)
+        body.append(f'<line class="grid" x1="{ml}" y1="{y:.1f}" '
+                    f'x2="{w - mr}" y2="{y:.1f}"/>')
+        body.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" '
+                    f'text-anchor="end">{int(tk)}</text>')
+    for tk in _nice_ticks(0.0, sx.hi):
+        body.append(f'<text x="{sx(tk):.1f}" y="{h - mb + 16:.1f}" '
+                    f'text-anchor="middle">{_fmt_s(tk)}</text>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{w - mr}" y2="{sy.a:.1f}"/>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{sy.a:.1f}" '
+                f'x2="{ml}" y2="{sy.b:.1f}"/>')
+    steps = []
+    for i, (t, c) in enumerate(series):
+        steps.append((sx(t), sy(c)))
+        if i + 1 < len(series):
+            steps.append((sx(series[i + 1][0]), sy(c)))
+    body.append(f'<polyline points="{_poly(steps)}" fill="none" '
+                f'stroke="var(--s3)" stroke-width="1.5" '
+                f'stroke-linejoin="round" tabindex="0" '
+                f'data-tip="{_esc(f"peak {peak} concurrent flows")}"/>')
+    return ('<div class="card"><h3>Flows in flight</h3>'
+            '<p class="sub">concurrent transfers over simulated time</p>'
+            + _svg(w, h, body, "flows in flight over time") + "</div>")
+
+
+def _flow_links_table(doc: dict) -> str:
+    """Accessible table-view twin of the per-link panels."""
+    from repro.obs.flows import link_peaks
+    peaks = link_peaks(doc)
+    if not peaks:
+        return '<p class="note">no links recorded</p>'
+    rows = []
+    for name in sorted(peaks):
+        d = peaks[name]
+        cap = d["capacity_bytes_per_s"]
+        util = d["peak_utilization"]
+        rows.append(
+            "<tr>"
+            f'<td class="l">{_esc(name)}</td>'
+            f'<td>{_fmt_b(cap) + "/s" if cap is not None else "&mdash;"}'
+            "</td>"
+            f'<td>{_fmt_b(d["peak_bytes_per_s"])}/s</td>'
+            f'<td>{util:.0%}</td></tr>')
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">link</th><th>capacity</th><th>peak rate</th>'
+            '<th>peak utilization</th></tr></thead><tbody>'
+            + "".join(rows) + "</tbody></table>")
+
+
+def _flow_contention_table(contention: dict, limit: int = 15) -> str:
+    """Top-contended flows: measured duration split into isolation time
+    and per-culprit slowdown charges (charges sum to the duration bit
+    for bit; see :func:`repro.obs.flows.attribute_contention`)."""
+    flows = sorted(contention.get("flows", []),
+                   key=lambda f: (-f["slowdown_s"], f["id"]))
+    if not flows:
+        return '<p class="note">no completed flows recorded</p>'
+    rows = []
+    for f in flows[:limit]:
+        charges = sorted(((k, v) for k, v in f["parts"].items()
+                          if k != "isolation" and v > 0.0),
+                         key=lambda kv: -kv[1])
+        top = ", ".join(f"{_esc(k)} {_fmt_s(v)}" for k, v in charges[:3])
+        rows.append(
+            "<tr>"
+            f'<td>{f["id"]}</td>'
+            f'<td class="l">{_esc(f["label"])}</td>'
+            f'<td>{_fmt_s(f["duration_s"])}</td>'
+            f'<td>{_fmt_s(f["isolation_s"])}</td>'
+            f'<td>{_fmt_s(f["slowdown_s"])}</td>'
+            f'<td class="l">{top or "&mdash;"}</td></tr>')
+    return ('<table class="viz"><thead><tr>'
+            '<th>id</th><th class="l">flow</th><th>duration</th>'
+            '<th>isolation</th><th>slowdown</th>'
+            '<th class="l">charged to</th></tr></thead><tbody>'
+            + "".join(rows) + "</tbody></table>")
+
+
+def _flows_section(doc: dict) -> str:
+    """Link panels + concurrency panel + tables for one
+    ``repro.flows/v1`` document (shared by the standalone observatory
+    page and the sweep dashboard's flows section)."""
+    from repro.obs.flows import (attribute_contention, concurrency_series,
+                                 link_timelines)
+    caps = doc.get("capacities", {})
+    panels = "".join(
+        _flow_link_panel(name, pts, caps.get(name))
+        for name, pts in link_timelines(doc).items())
+    panels += _flow_concurrency_panel(concurrency_series(doc))
+    contention = attribute_contention(doc)
+    return (f'<div class="cards">{panels}</div>'
+            '<h2>Links</h2>' + _flow_links_table(doc) +
+            '<h2>Top contended flows</h2>'
+            + _flow_contention_table(contention))
+
+
+def render_flows_dashboard(doc: dict, title: str = "") -> str:
+    """Self-contained interconnect-observatory HTML for one
+    ``repro.flows/v1`` ledger document (from
+    :meth:`repro.obs.flows.FlowLedger.to_dict`)."""
+    from repro.obs.flows import attribute_contention, link_peaks
+    peaks = link_peaks(doc)
+    contention = attribute_contention(doc)
+    n_flows = doc.get("n_flows", 0)
+    moved = sum(f["moved"] for f in doc.get("flows", [])
+                if f.get("moved") is not None)
+    peak_util = max((d["peak_utilization"] for d in peaks.values()),
+                    default=0.0)
+    tiles = [
+        ("flows", f"{n_flows}", ""),
+        ("bytes moved", _fmt_b(moved), ""),
+        ("links", f"{len(peaks)}", ""),
+        ("peak link utilization", f"{peak_util:.0%}",
+         "bad" if peak_util >= 1.0 else ""),
+        ("contention", _fmt_s(contention["total_contention_s"]), ""),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(lab)}</div>'
+        f'<div class="value {cls}">{_esc(val)}</div></div>'
+        for lab, val, cls in tiles)
+    sub = _esc(title) if title else ("per-flow bandwidth grants from the "
+                                     "max-min fair fluid-flow network")
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Interconnect observatory</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>{_CSS}</style></head>
+<body class="viz-root">
+<h1>Interconnect observatory</h1>
+<p class="sub">{sub}</p>
+<div class="tiles">{tile_html}</div>
+<h2>Link occupancy</h2>
+{_flows_section(doc)}
+<div id="tip" role="status"></div>
+<script>{_TIP_JS}</script>
+</body></html>
+"""
+
+
+def write_flows_dashboard(doc: dict, path, title: str = "") -> None:
+    """Render and write the interconnect observatory to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_flows_dashboard(doc, title=title))
+
+
+# ---------------------------------------------------------------------------
 # Trend observatory panels (archive history; repro.trends/v1 documents)
 # ---------------------------------------------------------------------------
 
@@ -886,13 +1108,16 @@ def write_trend_dashboard(trends: dict, path) -> None:
 
 def render_dashboard(records: _t.Sequence[dict], summary: dict,
                      trends: dict | None = None,
-                     memory: dict | None = None) -> str:
+                     memory: dict | None = None,
+                     flows: dict | None = None) -> str:
     """The complete, self-contained dashboard HTML for a sweep ledger
     (``records``) and its conformance ``summary``.  When a
     ``repro.trends/v1`` document is passed, a trend-observatory panel
     (archive history with changepoint markers) is appended; when a
     ``repro.memory/v1`` ledger document is passed, a memory-occupancy
-    panel (stacked occupancy SVG with watermark lines) is appended."""
+    panel (stacked occupancy SVG with watermark lines) is appended; when
+    a ``repro.flows/v1`` ledger document is passed, per-link occupancy
+    panels and the contention table are appended."""
     records = list(records)
     n_anom = summary.get("n_anomalies", 0)
     anom_cls = "bad" if n_anom else "ok"
@@ -957,6 +1182,8 @@ causal critical path</p>
 {_run_details(records)}
 {('<h2>Memory occupancy</h2><div class="cards">' + _memory_panel(memory)
   + '</div>' + _memory_table(memory)) if memory else ''}
+{('<h2>Interconnect occupancy</h2>' + _flows_section(flows))
+ if flows else ''}
 {('<h2>Performance over time</h2>' + _trend_section(trends))
  if trends else ''}
 {_paper_band_note(summary)}
@@ -969,7 +1196,9 @@ causal critical path</p>
 
 def write_dashboard(records: _t.Sequence[dict], summary: dict,
                     path, trends: dict | None = None,
-                    memory: dict | None = None) -> None:
+                    memory: dict | None = None,
+                    flows: dict | None = None) -> None:
     """Render and write the dashboard to ``path``."""
     with open(path, "w") as fh:
-        fh.write(render_dashboard(records, summary, trends, memory=memory))
+        fh.write(render_dashboard(records, summary, trends, memory=memory,
+                                  flows=flows))

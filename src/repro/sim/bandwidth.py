@@ -52,7 +52,7 @@ from repro.errors import SimulationError
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
-__all__ = ["Link", "Flow", "FlowNetwork"]
+__all__ = ["Link", "Flow", "FlowNetwork", "FlowView", "LinkView"]
 
 #: Completion slack, in bytes.  Flows whose remaining volume falls below
 #: this are considered finished (guards against float round-off).
@@ -118,7 +118,7 @@ class Flow:
     """
 
     __slots__ = ("nbytes", "progressed", "remaining", "cap", "links", "rate",
-                 "event", "label", "start_time", "_mark")
+                 "event", "label", "start_time", "fid", "_mark")
 
     def __init__(self, nbytes: float, links: tuple[tuple[Link, float], ...],
                  cap: float, event: Event, label: str,
@@ -132,7 +132,33 @@ class Flow:
         self.event = event
         self.label = label
         self.start_time = start_time
+        self.fid = -1    # ledger-assigned flow id (-1 = not recorded)
         self._mark = 0   # component-discovery scratch
+
+
+class FlowView(_t.NamedTuple):
+    """Read-only snapshot of one active flow (the public tooling surface;
+    link objects are reduced to their names)."""
+
+    label: str
+    nbytes: float
+    progressed: float
+    remaining: float
+    rate: float
+    cap: float
+    links: tuple[tuple[str, float], ...]
+    start_time: float
+
+
+class LinkView(_t.NamedTuple):
+    """Read-only snapshot of one link: capacity, aggregate allocated
+    rate (including link weights), active-flow count, and utilization."""
+
+    name: str
+    capacity: float
+    rate: float
+    n_flows: int
+    utilization: float
 
 
 class FlowNetwork:
@@ -146,6 +172,11 @@ class FlowNetwork:
         self._wakeup: Event | None = None
         self._gen = 0   # generation counter for component-discovery marks
         self.completed_flows = 0
+        #: Optional :class:`repro.obs.flows.FlowLedger`.  When ``None``
+        #: (the default) every instrumentation hook is a single ``is
+        #: None`` check -- zero overhead when disabled.  The ledger never
+        #: schedules simulation events (the bus neutrality invariant).
+        self.ledger = None
 
     # -- construction ---------------------------------------------------------
 
@@ -189,12 +220,17 @@ class FlowNetwork:
         if nbytes <= _EPS_BYTES:
             flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now)
             self.completed_flows += 1
+            if self.ledger is not None:
+                self.ledger.on_start(flow, self.env.now)
+                self.ledger.on_end(flow, self.env.now)
             ev.succeed(flow)
             return ev
 
         self._advance()
         flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now)
         self._flows.append(flow)
+        if self.ledger is not None:
+            self.ledger.on_start(flow, self.env.now)
         # Only the component the new flow joins needs refilling.
         self._update(seed_flows=(flow,))
         return ev
@@ -214,6 +250,8 @@ class FlowNetwork:
                 f"link {link.name!r} capacity must be > 0, got {capacity!r}")
         self._advance()
         link.capacity = float(capacity)
+        if self.ledger is not None:
+            self.ledger.on_capacity(link.name, link.capacity, self.env.now)
         self._update(seed_links=(link,))
 
     @property
@@ -225,6 +263,39 @@ class FlowNetwork:
         including link weights."""
         return sum(f.rate * w for f in self._flows
                    for l, w in f.links if l is link)
+
+    def flow_snapshot(self) -> tuple[FlowView, ...]:
+        """Read-only view of the currently active flows.
+
+        Progress is projected to the current time as a pure read (the
+        flows themselves only accumulate at allocator updates, in
+        exactly one step per rate segment -- the ledger's bit-exact
+        rate-integral invariant depends on that, so the view must not
+        advance them)."""
+        dt = self.env.now - self._last_update
+        views = []
+        for f in self._flows:
+            progressed = f.progressed + (f.rate * dt if dt > 0.0 else 0.0)
+            if progressed > f.nbytes:
+                progressed = f.nbytes
+            rem = f.nbytes - progressed
+            views.append(FlowView(f.label, f.nbytes, progressed,
+                                  rem if rem > 0.0 else 0.0,
+                                  f.rate, f.cap,
+                                  tuple((l.name, w) for l, w in f.links),
+                                  f.start_time))
+        return tuple(views)
+
+    def link_snapshot(self) -> tuple[LinkView, ...]:
+        """Read-only view of every registered link's current state."""
+        counts = {id(l): 0 for l in self._links}
+        for f in self._flows:
+            for l, _w in f.links:
+                counts[id(l)] += 1
+        return tuple(
+            LinkView(l.name, l.capacity, l._current_rate, counts[id(l)],
+                     l._current_rate / l.capacity if l.capacity else 0.0)
+            for l in self._links)
 
     # -- internals --------------------------------------------------------------
 
@@ -442,6 +513,14 @@ class FlowNetwork:
                 if l._mark == gen:
                     l._current_rate += rate * w
 
+        # Capture the granted rates *after* every refill, not just when a
+        # flow's own rate changed: each _advance() accumulation step is
+        # immediately followed by exactly one _update(), so consecutive
+        # captures bracket exactly one `progressed += rate * dt` -- the
+        # recorded rate integral reproduces the bytes moved bit for bit.
+        if self.ledger is not None:
+            self.ledger.on_update(self.env.now, self._flows)
+
         self._reschedule_wakeup()
 
     def _recompute_full(self) -> None:
@@ -462,6 +541,8 @@ class FlowNetwork:
             rate = f.rate
             for l, w in f.links:
                 l._current_rate += rate * w
+        if self.ledger is not None:
+            self.ledger.on_update(self.env.now, self._flows)
         self._reschedule_wakeup()
 
     def _reschedule_wakeup(self) -> None:
@@ -506,6 +587,9 @@ class FlowNetwork:
             done = set(map(id, finished))
             self._flows = [f for f in self._flows if id(f) not in done]
             self.completed_flows += len(finished)
+            if self.ledger is not None:
+                for f in finished:
+                    self.ledger.on_end(f, now)
         # Departures only perturb the components the finished flows were
         # in; seed with their links.
         self._update(seed_links=[l for f in finished for l, _w in f.links])

@@ -566,3 +566,70 @@ def test_plan_mem_json_document():
     assert doc["predicted"]["gpu0"] == 16_000_000
     assert doc["conformance"]["ok"] is True
     assert doc["conformance"]["schema"] == "repro.memory_conformance/v1"
+
+
+def test_metrics_json_carries_engine_counters():
+    import json as _json
+    code, text = run_cli("metrics", "--n", "1e6", "--batch-size",
+                         "2.5e5", "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = _json.loads(text)
+    assert doc["engine"]["processed_events"] > 0
+    assert doc["engine"]["events_per_sim_s"] > 0
+    assert doc["flows"]["n_flows"] > 0
+
+
+def test_flows_tables_and_timelines():
+    code, text = run_cli("flows", "--n", "1e6", "--approach", "pipedata",
+                         "--batch-size", "2.5e5", "--pinned", "5e4")
+    assert code == 0
+    assert "interconnect (" in text and "flows" in text
+    assert "host_bus" in text
+    assert "pcie.htod" in text and "pcie.dtoh" in text
+    assert "link bandwidth timelines" in text
+    assert "in flight" in text
+    assert "top contended flows" in text
+    assert "charged to" in text
+
+
+def test_flows_json_is_the_ledger_document():
+    import json as _json
+    code, text = run_cli("flows", "--n", "1e6", "--approach", "bline",
+                         "--pinned", "5e4", "--json")
+    assert code == 0
+    doc = _json.loads(text)
+    assert doc["schema"] == "repro.flows/v1"
+    assert doc["n_flows"] == len(doc["flows"]) > 0
+    assert set(doc["capacities"]) == {"host_bus", "pcie.htod",
+                                      "pcie.dtoh"}
+
+
+def test_flows_json_is_byte_stable():
+    args = ("flows", "--n", "1e6", "--approach", "pipedata",
+            "--batch-size", "2.5e5", "--pinned", "5e4", "--json")
+    assert run_cli(*args)[1] == run_cli(*args)[1]
+
+
+def test_flows_html_dashboard(tmp_path):
+    path = tmp_path / "flows.html"
+    code, text = run_cli("flows", "--n", "1e6", "--approach", "pipedata",
+                         "--batch-size", "2.5e5", "--pinned", "5e4",
+                         "--html", str(path))
+    assert code == 0
+    assert f"wrote flows dashboard to {path}" in text
+    html = path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "host_bus" in html
+
+
+def test_flows_trace_carries_link_counter_tracks(tmp_path):
+    import json as _json
+    path = tmp_path / "flows.trace.json"
+    code, _ = run_cli("flows", "--n", "1e6", "--approach", "pipedata",
+                      "--batch-size", "2.5e5", "--pinned", "5e4",
+                      "--trace-json", str(path))
+    assert code == 0
+    events = _json.loads(path.read_text())["traceEvents"]
+    names = {e["name"] for e in events if e["ph"] == "C"}
+    assert "link.host_bus.bw_bytes_per_s" in names
+    assert "link.pcie.htod.bw_bytes_per_s" in names
