@@ -48,6 +48,8 @@ Usage::
     python benchmarks/regression_gate.py --engine --profile-out p.json
     python benchmarks/regression_gate.py --memory         # occupancy gate
     python benchmarks/regression_gate.py --memory --update
+    python benchmarks/regression_gate.py --service        # QoS verdict gate
+    python benchmarks/regression_gate.py --service --update
     python benchmarks/regression_gate.py --json --archive runs.jsonl
 
 Exit status: 0 = all scenarios within tolerance, 1 = regression or
@@ -575,6 +577,150 @@ def _flows_entries(measured: dict, verdicts: dict) -> list[dict]:
     return entries
 
 
+# ---------------------------------------------------------------------------
+# Multi-tenant service gate (--service)
+# ---------------------------------------------------------------------------
+
+SERVICE_BASELINE = os.path.join(_HERE, "results", "service_baseline.json")
+SERVICE_BASELINE_SCHEMA = "repro.service_baseline/v1"
+
+#: One pinned scenario per allocator over the identical seeded job
+#: stream (timing-only, CI-sized).  The verdict is a pure function of
+#: the code, so its canonical-JSON digest is the ratchet.
+SERVICE_SCENARIOS = [
+    {"name": f"serve_{alloc.replace('-', '_')}", "allocator": alloc}
+    for alloc in ("fair-share", "max-min", "fixed-levels",
+                  "strict-priority")
+]
+
+
+def _service_tenants():
+    from repro.service import Tenant
+    return (
+        Tenant("gold", priority=2, share=2.0, rate_hz=40.0, n_jobs=2,
+               n_elements=50_000, slo_s=0.5),
+        Tenant("silver", priority=1, share=1.0, rate_hz=30.0, n_jobs=2,
+               n_elements=50_000),
+        Tenant("batch", priority=0, share=0.5, rate_hz=20.0, n_jobs=2,
+               n_elements=100_000),
+    )
+
+
+def measure_service() -> tuple[dict, list[str], dict]:
+    """Run every service scenario; returns ``({name: {"digest", ...}},
+    invariant_failures, {name: verdict_doc})``.
+
+    The digest is the first 16 hex chars of the SHA-256 of the
+    canonical ``repro.service/v1`` verdict.  Invariant failures are
+    baseline-independent: the flow ledger's rate integral must hold
+    under every allocator, the memory ledger must balance, and each
+    tenant must move identical bytes whatever the policy (allocators
+    change when bytes move, never which bytes move).
+    """
+    import hashlib
+    from repro.obs import canonical_json, verify_rate_integral
+    from repro.service import ServiceConfig, run_service
+    tenants = _service_tenants()
+    measured: dict = {}
+    verdict_docs: dict = {}
+    invariant_failures: list[str] = []
+    tenant_bytes_ref: dict | None = None
+    for sc in SERVICE_SCENARIOS:
+        cfg = ServiceConfig(allocator=sc["allocator"], seed=0,
+                            functional=False, batch_size=20_000,
+                            pinned_elements=5_000)
+        res = run_service(tenants, cfg)
+        verdict = res.verdict
+        verdict_docs[sc["name"]] = verdict
+        digest = hashlib.sha256(
+            canonical_json(verdict, indent=None).encode()
+        ).hexdigest()[:16]
+        ri = verify_rate_integral(res.flow_ledger.to_dict())
+        if not ri["ok"]:
+            invariant_failures.append(
+                f"{sc['name']}: rate integral broke under "
+                f"{sc['allocator']} ({'; '.join(ri['failures'][:3])})")
+        try:
+            res.memory_ledger.check_balanced()
+        except Exception as exc:
+            invariant_failures.append(
+                f"{sc['name']}: memory ledger unbalanced ({exc})")
+        tb = verdict["flows"]["tenant_bytes"]
+        if tenant_bytes_ref is None:
+            tenant_bytes_ref = tb
+        elif any(abs(tb[t] - tenant_bytes_ref[t])
+                 > 1e-6 * max(tenant_bytes_ref[t], 1.0)
+                 for t in tenant_bytes_ref):
+            invariant_failures.append(
+                f"{sc['name']}: per-tenant bytes moved differ from the "
+                "fair-share run (allocators must not change the work)")
+        measured[sc["name"]] = {
+            "digest": digest,
+            "n_jobs": verdict["n_jobs"],
+            "elapsed_s": verdict["elapsed_s"],
+            "jain_latency_index":
+                verdict["fairness"]["jain_latency_index"],
+            "p99_latency_s.gold":
+                verdict["tenants"]["gold"]["p99_latency_s"],
+            "slo_hit_rate": verdict["slo"]["hit_rate"],
+        }
+    return measured, invariant_failures, verdict_docs
+
+
+def check_service(baseline: dict, measured: dict,
+                  verdicts: dict | None = None) -> list[str]:
+    """Compare measured service verdicts against the frozen baseline --
+    exact digest equality, since the verdict is byte-deterministic."""
+    failures: list[str] = []
+    for sc in SERVICE_SCENARIOS:
+        name = sc["name"]
+        frozen = baseline.get("scenarios", {}).get(name)
+        cur = measured[name]
+        if frozen is None:
+            msg = (f"{name}: missing from service baseline "
+                   "(run with --service --update)")
+            failures.append(msg)
+            if verdicts is not None:
+                verdicts[name] = {"ok": False, "failures": [msg]}
+            continue
+        scoped: list[str] = []
+        if cur["digest"] != frozen["digest"]:
+            scoped.append(
+                f"{name}: service verdict drifted {frozen['digest']} "
+                f"-> {cur['digest']} (the verdict is byte-deterministic; "
+                "re-freeze with --service --update only if intended)")
+        if not scoped and cur["n_jobs"] != frozen["n_jobs"]:
+            scoped.append(f"{name}: job count drifted "
+                          f"{frozen['n_jobs']} -> {cur['n_jobs']}")
+        status = "ok" if not scoped else "FAIL"
+        say(f"{name}: {status}  {cur['n_jobs']} jobs  "
+            f"elapsed {cur['elapsed_s']:.6f}s  "
+            f"gold p99 {cur['p99_latency_s.gold']:.6f}s  "
+            f"jain {cur['jain_latency_index']:.4f}  [{cur['digest']}]")
+        failures.extend(scoped)
+        if verdicts is not None:
+            verdicts[name] = {"ok": not scoped, "failures": scoped}
+    return failures
+
+
+def _service_entries(verdict_docs: dict, verdicts: dict) -> list[dict]:
+    """One archive entry per service scenario, on the same trend series
+    as ``repro serve --archive`` runs of the identical configuration
+    (the point dict is the verdict's identity, so fingerprints line
+    up).  Verdicts are deterministic, so re-running the gate appends
+    nothing new until service behaviour actually changes."""
+    from repro.service import archive_entry
+    entries = []
+    for name, doc in verdict_docs.items():
+        v = verdicts.get(name, {"ok": True, "failures": []})
+        gate = {"gate": "service", "ok": v["ok"],
+                "failures": v["failures"]}
+        entries.append(archive_entry(doc, label=name,
+                                     gate_verdicts=[gate],
+                                     source="gate:service"))
+    return entries
+
+
 def _regression_entries(runs: dict, verdicts: dict) -> list[dict]:
     """One archive entry per trace-diff scenario (the scenario dict is
     the fingerprinted point, so every CI run of the same scenario lands
@@ -661,6 +807,9 @@ def main(argv=None) -> int:
     p.add_argument("--flows", action="store_true",
                    help="run the interconnect flow-ledger gate instead "
                         "of the trace-diff gate")
+    p.add_argument("--service", action="store_true",
+                   help="run the multi-tenant service verdict gate "
+                        "instead of the trace-diff gate")
     p.add_argument("--profile-out", default=None,
                    help="(--engine) write the full profile snapshot "
                         "JSON for artifact upload")
@@ -674,8 +823,41 @@ def main(argv=None) -> int:
     args = p.parse_args(argv)
     if args.json:
         _INFO = sys.stderr
-    if sum((args.engine, args.memory, args.flows)) > 1:
-        p.error("--engine, --memory, and --flows are mutually exclusive")
+    if sum((args.engine, args.memory, args.flows, args.service)) > 1:
+        p.error("--engine, --memory, --flows, and --service are "
+                "mutually exclusive")
+
+    if args.service:
+        baseline_path = args.baseline or SERVICE_BASELINE
+        measured, invariant_failures, verdict_docs = measure_service()
+        if args.update:
+            if invariant_failures:
+                for msg in invariant_failures:
+                    print(f"INVARIANT: {msg}", file=sys.stderr)
+                print("refusing to freeze a baseline from a run that "
+                      "broke the service invariants", file=sys.stderr)
+                return 1
+            doc = {"schema": SERVICE_BASELINE_SCHEMA,
+                   "scenarios": measured}
+            os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+            with open(baseline_path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            say(f"service baseline updated: {baseline_path} "
+                f"({len(measured)} scenarios)")
+            return 0
+        if not os.path.exists(baseline_path):
+            print(f"no service baseline at {baseline_path}; run with "
+                  "--service --update first", file=sys.stderr)
+            return 1
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        verdicts: dict = {}
+        failures = invariant_failures + check_service(
+            baseline, measured, verdicts=verdicts)
+        entries = _service_entries(verdict_docs, verdicts)
+        archive_entries(args.archive, entries)
+        return _finish(args, "service", failures, entries)
 
     if args.flows:
         baseline_path = args.baseline or FLOWS_BASELINE

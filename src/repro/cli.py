@@ -65,6 +65,13 @@ Interconnect observatory -- link saturation, contention attribution::
     python -m repro flows --n 2e9 --batch-size 2e8 --approach pipedata
     python -m repro flows --platform PLATFORM2 --gpus 2 --n 2e9 \
         --html flows.html
+
+Multi-tenant service -- stream seeded sort jobs under a QoS bandwidth
+allocator, compare per-tenant tail latencies::
+
+    python -m repro serve --allocator strict-priority --json
+    python -m repro serve --allocator max-min --html service.html \
+        --tenant gold:2:2:40:3:200000:0.5 --tenant batch:0:0.5:20:3:400000
 """
 
 from __future__ import annotations
@@ -87,7 +94,8 @@ __all__ = ["main", "build_parser", "build_metrics_parser",
            "build_conformance_parser", "build_watch_parser",
            "build_chaos_parser", "build_archive_parser",
            "build_trends_parser", "build_mem_parser",
-           "build_plan_mem_parser", "build_flows_parser"]
+           "build_plan_mem_parser", "build_flows_parser",
+           "build_serve_parser"]
 
 
 @contextlib.contextmanager
@@ -462,6 +470,179 @@ def build_flows_parser() -> argparse.ArgumentParser:
                         "(per-link occupancy charts with capacity lines, "
                         "contention table)")
     return p
+
+
+#: Default ``repro serve`` tenant specs (see ``_parse_tenant``): a
+#: latency-sensitive gold tenant with an SLO, a mid-priority silver
+#: tenant, and a low-priority bulk tenant with bigger jobs.
+_SERVE_DEMO_TENANTS = ("gold:2:2:40:3:200000:0.5",
+                       "silver:1:1:30:3:200000",
+                       "batch:0:0.5:20:3:400000")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.sim.allocators import ALLOCATORS
+    p = argparse.ArgumentParser(
+        prog="repro-hetsort serve",
+        description="Simulate a multi-tenant sort service: seeded "
+                    "synthetic tenants submit open-loop job streams, a "
+                    "shared machine admits and runs them under a "
+                    "pluggable per-link bandwidth allocator, and the "
+                    "outcome is a byte-stable repro.service/v1 verdict "
+                    "(per-tenant latency percentiles, Jain fairness "
+                    "index, SLO hit rate).")
+    p.add_argument("--platform", default="PLATFORM1",
+                   help="PLATFORM1 (GP100) or PLATFORM2 (2x K40m)")
+    p.add_argument("--allocator", default="fair-share",
+                   choices=sorted(ALLOCATORS),
+                   help="per-link bandwidth policy (default fair-share)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival + dataset seed (default 0)")
+    p.add_argument("--tenant", action="append", metavar="SPEC",
+                   default=None,
+                   help="add a tenant as name:priority:share:rate_hz:"
+                        "n_jobs:n_elements[:slo_s]; repeatable "
+                        "(default: a gold/silver/batch demo trio)")
+    p.add_argument("--timing", action="store_true",
+                   help="skip real data movement and output validation "
+                        "(timing-only jobs; much faster)")
+    p.add_argument("--batch-size", type=float, default=25_000,
+                   help="per-job b_s elements per batch (default 25000)")
+    p.add_argument("--streams", type=int, default=2,
+                   help="per-job n_s streams per GPU (default 2)")
+    p.add_argument("--pinned", type=float, default=25_000,
+                   help="per-job p_s pinned staging elements "
+                        "(default 25000)")
+    p.add_argument("--gpus-per-job", type=int, default=1,
+                   help="devices each job sorts across (default 1)")
+    p.add_argument("--max-concurrent", type=int, default=8,
+                   help="admission cap on running jobs (default 8)")
+    p.add_argument("--no-controller", action="store_true",
+                   help="disable the adaptive level controller "
+                        "(fixed-levels only)")
+    p.add_argument("--epoch", type=float, default=0.05, metavar="S",
+                   help="controller period in simulated seconds "
+                        "(default 0.05)")
+    p.add_argument("--reclaim", type=float, default=0.9,
+                   help="idle-level fraction loaned per epoch "
+                        "(default 0.9)")
+    p.add_argument("--json", action="store_true",
+                   help="print the repro.service/v1 verdict as "
+                        "canonical JSON instead of tables")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="write the self-contained tenant-latency "
+                        "dashboard")
+    p.add_argument("--events", metavar="PATH", default=None,
+                   help="write the run's repro.events/v1 JSONL event "
+                        "log (service.job.* / service.epoch events)")
+    p.add_argument("--archive", metavar="PATH", default=None,
+                   help="append the verdict's trend-series entry to a "
+                        "repro.archive/v1 archive")
+    p.add_argument("--label", default="serve",
+                   help="archive entry label (default 'serve')")
+    return p
+
+
+def _parse_tenant(spec: str):
+    """``name:priority:share:rate_hz:n_jobs:n_elements[:slo_s]`` ->
+    :class:`~repro.service.Tenant` (ValueError on a malformed spec)."""
+    from repro.service import Tenant
+    parts = spec.split(":")
+    if not 6 <= len(parts) <= 7:
+        raise ValueError(
+            f"tenant spec {spec!r}: expected name:priority:share:"
+            "rate_hz:n_jobs:n_elements[:slo_s]")
+    name = parts[0]
+    if not name:
+        raise ValueError(f"tenant spec {spec!r}: empty name")
+    return Tenant(name=name, priority=int(parts[1]),
+                  share=float(parts[2]), rate_hz=float(parts[3]),
+                  n_jobs=int(parts[4]), n_elements=int(float(parts[5])),
+                  slo_s=float(parts[6]) if len(parts) == 7 else None)
+
+
+def _run_serve(argv, out) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    from repro.errors import SimulationError, ValidationError
+    from repro.obs import canonical_json
+    from repro.reporting import format_bytes
+    from repro.service import (ServiceConfig, archive_entry, run_service)
+    try:
+        tenants = tuple(_parse_tenant(s) for s in
+                        (args.tenant or _SERVE_DEMO_TENANTS))
+    except (ValueError, ValidationError) as exc:
+        parser.error(str(exc))
+    cfg = ServiceConfig(allocator=args.allocator, seed=args.seed,
+                        functional=not args.timing,
+                        gpus_per_job=args.gpus_per_job,
+                        max_concurrent=args.max_concurrent,
+                        batch_size=int(args.batch_size),
+                        n_streams=args.streams,
+                        pinned_elements=int(args.pinned),
+                        controller=not args.no_controller,
+                        epoch_s=args.epoch, reclaim=args.reclaim)
+    sinks: list = []
+    if args.events:
+        from repro.obs import JsonlSink
+        with _writes(args.events, "event log"):
+            sinks.append(JsonlSink(args.events))
+    try:
+        res = run_service(tenants, cfg,
+                          platform=get_platform(args.platform),
+                          sinks=sinks)
+    except (SimulationError, ValidationError) as exc:
+        out.write(f"repro serve: {exc}\n")
+        return 2
+    verdict = res.verdict
+    if args.json:
+        out.write(canonical_json(verdict) + "\n")
+    else:
+        out.write(f"{verdict['allocator']} on {verdict['platform']}: "
+                  f"{verdict['n_jobs']} jobs from "
+                  f"{verdict['n_tenants']} tenants in "
+                  f"{verdict['elapsed_s']:.4f} s simulated\n\n")
+        rows = []
+        for name, t in verdict["tenants"].items():
+            hit = t["slo_hit_rate"]
+            rows.append([
+                name, str(t["priority"]), f"{t['share']:g}",
+                str(t["n_jobs"]),
+                f"{t['p50_latency_s']:.4f}", f"{t['p99_latency_s']:.4f}",
+                f"{t['mean_queued_s']:.4f}",
+                "-" if hit is None else f"{hit:.0%} of {t['slo_jobs']}",
+                format_bytes(t["bytes_moved"])])
+        out.write(render_table(
+            ["tenant", "prio", "share", "jobs", "p50 [s]", "p99 [s]",
+             "queued [s]", "SLO hits", "moved"], rows,
+            title="per-tenant QoS") + "\n")
+        jain = verdict["fairness"]["jain_latency_index"]
+        out.write(f"\nJain fairness index (per-element latency): "
+                  f"{jain:.4f}\n")
+        slo = verdict["slo"]
+        if slo["jobs_with_slo"]:
+            out.write(f"SLO: {slo['hits']}/{slo['jobs_with_slo']} jobs "
+                      f"met their deadline "
+                      f"({slo['hit_rate']:.0%})\n")
+        ctl = verdict["controller"]
+        if ctl is not None:
+            out.write(f"controller: {ctl['n_epochs']} epochs, "
+                      f"{ctl['epochs_reclaiming']} reclaiming, mean "
+                      f"reclaimed fraction "
+                      f"{ctl['mean_reclaimed_fraction']:.0%}\n")
+    if args.html:
+        from repro.reporting import write_service_dashboard
+        _write_html(args.html, "service dashboard",
+                    lambda path: write_service_dashboard(
+                        verdict, path,
+                        title=f"{verdict['allocator']} on "
+                              f"{verdict['platform']}, seed "
+                              f"{verdict['seed']}"),
+                    out)
+    if args.archive:
+        _maybe_archive(args.archive,
+                       [archive_entry(verdict, label=args.label)], out)
+    return 0
 
 
 def build_plan_mem_parser() -> argparse.ArgumentParser:
@@ -1439,6 +1620,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _run_flows(argv[1:], out)
     if argv and argv[0] == "plan-mem":
         return _run_plan_mem(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.n is None) == (args.functional is None):

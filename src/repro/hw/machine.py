@@ -113,6 +113,17 @@ class Machine:
                 f"({self.host_reserved} B already reserved)")
         self.host_reserved += nbytes
 
+    def release_host(self, nbytes: int) -> None:
+        """Return a pageable working-set reservation made with
+        :meth:`reserve_host` (a finished service job hands its A/W/B
+        arrays back to the pool).  Single runs never release -- their
+        reservation lives for the whole simulation."""
+        if nbytes < 0 or nbytes > self.host_reserved:
+            raise SimulationError(
+                f"releasing {nbytes} reserved bytes with "
+                f"{self.host_reserved} reserved")
+        self.host_reserved -= nbytes
+
     @staticmethod
     def _causal(deps, *extra) -> list:
         """Combine explicit causal deps with wait-derived ones (drops

@@ -69,10 +69,15 @@ class EV:
     FLOW_START = "flow.start"   #: a bandwidth flow joined the network
     FLOW_RATE = "flow.rate"     #: the allocator changed a flow's rate
     FLOW_END = "flow.end"       #: a bandwidth flow completed
+    JOB_SUBMIT = "service.job.submit"  #: a sort job entered the service
+    JOB_START = "service.job.start"    #: a job was admitted and started
+    JOB_END = "service.job.end"        #: a job completed (latency known)
+    EPOCH = "service.epoch"     #: an adaptive-controller control epoch
 
     ALL = (RUN_START, RUN_END, SPAN, QUEUE, COUNTER, PHASE, WARNING,
            FAULT, RETRY, DEGRADE, MEM_ALLOC, MEM_FREE, MEM_WATERMARK,
-           FLOW_START, FLOW_RATE, FLOW_END)
+           FLOW_START, FLOW_RATE, FLOW_END,
+           JOB_SUBMIT, JOB_START, JOB_END, EPOCH)
 
 
 @dataclass(frozen=True)
@@ -244,6 +249,28 @@ class EventBus:
     def flow_end(self, fid: int, moved: float) -> None:
         """A flow completed after moving ``moved`` bytes."""
         self.emit(EV.FLOW_END, id=fid, moved=moved)
+
+    def job_submit(self, job: str, tenant: str, n: int, **data) -> None:
+        """A sort job entered the service's admission queue."""
+        self.emit(EV.JOB_SUBMIT, job=job, tenant=tenant, n=n, **data)
+
+    def job_start(self, job: str, tenant: str, queued_s: float,
+                  **data) -> None:
+        """A job was admitted (memory + concurrency gates passed) and its
+        runner process started."""
+        self.emit(EV.JOB_START, job=job, tenant=tenant, queued_s=queued_s,
+                  **data)
+
+    def job_end(self, job: str, tenant: str, latency_s: float,
+                **data) -> None:
+        """A job completed; ``latency_s`` is submit-to-completion."""
+        self.emit(EV.JOB_END, job=job, tenant=tenant, latency_s=latency_s,
+                  **data)
+
+    def epoch(self, index: int, **data) -> None:
+        """The adaptive controller finished a control epoch (per-tenant
+        utilization observed, level map possibly re-drawn)."""
+        self.emit(EV.EPOCH, index=index, **data)
 
     # -- engine hook ---------------------------------------------------------
 

@@ -104,7 +104,7 @@ class FlowLedger:
             alone = link.capacity / weight
             if alone < iso:
                 iso = alone
-        self.flows.append({
+        rec = {
             "id": fid,
             "label": flow.label,
             "nbytes": flow.nbytes,
@@ -116,7 +116,14 @@ class FlowLedger:
             "span": None,
             "moved": None,
             "rates": [],
-        })
+        }
+        # Tenant attribution (multi-tenant service runs).  Only recorded
+        # when present so untagged runs keep producing byte-identical
+        # repro.flows/v1 documents (the flows gate digests them).
+        tenant = getattr(flow, "tenant", None)
+        if tenant is not None:
+            rec["tenant"] = tenant
+        self.flows.append(rec)
         if self.bus is not None:
             self.bus.flow_start(fid, flow.nbytes, links, label=flow.label)
 

@@ -6,10 +6,12 @@ from repro.reporting.gantt import render_gantt
 from repro.reporting.html import (render_dashboard,
                                   render_flows_dashboard,
                                   render_memory_dashboard,
+                                  render_service_dashboard,
                                   render_trend_dashboard,
                                   write_dashboard,
                                   write_flows_dashboard,
                                   write_memory_dashboard,
+                                  write_service_dashboard,
                                   write_trend_dashboard)
 from repro.reporting.live import (format_bytes, render_bar,
                                   render_plain_line, render_snapshot)
@@ -28,4 +30,5 @@ __all__ = [
     "render_snapshot", "render_plain_line", "render_bar", "format_bytes",
     "render_memory_dashboard", "write_memory_dashboard",
     "render_flows_dashboard", "write_flows_dashboard",
+    "render_service_dashboard", "write_service_dashboard",
 ]

@@ -920,6 +920,160 @@ def write_flows_dashboard(doc: dict, path, title: str = "") -> None:
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant service panels (repro.service/v1 verdicts)
+# ---------------------------------------------------------------------------
+
+def _service_jobs_panel(verdict: dict) -> str:
+    """Tenant-latency timeline: one horizontal bar per job from arrival
+    to completion, the queued prefix hollow and the service suffix
+    solid, rows grouped by tenant (one palette slot each)."""
+    jobs = verdict.get("jobs", [])
+    if not jobs:
+        return ('<div class="card"><h3>Job latencies</h3>'
+                '<p class="note">no jobs completed</p></div>')
+    tenants = list(verdict.get("tenants", {}))
+    slot_of = {t: i % 8 + 1 for i, t in enumerate(tenants)}
+    ordered = sorted(jobs, key=lambda j: (tenants.index(j["tenant"]),
+                                          j["arrival_s"], j["job_id"]))
+    t_end = max(j["end_s"] for j in jobs) or 1.0
+    row_h, ml, mr, mt, mb = 14, 64, 14, 14, 30
+    w = 560
+    h = mt + row_h * len(ordered) + mb
+    sx = _Scale(0.0, t_end, ml, w - mr)
+    body = []
+    for tk in _nice_ticks(0.0, t_end):
+        x = sx(tk)
+        body.append(f'<line class="grid" x1="{x:.1f}" y1="{mt}" '
+                    f'x2="{x:.1f}" y2="{h - mb:.1f}"/>')
+        body.append(f'<text x="{x:.1f}" y="{h - mb + 16:.1f}" '
+                    f'text-anchor="middle">{_fmt_s(tk)}</text>')
+    body.append(f'<line class="axis" x1="{ml}" y1="{h - mb:.1f}" '
+                f'x2="{w - mr}" y2="{h - mb:.1f}"/>')
+    prev_tenant = None
+    for i, j in enumerate(ordered):
+        y = mt + i * row_h
+        slot = slot_of[j["tenant"]]
+        if j["tenant"] != prev_tenant:
+            body.append(f'<text class="lab" x="{ml - 6}" '
+                        f'y="{y + row_h - 4:.1f}" text-anchor="end">'
+                        f'{_esc(j["tenant"])}</text>')
+            prev_tenant = j["tenant"]
+        tip = (f"{j['job_id']}\nlatency {_fmt_s(j['latency_s'])}"
+               f"\nqueued {_fmt_s(j['queued_s'])}"
+               f"\nservice {_fmt_s(j['service_s'])}")
+        if j.get("slo_s") is not None:
+            tip += ("\nSLO " + _fmt_s(j["slo_s"])
+                    + (" (hit)" if j["slo_ok"] else " (MISS)"))
+        x0, x1, x2 = sx(j["arrival_s"]), sx(j["admit_s"]), sx(j["end_s"])
+        body.append(
+            f'<rect x="{x0:.1f}" y="{y + 2:.1f}" '
+            f'width="{max(x1 - x0, 0.0):.1f}" height="{row_h - 5}" '
+            f'fill="none" stroke="var(--s{slot})" stroke-width="1" '
+            f'opacity="0.7"/>')
+        body.append(
+            f'<rect x="{x1:.1f}" y="{y + 2:.1f}" '
+            f'width="{max(x2 - x1, 1.0):.1f}" height="{row_h - 5}" '
+            f'fill="var(--s{slot})" opacity="0.8" tabindex="0" '
+            f'data-tip="{_esc(tip)}"/>')
+        if not j.get("slo_ok", True) and j.get("slo_s") is not None:
+            body.append(f'<text x="{x2 + 4:.1f}" y="{y + row_h - 4:.1f}" '
+                        f'fill="var(--critical)">&#9888;</text>')
+    legend = '<div class="legend">' + "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:var(--s{slot_of[t]})"></span>{_esc(t)}</span>'
+        for t in tenants) + (
+        '<span class="key"><span class="linekey" style="background:'
+        'var(--ink-3)"></span>hollow prefix: queued</span></div>')
+    return ('<div class="card"><h3>Per-tenant job latencies</h3>'
+            '<p class="sub">each bar spans arrival to completion; the '
+            'hollow prefix is admission queueing, the solid part is '
+            'service</p>'
+            + legend
+            + _svg(w, h, body, "per-tenant job latency timeline")
+            + "</div>")
+
+
+def _service_tenant_table(verdict: dict) -> str:
+    """Accessible table-view twin of the latency panel."""
+    tenants = verdict.get("tenants", {})
+    if not tenants:
+        return '<p class="note">no tenants recorded</p>'
+    rows = []
+    for name, t in tenants.items():
+        hit = t.get("slo_hit_rate")
+        slo = (f'{hit:.0%} of {t["slo_jobs"]}' if hit is not None
+               else "&mdash;")
+        rows.append(
+            "<tr>"
+            f'<td class="l">{_esc(name)}</td>'
+            f'<td>{t["priority"]}</td>'
+            f'<td>{t["share"]:g}</td>'
+            f'<td>{t["n_jobs"]}</td>'
+            f'<td>{_fmt_s(t["p50_latency_s"])}</td>'
+            f'<td>{_fmt_s(t["p99_latency_s"])}</td>'
+            f'<td>{_fmt_s(t["mean_queued_s"])}</td>'
+            f'<td>{slo}</td>'
+            f'<td>{_fmt_b(t["bytes_moved"])}</td></tr>')
+    return ('<table class="viz"><thead><tr>'
+            '<th class="l">tenant</th><th>priority</th><th>share</th>'
+            '<th>jobs</th><th>p50 latency</th><th>p99 latency</th>'
+            '<th>mean queued</th><th>SLO hits</th><th>bytes moved</th>'
+            '</tr></thead><tbody>' + "".join(rows) + "</tbody></table>")
+
+
+def render_service_dashboard(verdict: dict, title: str = "") -> str:
+    """Self-contained multi-tenant service HTML for one
+    ``repro.service/v1`` verdict (from
+    :func:`repro.service.verdict.build_verdict`)."""
+    jain = verdict.get("fairness", {}).get("jain_latency_index", 1.0)
+    slo = verdict.get("slo", {})
+    hit = slo.get("hit_rate")
+    ctl = verdict.get("controller")
+    tiles = [
+        ("allocator", str(verdict.get("allocator", "?")), ""),
+        ("tenants", f"{verdict.get('n_tenants', 0)}", ""),
+        ("jobs", f"{verdict.get('n_jobs', 0)}", ""),
+        ("Jain fairness", f"{jain:.4f}", ""),
+        ("SLO hit rate",
+         f"{hit:.0%}" if hit is not None else "n/a",
+         "" if hit is None else ("ok" if hit >= 1.0 else "bad")),
+    ]
+    if ctl is not None:
+        tiles.append(("reclaimed / epoch",
+                      f"{ctl['mean_reclaimed_fraction']:.0%}", ""))
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(lab)}</div>'
+        f'<div class="value {cls}">{_esc(val)}</div></div>'
+        for lab, val, cls in tiles)
+    sub = _esc(title) if title else (
+        "per-tenant QoS under the "
+        f"{_esc(verdict.get('allocator', '?'))} bandwidth allocator")
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Sort service</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>{_CSS}</style></head>
+<body class="viz-root">
+<h1>Multi-tenant sort service</h1>
+<p class="sub">{sub}</p>
+<div class="tiles">{tile_html}</div>
+<h2>Job latencies</h2>
+<div class="cards">{_service_jobs_panel(verdict)}</div>
+<h2>Tenants</h2>
+{_service_tenant_table(verdict)}
+<div id="tip" role="status"></div>
+<script>{_TIP_JS}</script>
+</body></html>
+"""
+
+
+def write_service_dashboard(verdict: dict, path, title: str = "") -> None:
+    """Render and write the service dashboard to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_service_dashboard(verdict, title=title))
+
+
+# ---------------------------------------------------------------------------
 # Trend observatory panels (archive history; repro.trends/v1 documents)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,26 @@
+"""The simulated multi-tenant sort service (the QoS layer above the
+single-run sorter).
+
+Seeded synthetic tenants submit open-loop streams of sort jobs
+(:mod:`repro.service.workload`); a shared machine admits and runs them
+under a pluggable per-link bandwidth-allocation policy
+(:mod:`repro.sim.allocators`) with an optional adaptive level controller
+(:mod:`repro.service.controller`); the outcome is a byte-stable
+``repro.service/v1`` verdict (:mod:`repro.service.verdict`).
+"""
+
+from repro.service.controller import AdaptiveController
+from repro.service.service import (ServiceConfig, ServiceResult,
+                                   SortService, run_service)
+from repro.service.verdict import (SERVICE_SCHEMA, archive_entry,
+                                   build_verdict, jain_index, percentile)
+from repro.service.workload import (JobSpec, Tenant, build_jobs,
+                                    job_data_seed, poisson_arrivals,
+                                    trace_arrivals)
+
+__all__ = [
+    "AdaptiveController", "JobSpec", "SERVICE_SCHEMA", "ServiceConfig",
+    "ServiceResult", "SortService", "Tenant", "archive_entry", "build_jobs",
+    "build_verdict", "jain_index", "job_data_seed", "percentile",
+    "poisson_arrivals", "run_service", "trace_arrivals",
+]

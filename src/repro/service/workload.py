@@ -1,0 +1,148 @@
+"""Synthetic multi-tenant traffic: tenants, job specs and arrival
+processes.
+
+The service is driven *open loop*: every tenant submits a fixed number of
+sort jobs at instants drawn from a seeded Poisson process (or replayed
+from an explicit trace), independent of how fast the service drains them
+-- the arrival pattern never adapts to backlog, which is what makes
+latency under load a meaningful measurement.
+
+Everything is deterministic given ``(tenants, seed)``: per-tenant arrival
+streams use ``np.random.default_rng([seed, tenant_index])`` and per-job
+datasets use ``[seed, tenant_index, job_index]``, so two builds of the
+same traffic are identical element for element.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.hetsort.config import Approach
+
+__all__ = ["Tenant", "JobSpec", "poisson_arrivals", "trace_arrivals",
+           "build_jobs", "job_data_seed"]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One synthetic client of the sort service.
+
+    ``priority`` is the QoS class consulted by layered link policies
+    (strict-priority layering, fixed-levels level maps; larger = more
+    important); ``share`` is the weighted-max-min weight.  ``slo_s`` is
+    the per-job latency objective (submit-to-completion) counted by the
+    verdict's SLO hit rate; ``None`` means the tenant has no SLO.
+
+    ``rate_hz`` parameterises the Poisson arrival process (expected jobs
+    per simulated second); ``arrivals`` instead replays an explicit trace
+    of arrival instants (and then ``rate_hz``/``n_jobs`` are ignored).
+    """
+
+    name: str
+    priority: int = 0
+    share: float = 1.0
+    slo_s: float | None = None
+    rate_hz: float = 1.0
+    n_jobs: int = 4
+    n_elements: int = 100_000
+    approach: str = Approach.PIPEMERGE
+    arrivals: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("tenant needs a name")
+        if self.share <= 0:
+            raise ValidationError(
+                f"tenant {self.name!r}: share must be > 0, got {self.share}")
+        if self.arrivals is None:
+            if self.rate_hz <= 0:
+                raise ValidationError(
+                    f"tenant {self.name!r}: rate_hz must be > 0")
+            if self.n_jobs < 1:
+                raise ValidationError(
+                    f"tenant {self.name!r}: n_jobs must be >= 1")
+        if self.n_elements < 1:
+            raise ValidationError(
+                f"tenant {self.name!r}: n_elements must be >= 1")
+        if self.approach not in Approach.ALL:
+            raise ValidationError(
+                f"tenant {self.name!r}: unknown approach "
+                f"{self.approach!r}")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValidationError(
+                f"tenant {self.name!r}: slo_s must be > 0 or None")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sort job: a tenant, an arrival instant and a problem size."""
+
+    job_id: str
+    tenant: str
+    index: int          #: per-tenant job index (seeds the dataset)
+    arrival_s: float
+    n: int
+    approach: str
+    priority: int
+    share: float
+    slo_s: float | None
+
+
+def poisson_arrivals(rate_hz: float, n_jobs: int,
+                     rng: np.random.Generator) -> list[float]:
+    """``n_jobs`` arrival instants of a Poisson process of intensity
+    ``rate_hz`` (cumulative exponential inter-arrival gaps)."""
+    gaps = rng.exponential(scale=1.0 / rate_hz, size=n_jobs)
+    return list(np.cumsum(gaps))
+
+
+def trace_arrivals(times: _t.Sequence[float]) -> list[float]:
+    """Validate and normalise an explicit arrival trace."""
+    out = [float(t) for t in times]
+    if any(t < 0 for t in out):
+        raise ValidationError("arrival trace contains a negative instant")
+    if any(b < a for a, b in zip(out, out[1:])):
+        raise ValidationError("arrival trace must be non-decreasing")
+    return out
+
+
+def job_data_seed(seed: int, tenant_index: int, job_index: int) -> list[int]:
+    """The numpy seed sequence for one job's functional dataset."""
+    return [int(seed), int(tenant_index), int(job_index)]
+
+
+def build_jobs(tenants: _t.Sequence[Tenant], seed: int = 0) -> list[JobSpec]:
+    """Materialise the full deterministic job stream.
+
+    Jobs are ordered by ``(arrival_s, tenant order, job index)`` --
+    a total order, so admission FIFO ties are deterministic.
+    """
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"duplicate tenant names in {names}")
+    jobs: list[JobSpec] = []
+    for ti, tenant in enumerate(tenants):
+        if tenant.arrivals is not None:
+            times = trace_arrivals(tenant.arrivals)
+        else:
+            rng = np.random.default_rng([int(seed), ti])
+            times = poisson_arrivals(tenant.rate_hz, tenant.n_jobs, rng)
+        for ji, at in enumerate(times):
+            jobs.append(JobSpec(
+                job_id=f"{tenant.name}/{ji}",
+                tenant=tenant.name,
+                index=ji,
+                arrival_s=float(at),
+                n=tenant.n_elements,
+                approach=tenant.approach,
+                priority=tenant.priority,
+                share=tenant.share,
+                slo_s=tenant.slo_s,
+            ))
+    order = {name: i for i, name in enumerate(names)}
+    jobs.sort(key=lambda j: (j.arrival_s, order[j.tenant], j.index))
+    return jobs

@@ -7,11 +7,16 @@ interaction), it provides:
 * :class:`~repro.sim.events.Event` / timeouts / all_of / any_of,
 * :class:`~repro.sim.resources.Resource` (FIFO counting semaphore) and
   :class:`~repro.sim.resources.Store`,
-* :class:`~repro.sim.bandwidth.FlowNetwork` -- max-min fair fluid bandwidth
-  sharing used for PCIe and the host memory bus,
+* :class:`~repro.sim.bandwidth.FlowNetwork` -- fluid bandwidth sharing used
+  for PCIe and the host memory bus, with per-link policies drawn from the
+  :mod:`repro.sim.allocators` family (fair-share, max-min, fixed-levels,
+  strict-priority),
 * :class:`~repro.sim.trace.Trace` -- span timelines and component accounting.
 """
 
+from repro.sim.allocators import (ALLOCATORS, BandwidthAllocator, FairShare,
+                                  FixedLevels, MaxMinFair, QosTag,
+                                  StrictPriority, make_allocator)
 from repro.sim.bandwidth import Flow, FlowNetwork, Link
 from repro.sim.engine import Environment, Process
 from repro.sim.events import Condition, Event, Timeout
@@ -25,4 +30,6 @@ __all__ = [
     "Resource", "Store", "FlowNetwork", "Link", "Flow",
     "Trace", "Span", "CAT",
     "FaultKind", "FaultSpec", "FaultPlan", "FaultInjector", "FAULTS_SCHEMA",
+    "BandwidthAllocator", "FairShare", "MaxMinFair", "FixedLevels",
+    "StrictPriority", "QosTag", "ALLOCATORS", "make_allocator",
 ]

@@ -49,6 +49,7 @@ import math
 import typing as _t
 
 from repro.errors import SimulationError
+from repro.sim import allocators as _alloc
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
@@ -64,23 +65,34 @@ _INF = math.inf
 
 
 class Link:
-    """A capacity-limited pipe (bytes/second)."""
+    """A capacity-limited pipe (bytes/second).
 
-    __slots__ = ("name", "capacity", "_busy_byte_time", "_last_update",
-                 "_current_rate", "_left", "_wsum", "_mark", "_uf")
+    :attr:`policy` selects the link's sharing discipline from the
+    :mod:`repro.sim.allocators` family.  ``None`` (the default) means
+    :class:`~repro.sim.allocators.FairShare` -- pure processor-sharing on
+    the historical, bit-identical code path.
+    """
+
+    __slots__ = ("name", "capacity", "policy", "_busy_byte_time",
+                 "_last_update", "_current_rate", "_left", "_wsum",
+                 "_budget", "_mark", "_uf")
 
     def __init__(self, name: str, capacity: float) -> None:
         if not (capacity > 0):
             raise SimulationError(f"link {name!r} capacity must be > 0")
         self.name = name
         self.capacity = float(capacity)
+        #: Per-link allocation policy (None = FairShare, bit-identical).
+        self.policy: _alloc.BandwidthAllocator | None = None
         self._busy_byte_time = 0.0   # integral of allocated rate over time
         self._last_update = 0.0
         self._current_rate = 0.0
         # Scratch registers for the progressive-filling rounds (headroom
-        # left / weight sum of unfrozen flows); valid only inside _fill().
+        # left / weight sum of unfrozen flows / per-layer budget); valid
+        # only inside _fill() and allocators.fill_component().
         self._left = 0.0
         self._wsum = 0.0
+        self._budget = 0.0
         # Component-discovery scratch: generation mark and union-find
         # parent; valid only inside _dirty_components().
         self._mark = 0
@@ -118,11 +130,13 @@ class Flow:
     """
 
     __slots__ = ("nbytes", "progressed", "remaining", "cap", "links", "rate",
-                 "event", "label", "start_time", "fid", "_mark")
+                 "event", "label", "start_time", "fid", "_mark",
+                 "priority", "share", "tenant")
 
     def __init__(self, nbytes: float, links: tuple[tuple[Link, float], ...],
                  cap: float, event: Event, label: str,
-                 start_time: float) -> None:
+                 start_time: float, priority: int = 0, share: float = 1.0,
+                 tenant: str | None = None) -> None:
         self.nbytes = float(nbytes)
         self.progressed = 0.0
         self.remaining = float(nbytes)
@@ -134,6 +148,11 @@ class Flow:
         self.start_time = start_time
         self.fid = -1    # ledger-assigned flow id (-1 = not recorded)
         self._mark = 0   # component-discovery scratch
+        # QoS attributes: consulted only by weighted/layered link
+        # policies; FairShare links ignore them entirely.
+        self.priority = priority
+        self.share = share
+        self.tenant = tenant
 
 
 class FlowView(_t.NamedTuple):
@@ -148,6 +167,9 @@ class FlowView(_t.NamedTuple):
     cap: float
     links: tuple[tuple[str, float], ...]
     start_time: float
+    tenant: str | None = None
+    priority: int = 0
+    share: float = 1.0
 
 
 class LinkView(_t.NamedTuple):
@@ -191,7 +213,9 @@ class FlowNetwork:
 
     def transfer(self, nbytes: float,
                  links: _t.Sequence[Link | tuple[Link, float]],
-                 cap: float = _INF, label: str = "flow") -> Event:
+                 cap: float = _INF, label: str = "flow",
+                 priority: int | None = None, share: float | None = None,
+                 tenant: str | None = None) -> Event:
         """Start a flow of ``nbytes`` across ``links``; returns its
         completion event (value = the :class:`Flow`).
 
@@ -199,9 +223,33 @@ class FlowNetwork:
         ``(link, weight)`` pair.  ``cap`` bounds the flow's own payload rate
         regardless of link headroom.  A zero-byte transfer completes
         immediately.
+
+        ``priority``/``share``/``tenant`` are the flow's QoS attributes,
+        consulted only by weighted/layered link policies.  When omitted
+        they default from the calling process's
+        :class:`~repro.sim.allocators.QosTag` (inherited from the process
+        that spawned it), falling back to ``(0, 1.0, None)`` -- so
+        existing single-run code, which never tags processes, is
+        unaffected.
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes!r}")
+        if priority is None or share is None or tenant is None:
+            proc = self.env._active
+            tag = proc.tag if proc is not None else None
+            if tag is not None:
+                if priority is None:
+                    priority = tag.priority
+                if share is None:
+                    share = tag.share
+                if tenant is None:
+                    tenant = tag.tenant
+        if priority is None:
+            priority = 0
+        if share is None:
+            share = 1.0
+        elif not (share > 0):
+            raise SimulationError(f"flow share must be > 0, got {share!r}")
         weighted: list[tuple[Link, float]] = []
         for entry in links:
             link, weight = entry if isinstance(entry, tuple) else (entry, 1.0)
@@ -218,7 +266,8 @@ class FlowNetwork:
 
         ev = Event(self.env)
         if nbytes <= _EPS_BYTES:
-            flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now)
+            flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now,
+                        priority, share, tenant)
             self.completed_flows += 1
             if self.ledger is not None:
                 self.ledger.on_start(flow, self.env.now)
@@ -227,7 +276,8 @@ class FlowNetwork:
             return ev
 
         self._advance()
-        flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now)
+        flow = Flow(nbytes, tuple(weighted), cap, ev, label, self.env.now,
+                    priority, share, tenant)
         self._flows.append(flow)
         if self.ledger is not None:
             self.ledger.on_start(flow, self.env.now)
@@ -253,6 +303,42 @@ class FlowNetwork:
         if self.ledger is not None:
             self.ledger.on_capacity(link.name, link.capacity, self.env.now)
         self._update(seed_links=(link,))
+
+    def set_policy(self, link: Link,
+                   policy: "_alloc.BandwidthAllocator | None") -> None:
+        """Install an allocation policy on ``link`` (``None`` restores the
+        default FairShare behaviour).
+
+        Active flows are advanced at their old rates first, then the
+        link's connected component is refilled under the new policy.
+        """
+        if link not in self._links:
+            raise SimulationError(f"{link!r} not part of this network")
+        if policy is not None and not isinstance(
+                policy, _alloc.BandwidthAllocator):
+            raise SimulationError(
+                f"policy must be a BandwidthAllocator, got {policy!r}")
+        self._advance()
+        link.policy = policy
+        self._update(seed_links=(link,))
+
+    def reallocate(self,
+                   mutate: _t.Callable[[Flow], None] | None = None) -> None:
+        """Advance every flow, optionally mutate QoS attributes
+        (``mutate(flow)`` may rewrite ``priority``/``share``), and refill
+        the whole network.
+
+        This is the adaptive controller's knob: it lets a control epoch
+        re-draw level maps or re-weight a tenant's in-flight transfers
+        without restarting them.  Progress accounting stays exact -- the
+        advance happens before any rate changes, so the ledger's
+        rate-integral invariant is preserved.
+        """
+        self._advance()
+        if mutate is not None:
+            for f in self._flows:
+                mutate(f)
+        self._update(seed_flows=self._flows, seed_links=self._links)
 
     @property
     def active_flows(self) -> int:
@@ -283,7 +369,8 @@ class FlowNetwork:
                                   rem if rem > 0.0 else 0.0,
                                   f.rate, f.cap,
                                   tuple((l.name, w) for l, w in f.links),
-                                  f.start_time))
+                                  f.start_time, f.tenant, f.priority,
+                                  f.share))
         return tuple(views)
 
     def link_snapshot(self) -> tuple[LinkView, ...]:
@@ -405,17 +492,25 @@ class FlowNetwork:
 
     @staticmethod
     def _fill(flows: list[Flow]) -> None:
-        """Max-min fair progressive filling of ONE connected component.
+        """Fill ONE connected component under its links' policies.
 
         A pure function of the component's flows (in insertion order) and
-        its links' capacities -- the incremental/full equivalence rests on
-        that purity.
+        its links' capacities/policies -- the incremental/full equivalence
+        rests on that purity.
+
+        Components whose links all run the default FairShare discipline
+        (``policy is None`` or an unweighted, unlayered policy) take the
+        historical max-min progressive-filling path below, bit-identical
+        to the pre-allocator-family code; any weighted or layered policy
+        routes the component to
+        :func:`repro.sim.allocators.fill_component`.
         """
         if not flows:
             return
         links: list[Link] = []
         seen: set[int] = set()
         all_capped = True
+        plain = True
         for f in flows:
             if f.cap == _INF:
                 all_capped = False
@@ -423,6 +518,12 @@ class FlowNetwork:
                 if id(l) not in seen:
                     seen.add(id(l))
                     links.append(l)
+                    pol = l.policy
+                    if pol is not None and (pol.weighted or pol.layered):
+                        plain = False
+        if not plain:
+            _alloc.fill_component(flows, links)
+            return
 
         if all_capped:
             # Fast path: if the summed cap-load leaves headroom on every

@@ -84,9 +84,17 @@ class Process(Event):
 
     A ``Process`` is itself an event: it succeeds with the generator's return
     value, or fails with any exception that escapes the generator.
+
+    Every process carries an inheritable :attr:`tag`: opaque metadata that
+    defaults to the spawning process's tag (``None`` at the top level).
+    Subsystems that need to know *on whose behalf* a process is running --
+    the multi-tenant service stamps a QoS tag so that flows started deep
+    inside machine primitives inherit the tenant's priority and share --
+    read it via :attr:`Environment.active_process`.  The engine itself
+    never interprets tags.
     """
 
-    __slots__ = ("generator", "_send", "_throw", "_target", "name")
+    __slots__ = ("generator", "_send", "_throw", "_target", "name", "tag")
 
     def __init__(self, env: "Environment",
                  generator: _t.Generator[Event, _t.Any, _t.Any],
@@ -100,6 +108,11 @@ class Process(Event):
         self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        # Inherit the spawner's tag: env.process() is always called
+        # synchronously from within the spawning process's step (or from
+        # outside any process, where _active is None).
+        active = env._active
+        self.tag = active.tag if active is not None else None
         # Kick the process off via an immediately-scheduled init event.
         init = Event(env)
         init.callbacks.append(self._resume)  # type: ignore[union-attr]
@@ -122,6 +135,11 @@ class Process(Event):
             # The exception is delivered into the generator, therefore it
             # counts as handled.
             event._defused = True
+        # Everything the generator does until its next yield runs on this
+        # process's behalf (callbacks never nest: succeed()/fail() defer
+        # through the queue), so flows/processes it creates can read the
+        # tag via env._active.
+        env._active = self
         while True:
             try:
                 if ok:
@@ -130,9 +148,11 @@ class Process(Event):
                     target = self._throw(
                         _t.cast(BaseException, payload))
             except StopIteration as exc:
+                env._active = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:  # noqa: BLE001 - escalate via event
+                env._active = None
                 self.fail(exc)
                 return
 
@@ -151,6 +171,7 @@ class Process(Event):
                     continue
                 target.callbacks.append(self._resume)
                 self._target = target
+                env._active = None
                 return
             # Non-event yield: throw into the generator so it can clean
             # up (or even catch and carry on).
@@ -347,11 +368,16 @@ class Environment:
     """
 
     __slots__ = ("_now", "_future", "_now_urgent", "_now_normal", "_seq",
-                 "_monitors", "bus", "processed_events", "scheduler")
+                 "_monitors", "bus", "processed_events", "scheduler",
+                 "_active")
 
     def __init__(self, initial_time: float = 0.0,
                  scheduler: str | None = None) -> None:
         self._now = float(initial_time)
+        #: The process currently executing a step, or None between steps.
+        #: Maintained by Process._resume; read by tag-inheriting
+        #: subsystems (process spawning, flow QoS stamping).
+        self._active: Process | None = None
         name = scheduler or _DEFAULT_SCHEDULER
         try:
             queue_cls = SCHEDULERS[name]
@@ -404,6 +430,13 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process whose generator is currently executing, or ``None``
+        when control is not inside any process step (e.g. at module level
+        or inside a plain event callback)."""
+        return self._active
 
     # -- event factories ----------------------------------------------------
 

@@ -32,13 +32,26 @@ def _gaussian(rng: np.random.Generator, n: int) -> np.ndarray:
 
 
 def _sorted_asc(rng: np.random.Generator, n: int) -> np.ndarray:
-    """Already sorted (best case for adaptive sorts)."""
+    """Already sorted (best case for adaptive sorts).
+
+    Seeding contract: the draw is the *first* ``rng.random(n)`` from the
+    generator, so for a given seed ``sorted`` and ``reverse`` order the
+    exact same multiset of keys -- ``generate(n, "reverse", seed)`` is
+    element-for-element ``generate(n, "sorted", seed)[::-1]`` (pinned by
+    a regression test).
+    """
     return np.sort(rng.random(n))
 
 
 def _sorted_desc(rng: np.random.Generator, n: int) -> np.ndarray:
-    """Reverse sorted (classic adversarial case)."""
-    return np.sort(rng.random(n))[::-1].copy()
+    """Reverse sorted (classic adversarial case).
+
+    Implemented as the exact reversal of :func:`_sorted_asc` on the same
+    generator state, making the shared-draw seeding contract structural
+    rather than coincidental: both distributions consume one
+    ``rng.random(n)`` call and nothing else.
+    """
+    return _sorted_asc(rng, n)[::-1].copy()
 
 
 def _nearly_sorted(rng: np.random.Generator, n: int,

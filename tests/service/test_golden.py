@@ -1,0 +1,148 @@
+"""Golden/byte-stability battery for the ``repro.service/v1`` verdict.
+
+The verdict is a deterministic function of ``(tenants, config,
+platform)``: two identical runs must produce byte-identical canonical
+JSON, and the ``repro serve --json`` CLI output is that same canonical
+document, byte for byte, run after run.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import canonical_json
+from repro.service import (SERVICE_SCHEMA, ServiceConfig, Tenant,
+                           archive_entry, jain_index, percentile,
+                           run_service)
+
+TENANTS = (
+    Tenant("gold", priority=2, share=2.0, rate_hz=40.0, n_jobs=2,
+           n_elements=50_000, slo_s=0.5),
+    Tenant("batch", priority=0, share=0.5, rate_hz=20.0, n_jobs=2,
+           n_elements=100_000),
+)
+
+CFG = dict(seed=3, batch_size=20_000, pinned_elements=5_000)
+
+
+def test_percentile_nearest_rank():
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(vals, 50.0) == 2.0
+    assert percentile(vals, 99.0) == 4.0
+    assert percentile(vals, 100.0) == 4.0
+    assert percentile([], 50.0) == 0.0
+    with pytest.raises(ValueError):
+        percentile(vals, 0.0)
+
+
+def test_jain_index_bounds():
+    assert jain_index([]) == 1.0
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+
+@pytest.mark.parametrize("allocator", ["fair-share", "fixed-levels"])
+def test_verdict_bytes_stable_across_runs(allocator):
+    a = run_service(TENANTS, ServiceConfig(allocator=allocator, **CFG))
+    b = run_service(TENANTS, ServiceConfig(allocator=allocator, **CFG))
+    ja, jb = canonical_json(a.verdict), canonical_json(b.verdict)
+    assert ja == jb
+    doc = json.loads(ja)
+    assert doc["schema"] == SERVICE_SCHEMA
+    assert json.loads(canonical_json(doc)) == doc   # round-trips
+
+
+def test_verdict_seed_sensitivity():
+    a = run_service(TENANTS, ServiceConfig(seed=3, batch_size=20_000,
+                                           pinned_elements=5_000))
+    b = run_service(TENANTS, ServiceConfig(seed=4, batch_size=20_000,
+                                           pinned_elements=5_000))
+    assert canonical_json(a.verdict) != canonical_json(b.verdict)
+
+
+def _serve(args):
+    out = io.StringIO()
+    code = main(args, out)
+    return code, out.getvalue()
+
+
+SERVE_ARGS = ["serve", "--timing", "--seed", "3",
+              "--tenant", "gold:2:2:40:2:50000:0.5",
+              "--tenant", "batch:0:0.5:20:2:100000",
+              "--batch-size", "20000", "--pinned", "5000"]
+
+
+def test_cli_serve_json_byte_stable():
+    code1, out1 = _serve(SERVE_ARGS + ["--json"])
+    code2, out2 = _serve(SERVE_ARGS + ["--json"])
+    assert code1 == code2 == 0
+    assert out1 == out2
+    doc = json.loads(out1)
+    assert doc["schema"] == SERVICE_SCHEMA
+    assert canonical_json(doc) + "\n" == out1
+
+
+def test_cli_serve_json_matches_library_verdict():
+    _code, out = _serve(SERVE_ARGS + ["--json"])
+    res = run_service(TENANTS, ServiceConfig(functional=False, **CFG))
+    assert out == canonical_json(res.verdict) + "\n"
+
+
+def test_cli_serve_table_output():
+    code, out = _serve(SERVE_ARGS)
+    assert code == 0
+    assert "per-tenant QoS" in out
+    assert "gold" in out and "batch" in out
+    assert "Jain fairness index" in out
+
+
+def test_cli_serve_allocator_choices():
+    code, out = _serve(SERVE_ARGS + ["--allocator", "strict-priority",
+                                     "--json"])
+    assert code == 0
+    assert json.loads(out)["allocator"] == "strict-priority"
+    with pytest.raises(SystemExit):
+        _serve(SERVE_ARGS + ["--allocator", "bogus"])
+
+
+def test_cli_serve_rejects_malformed_tenant():
+    with pytest.raises(SystemExit):
+        _serve(["serve", "--timing", "--tenant", "gold:2"])
+    with pytest.raises(SystemExit):
+        _serve(["serve", "--timing", "--tenant", ":2:1:10:2:1000"])
+
+
+def test_cli_serve_html_and_archive(tmp_path):
+    html = tmp_path / "svc.html"
+    arch = tmp_path / "svc.jsonl"
+    code, out = _serve(SERVE_ARGS + ["--html", str(html),
+                                     "--archive", str(arch)])
+    assert code == 0
+    page = html.read_text()
+    assert "Multi-tenant sort service" in page
+    assert "Per-tenant job latencies" in page
+    assert "gold" in page
+    # Archiving the same run again is a no-op (content-addressed).
+    before = arch.read_bytes()
+    code, out = _serve(SERVE_ARGS + ["--archive", str(arch)])
+    assert code == 0
+    assert "0 entries" in out or "already archived" in out
+    assert arch.read_bytes() == before
+
+
+def test_archive_entry_shape():
+    res = run_service(TENANTS, ServiceConfig(functional=False, **CFG))
+    entry = archive_entry(res.verdict, label="golden")
+    assert entry["source"] == "service"
+    assert entry["point"]["kind"] == "service"
+    for key in ("elapsed_s", "jain_latency_index", "slo_hit_rate",
+                "p99_latency_s.gold", "p99_latency_s.batch"):
+        assert isinstance(entry["metrics"][key], float), key
+    # Entries of identical runs share fingerprint AND content hash.
+    again = archive_entry(run_service(
+        TENANTS, ServiceConfig(functional=False, **CFG)).verdict,
+        label="golden")
+    assert again["fingerprint"] == entry["fingerprint"]
+    assert canonical_json(again) == canonical_json(entry)

@@ -1,0 +1,77 @@
+"""Tenant / job-stream construction: validation and seeding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import (Tenant, build_jobs, job_data_seed,
+                           poisson_arrivals, trace_arrivals)
+
+
+def test_tenant_validation():
+    with pytest.raises(ValidationError):
+        Tenant("x", share=0.0)
+    with pytest.raises(ValidationError):
+        Tenant("x", rate_hz=0.0)
+    with pytest.raises(ValidationError):
+        Tenant("x", n_jobs=0)
+    with pytest.raises(ValidationError):
+        Tenant("x", n_elements=0)
+    with pytest.raises(ValidationError):
+        Tenant("x", slo_s=-1.0)
+    with pytest.raises(ValidationError):
+        Tenant("")
+
+
+def test_trace_arrivals_validation():
+    assert trace_arrivals((0.0, 0.5, 0.5, 2.0)) == [0.0, 0.5, 0.5, 2.0]
+    with pytest.raises(ValidationError):
+        trace_arrivals([-0.1])
+    with pytest.raises(ValidationError):
+        trace_arrivals([1.0, 0.5])
+
+
+def test_poisson_arrivals_seeded():
+    a = poisson_arrivals(10.0, 8, np.random.default_rng(3))
+    b = poisson_arrivals(10.0, 8, np.random.default_rng(3))
+    assert a == b
+    assert all(x >= 0 for x in a)
+    assert list(a) == sorted(a)
+
+
+def test_build_jobs_deterministic_and_ordered():
+    tenants = (Tenant("a", rate_hz=20.0, n_jobs=3),
+               Tenant("b", rate_hz=20.0, n_jobs=3))
+    jobs1 = build_jobs(tenants, seed=5)
+    jobs2 = build_jobs(tenants, seed=5)
+    assert [(j.job_id, j.arrival_s) for j in jobs1] == \
+           [(j.job_id, j.arrival_s) for j in jobs2]
+    arrivals = [j.arrival_s for j in jobs1]
+    assert arrivals == sorted(arrivals)
+    assert {j.job_id for j in jobs1} == {"a/0", "a/1", "a/2",
+                                         "b/0", "b/1", "b/2"}
+    # A different seed moves the Poisson arrivals.
+    jobs3 = build_jobs(tenants, seed=6)
+    assert [j.arrival_s for j in jobs3] != arrivals
+
+
+def test_build_jobs_rejects_duplicate_names():
+    with pytest.raises(ValidationError):
+        build_jobs((Tenant("a"), Tenant("a")), seed=0)
+
+
+def test_explicit_trace_overrides_poisson():
+    t = Tenant("a", n_jobs=3, arrivals=(0.0, 0.1, 0.2))
+    jobs = build_jobs((t,), seed=0)
+    assert [j.arrival_s for j in jobs] == [0.0, 0.1, 0.2]
+    # The trace defines the job count; rate_hz/n_jobs are ignored.
+    jobs = build_jobs((Tenant("a", n_jobs=9, arrivals=(0.0, 0.1)),), seed=0)
+    assert len(jobs) == 2
+    with pytest.raises(ValidationError):
+        build_jobs((Tenant("a", arrivals=(0.2, 0.1)),), seed=0)
+
+
+def test_job_data_seed_distinct_per_job():
+    seeds = {tuple(job_data_seed(0, ti, ji))
+             for ti in range(3) for ji in range(4)}
+    assert len(seeds) == 12
